@@ -1,0 +1,140 @@
+// Ablation bench for the design choices DESIGN.md calls out:
+//   1. Fig. 3 mechanism: Hamming-distance grids of the four position
+//      encodings (uniform / Manhattan / decay / block-decay) — the
+//      numeric form of the paper's Fig. 3 distance tables.
+//   2. Clustering distance: cosine (paper Eq. 7) vs Hamming-majority.
+//   3. Color quantisation: IoU and unique-point count vs the
+//      quantisation shift (the dedup engineering knob of this library).
+//   4. gamma: the color-vs-position weight (Fig. 5).
+//
+//   ./bench_ablation_encoding [--images 6] [--out out]
+#include <cstdio>
+#include <exception>
+
+#include "bench_common.hpp"
+#include "src/hdc/distances.hpp"
+#include "src/core/position_encoder.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/csv.hpp"
+
+namespace {
+
+using namespace seghdc;
+
+void print_distance_grid(const char* title,
+                         core::PositionEncoding encoding, double alpha,
+                         std::size_t beta) {
+  core::PositionEncoderConfig config{
+      .dim = 4096, .rows = 6, .cols = 6,
+      .encoding = encoding, .alpha = alpha, .beta = beta};
+  util::Rng rng(3);
+  const core::PositionEncoder encoder(config, rng);
+  const auto origin = encoder.encode(0, 0);
+  std::printf("  %s:\n", title);
+  for (std::size_t i = 0; i < 6; ++i) {
+    std::printf("    ");
+    for (std::size_t j = 0; j < 6; ++j) {
+      std::printf("%6zu",
+                  hdc::hamming_distance(origin, encoder.encode(i, j)));
+    }
+    std::printf("\n");
+  }
+}
+
+double mean_iou(const core::SegHdcConfig& config,
+                const data::DatasetGenerator& dataset, std::size_t images,
+                double* seconds_out = nullptr,
+                std::size_t* unique_out = nullptr) {
+  std::vector<double> ious;
+  double seconds = 0.0;
+  std::size_t unique = 0;
+  for (std::size_t i = 0; i < images; ++i) {
+    const auto sample = dataset.generate(i);
+    const core::SegHdc seghdc(config);
+    const auto result = seghdc.segment(sample.image);
+    const auto matched = metrics::best_foreground_iou(
+        result.labels, config.clusters, sample.mask);
+    ious.push_back(matched.iou);
+    seconds += result.timings.total_seconds;
+    unique += result.unique_points;
+  }
+  if (seconds_out != nullptr) {
+    *seconds_out = seconds / static_cast<double>(images);
+  }
+  if (unique_out != nullptr) {
+    *unique_out = unique / images;
+  }
+  return metrics::mean(ious);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const util::Cli cli(argc, argv);
+  const auto images = static_cast<std::size_t>(cli.get_int("images", 6));
+  const auto out_dir = cli.get("out", "out");
+  util::ensure_directory(out_dir);
+
+  const bench::Scale scale = bench::Scale::host();
+  const auto dataset = bench::make_dataset(bench::DatasetId::kDsb2018, scale);
+
+  std::printf("== 1. Fig. 3 distance grids (hamming(p(0,0), p(i,j)), "
+              "d = 4096) ==\n");
+  print_distance_grid("(a) uniform — diagonal collapses to 0",
+                      core::PositionEncoding::kUniform, 1.0, 1);
+  print_distance_grid("(b) Manhattan — exact Eq. 4",
+                      core::PositionEncoding::kManhattan, 1.0, 1);
+  print_distance_grid("(c) decay (alpha = 0.5)",
+                      core::PositionEncoding::kDecayManhattan, 0.5, 1);
+  print_distance_grid("(d) block decay (alpha = 0.5, beta = 2)",
+                      core::PositionEncoding::kBlockDecayManhattan, 0.5, 2);
+
+  util::CsvWriter csv(out_dir + "/ablation_encoding.csv",
+                      {"ablation", "setting", "mean_iou", "mean_seconds",
+                       "mean_unique_points"});
+
+  std::printf("\n== 2. Clustering distance (DSB2018, %zu images) ==\n",
+              images);
+  for (const auto distance :
+       {core::ClusterDistance::kCosine, core::ClusterDistance::kHamming}) {
+    auto config = bench::seghdc_config_for(*dataset, scale);
+    config.cluster_distance = distance;
+    double seconds = 0.0;
+    const double iou = mean_iou(config, *dataset, images, &seconds);
+    const char* name =
+        distance == core::ClusterDistance::kCosine ? "cosine" : "hamming";
+    std::printf("  %-8s IoU %.4f  (%.2f s/image)\n", name, iou, seconds);
+    csv.row({"cluster_distance", name, util::CsvWriter::field(iou),
+             util::CsvWriter::field(seconds), "0"});
+  }
+
+  std::printf("\n== 3. Color quantisation shift ==\n");
+  for (const std::size_t shift : {0, 1, 2, 3, 4}) {
+    auto config = bench::seghdc_config_for(*dataset, scale);
+    config.color_quantization_shift = shift;
+    double seconds = 0.0;
+    std::size_t unique = 0;
+    const double iou = mean_iou(config, *dataset, images, &seconds, &unique);
+    std::printf("  shift %zu: IoU %.4f  (%.2f s/image, ~%zu unique "
+                "points)\n", shift, iou, seconds, unique);
+    csv.row({"quantization", std::to_string(shift),
+             util::CsvWriter::field(iou), util::CsvWriter::field(seconds),
+             std::to_string(unique)});
+  }
+
+  std::printf("\n== 4. gamma (color:position weight) ==\n");
+  for (const std::size_t gamma : {1, 2, 4}) {
+    auto config = bench::seghdc_config_for(*dataset, scale);
+    config.gamma = gamma;
+    const double iou = mean_iou(config, *dataset, images);
+    std::printf("  gamma %zu: IoU %.4f\n", gamma, iou);
+    csv.row({"gamma", std::to_string(gamma), util::CsvWriter::field(iou),
+             "0", "0"});
+  }
+
+  std::printf("\ncsv: %s/ablation_encoding.csv\n", out_dir.c_str());
+  return 0;
+} catch (const std::exception& error) {
+  std::fprintf(stderr, "bench_ablation_encoding failed: %s\n", error.what());
+  return 1;
+}

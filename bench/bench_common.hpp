@@ -1,0 +1,166 @@
+// Shared plumbing for the table/figure benches: dataset construction
+// (paper-scale or host-scale), the four Table-I methods as uniform
+// runners, and small report helpers.
+//
+// Host-scale vs paper-scale: every bench accepts --paper to run the full
+// configuration from the paper (200-image BBBC005 at 520x696, d=10000,
+// 100-channel baseline at 1000 iterations, ...). The default host scale
+// (documented in DESIGN.md §4) preserves every comparison's shape while
+// finishing in minutes on a laptop-class single core.
+#ifndef SEGHDC_BENCH_BENCH_COMMON_HPP
+#define SEGHDC_BENCH_BENCH_COMMON_HPP
+
+#include <memory>
+#include <string>
+
+#include "src/baseline/kim_segmenter.hpp"
+#include "src/core/seghdc.hpp"
+#include "src/datasets/bbbc005.hpp"
+#include "src/datasets/dataset.hpp"
+#include "src/datasets/dsb2018.hpp"
+#include "src/datasets/monuseg.hpp"
+#include "src/imaging/filters.hpp"
+#include "src/metrics/segmentation_metrics.hpp"
+#include "src/util/stopwatch.hpp"
+
+namespace seghdc::bench {
+
+/// Scale of a bench run.
+struct Scale {
+  bool paper = false;            ///< --paper flag
+  std::size_t images = 12;       ///< images per dataset (Table I)
+  std::size_t seghdc_dim = 2000; ///< d for Table I (paper: 10000)
+  std::size_t kim_channels = 32; ///< baseline width (paper: 100)
+  std::size_t kim_iterations = 60;  ///< baseline budget (paper: 1000)
+  /// Downscale factor applied to the image before baseline training
+  /// (labels are upsampled back for scoring); 1 = train at full size.
+  std::size_t kim_train_downscale = 2;
+  std::size_t quantization_shift = 2;  ///< SegHDC color quantisation
+
+  static Scale host() { return Scale{}; }
+  static Scale paper_scale() {
+    Scale s;
+    s.paper = true;
+    s.images = 200;
+    s.seghdc_dim = 10000;
+    s.kim_channels = 100;
+    s.kim_iterations = 1000;
+    s.kim_train_downscale = 1;
+    s.quantization_shift = 0;
+    return s;
+  }
+};
+
+enum class DatasetId { kBbbc005, kDsb2018, kMonuseg };
+
+inline const char* dataset_name(DatasetId id) {
+  switch (id) {
+    case DatasetId::kBbbc005:
+      return "BBBC005";
+    case DatasetId::kDsb2018:
+      return "DSB2018";
+    case DatasetId::kMonuseg:
+      return "MoNuSeg";
+  }
+  return "?";
+}
+
+/// Builds a generator; host scale halves the big BBBC005 frames.
+inline std::unique_ptr<data::DatasetGenerator> make_dataset(
+    DatasetId id, const Scale& scale) {
+  switch (id) {
+    case DatasetId::kBbbc005: {
+      data::Bbbc005Config config;
+      if (!scale.paper) {
+        config.width = 348;
+        config.height = 260;
+        config.min_radius = 8.0;
+        config.max_radius = 15.0;
+      }
+      return std::make_unique<data::Bbbc005Generator>(config);
+    }
+    case DatasetId::kDsb2018:
+      return std::make_unique<data::Dsb2018Generator>();
+    case DatasetId::kMonuseg:
+      return std::make_unique<data::MonusegGenerator>();
+  }
+  throw std::invalid_argument("unknown dataset");
+}
+
+/// Paper Section IV-A hyper-parameters for one dataset.
+inline core::SegHdcConfig seghdc_config_for(
+    const data::DatasetGenerator& dataset, const Scale& scale) {
+  core::SegHdcConfig config;
+  config.dim = scale.seghdc_dim;
+  config.alpha = 0.2;
+  config.gamma = 1;
+  config.beta = dataset.profile().suggested_beta;
+  config.clusters = dataset.profile().suggested_clusters;
+  config.iterations = 10;
+  config.color_quantization_shift = scale.quantization_shift;
+  return config;
+}
+
+inline baseline::KimConfig kim_config_for(const Scale& scale) {
+  baseline::KimConfig config;
+  config.feature_channels = scale.kim_channels;
+  config.max_iterations = scale.kim_iterations;
+  return config;
+}
+
+/// Uniform per-image result for the method runners.
+struct MethodRun {
+  double iou = 0.0;
+  double seconds = 0.0;
+  img::ImageU8 mask;       ///< best-matched foreground mask
+  img::LabelMap labels;    ///< raw labels
+  std::size_t label_count = 0;
+};
+
+inline MethodRun run_seghdc(const core::SegHdcConfig& config,
+                            const data::Sample& sample) {
+  const core::SegHdc seghdc(config);
+  const auto result = seghdc.segment(sample.image);
+  const auto matched = metrics::best_foreground_iou(
+      result.labels, config.clusters, sample.mask);
+  MethodRun run;
+  run.iou = matched.iou;
+  run.seconds = result.timings.total_seconds;
+  run.mask = matched.mask;
+  run.labels = result.labels;
+  run.label_count = config.clusters;
+  return run;
+}
+
+/// Baseline runner: optionally trains at reduced resolution (DESIGN.md
+/// §4) and scores the upsampled labels at full resolution.
+inline MethodRun run_kim(const baseline::KimConfig& config,
+                         const data::Sample& sample,
+                         std::size_t train_downscale) {
+  const util::Stopwatch watch;
+  img::ImageU8 train_image = sample.image;
+  if (train_downscale > 1) {
+    train_image = img::resize_bilinear(
+        sample.image, sample.image.width() / train_downscale,
+        sample.image.height() / train_downscale);
+  }
+  const baseline::KimSegmenter segmenter(config);
+  auto result = segmenter.segment(train_image);
+  img::LabelMap labels = result.labels;
+  if (train_downscale > 1) {
+    labels = img::resize_nearest(labels, sample.image.width(),
+                                 sample.image.height());
+  }
+  const auto matched = metrics::best_foreground_iou_any(labels, sample.mask);
+  MethodRun run;
+  run.iou = matched.iou;
+  run.seconds = watch.seconds();
+  run.mask = matched.mask;
+  run.labels = labels;
+  run.label_count = result.label_count;
+  return run;
+}
+
+}  // namespace seghdc::bench
+
+#endif  // SEGHDC_BENCH_BENCH_COMMON_HPP

@@ -1,0 +1,104 @@
+// google-benchmark micro benches for the HDC substrate and the SegHDC
+// pipeline stages — the op-level costs underlying the Table II model.
+#include <benchmark/benchmark.h>
+
+#include "src/core/color_encoder.hpp"
+#include "src/core/position_encoder.hpp"
+#include "src/core/seghdc.hpp"
+#include "src/datasets/dsb2018.hpp"
+#include "src/hdc/accumulator.hpp"
+#include "src/hdc/hypervector.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace seghdc;
+
+void BM_HvXor(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto a = hdc::HyperVector::random(dim, rng);
+  const auto b = hdc::HyperVector::random(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a ^ b);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_HvXor)->Arg(800)->Arg(2000)->Arg(10000);
+
+void BM_HvHamming(benchmark::State& state) {
+  util::Rng rng(2);
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto a = hdc::HyperVector::random(dim, rng);
+  const auto b = hdc::HyperVector::random(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdc::HyperVector::hamming(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_HvHamming)->Arg(800)->Arg(2000)->Arg(10000);
+
+void BM_AccumulatorDot(benchmark::State& state) {
+  util::Rng rng(3);
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  hdc::Accumulator acc(dim);
+  for (int i = 0; i < 32; ++i) {
+    acc.add(hdc::HyperVector::random(dim, rng));
+  }
+  const auto probe = hdc::HyperVector::random(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acc.dot(probe));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_AccumulatorDot)->Arg(800)->Arg(2000)->Arg(10000);
+
+void BM_PositionEncoderBuild(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    util::Rng rng(4);
+    const core::PositionEncoder encoder(
+        core::PositionEncoderConfig{
+            .dim = dim, .rows = 256, .cols = 320,
+            .encoding = core::PositionEncoding::kBlockDecayManhattan,
+            .alpha = 0.2, .beta = 26},
+        rng);
+    benchmark::DoNotOptimize(encoder.distinct_rows());
+  }
+}
+BENCHMARK(BM_PositionEncoderBuild)->Arg(800)->Arg(10000);
+
+void BM_ColorEncoderBuild(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    util::Rng rng(5);
+    const core::ColorEncoder encoder(
+        core::ColorEncoderConfig{.dim = dim, .channels = 3}, rng);
+    benchmark::DoNotOptimize(encoder.channel_dim(0));
+  }
+}
+BENCHMARK(BM_ColorEncoderBuild)->Arg(800)->Arg(10000);
+
+void BM_SegHdcEncodeImage(benchmark::State& state) {
+  const data::Dsb2018Generator dataset;
+  const auto sample = dataset.generate(0);
+  core::SegHdcConfig config;
+  config.dim = static_cast<std::size_t>(state.range(0));
+  config.beta = 26;
+  config.color_quantization_shift = 2;
+  const core::SegHdc seghdc(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seghdc.segment(sample.image).unique_points);
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(sample.image.pixel_count()));
+}
+BENCHMARK(BM_SegHdcEncodeImage)->Arg(800)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

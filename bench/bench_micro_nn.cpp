@@ -1,0 +1,86 @@
+// google-benchmark micro benches for the NN runtime backing the CNN
+// baseline: conv forward/backward and batch-norm throughput. The MAC
+// rates measured here ground the device model's assumption that the
+// baseline's cost is conv-GEMM-bound.
+#include <benchmark/benchmark.h>
+
+#include "src/nn/batchnorm.hpp"
+#include "src/nn/conv2d.hpp"
+#include "src/nn/loss.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace seghdc;
+
+void BM_Conv3x3Forward(benchmark::State& state) {
+  const auto channels = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  nn::Conv2d conv(channels, channels, 3, rng);
+  nn::Tensor input(channels, 64, 80);
+  for (auto& v : input.values()) {
+    v = static_cast<float>(rng.next_double());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(input).size());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(nn::Conv2d::forward_macs(
+          channels, channels, 3, 64, 80)));
+}
+BENCHMARK(BM_Conv3x3Forward)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_Conv3x3Backward(benchmark::State& state) {
+  const auto channels = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  nn::Conv2d conv(channels, channels, 3, rng);
+  nn::Tensor input(channels, 64, 80);
+  for (auto& v : input.values()) {
+    v = static_cast<float>(rng.next_double());
+  }
+  const nn::Tensor output = conv.forward(input);
+  nn::Tensor grad(output.channels(), output.height(), output.width(), 1e-3F);
+  for (auto _ : state) {
+    conv.zero_grad();
+    benchmark::DoNotOptimize(conv.backward(grad).size());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(2 * nn::Conv2d::forward_macs(
+                                        channels, channels, 3, 64, 80)));
+}
+BENCHMARK(BM_Conv3x3Backward)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_BatchNormForward(benchmark::State& state) {
+  util::Rng rng(3);
+  nn::BatchNorm2d bn(32);
+  nn::Tensor input(32, 64, 80);
+  for (auto& v : input.values()) {
+    v = static_cast<float>(rng.next_gaussian());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bn.forward(input).size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(input.size()));
+}
+BENCHMARK(BM_BatchNormForward);
+
+void BM_SoftmaxCrossEntropy(benchmark::State& state) {
+  util::Rng rng(4);
+  nn::Tensor logits(32, 64, 80);
+  for (auto& v : logits.values()) {
+    v = static_cast<float>(rng.next_gaussian());
+  }
+  const auto targets = nn::argmax_labels(logits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nn::softmax_cross_entropy(logits, targets).loss);
+  }
+}
+BENCHMARK(BM_SoftmaxCrossEntropy)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

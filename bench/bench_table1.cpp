@@ -1,0 +1,111 @@
+// Reproduces paper TABLE I: mean IoU on the three nuclei suites for the
+// CNN baseline (BL, Kim et al. 2020), the two encoding ablations
+// (RPos = random position HVs, RColor = random color HVs) and SegHDC.
+//
+// Paper reference values:
+//   dataset   BL      RPos    RColor  SegHDC  improvement
+//   BBBC005   0.7490  0.0361  0.1016  0.9414  25.7%
+//   DSB2018   0.6281  0.1172  0.2352  0.8038  28.0%
+//   MoNuSeg   0.5088  0.1959  0.3832  0.5509  8.27%
+//
+//   ./bench_table1 [--images 24] [--paper] [--skip-baseline]
+//                  [--datasets BBBC005,DSB2018,MoNuSeg] [--out out]
+#include <cstdio>
+#include <exception>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/csv.hpp"
+
+namespace {
+
+using namespace seghdc;
+
+struct Row {
+  const char* dataset;
+  double bl = 0.0, rpos = 0.0, rcolor = 0.0, seghdc = 0.0;
+  /// Relative improvement over the baseline in percent — the paper's
+  /// "Improvement" column (e.g. 0.8038 vs 0.6281 = 28.0%).
+  double improvement_percent() const {
+    return bl > 0.0 ? (seghdc / bl - 1.0) * 100.0 : 0.0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const util::Cli cli(argc, argv);
+  bench::Scale scale = cli.get_flag("paper") ? bench::Scale::paper_scale()
+                                             : bench::Scale::host();
+  scale.images = static_cast<std::size_t>(
+      cli.get_int("images", static_cast<std::int64_t>(scale.images)));
+  const bool skip_baseline = cli.get_flag("skip-baseline");
+  const auto out_dir = cli.get("out", "out");
+  util::ensure_directory(out_dir);
+
+  const auto selected = cli.get("datasets", "BBBC005,DSB2018,MoNuSeg");
+
+  util::CsvWriter csv(out_dir + "/table1.csv",
+                      {"dataset", "BL", "RPos", "RColor", "SegHDC",
+                       "improvement_percent"});
+
+  std::printf("TABLE I: IoU score on 3 datasets (%zu images each%s)\n",
+              scale.images, scale.paper ? ", paper scale" : "");
+  std::printf("%-10s %8s %8s %8s %8s %14s\n", "Dataset", "BL", "RPos",
+              "RColor", "SegHDC", "Improvement");
+
+  std::vector<Row> rows;
+  for (const auto id : {bench::DatasetId::kBbbc005,
+                        bench::DatasetId::kDsb2018,
+                        bench::DatasetId::kMonuseg}) {
+    if (selected.find(bench::dataset_name(id)) == std::string::npos) {
+      continue;
+    }
+    const auto dataset = bench::make_dataset(id, scale);
+    const auto seghdc_config = bench::seghdc_config_for(*dataset, scale);
+    const auto kim_config = bench::kim_config_for(scale);
+
+    std::vector<double> iou_bl, iou_rpos, iou_rcolor, iou_seghdc;
+    for (std::size_t i = 0; i < scale.images; ++i) {
+      const auto sample = dataset->generate(i);
+      iou_seghdc.push_back(bench::run_seghdc(seghdc_config, sample).iou);
+      iou_rpos.push_back(
+          bench::run_seghdc(seghdc_config.rpos_variant(), sample).iou);
+      iou_rcolor.push_back(
+          bench::run_seghdc(seghdc_config.rcolor_variant(), sample).iou);
+      if (!skip_baseline) {
+        iou_bl.push_back(
+            bench::run_kim(kim_config, sample, scale.kim_train_downscale)
+                .iou);
+      }
+    }
+
+    Row row;
+    row.dataset = bench::dataset_name(id);
+    row.bl = metrics::mean(iou_bl);
+    row.rpos = metrics::mean(iou_rpos);
+    row.rcolor = metrics::mean(iou_rcolor);
+    row.seghdc = metrics::mean(iou_seghdc);
+    rows.push_back(row);
+
+    std::printf("%-10s %8.4f %8.4f %8.4f %8.4f %12.1f%%\n", row.dataset,
+                row.bl, row.rpos, row.rcolor, row.seghdc,
+                row.improvement_percent());
+    csv.row({row.dataset, util::CsvWriter::field(row.bl),
+             util::CsvWriter::field(row.rpos),
+             util::CsvWriter::field(row.rcolor),
+             util::CsvWriter::field(row.seghdc),
+             util::CsvWriter::field(row.improvement_percent())});
+  }
+
+  std::printf("\npaper reference: BBBC005 0.9414 vs 0.7490 | DSB2018 "
+              "0.8038 vs 0.6281 | MoNuSeg 0.5509 vs 0.5088\n");
+  std::printf("expected shape: SegHDC > BL >> RColor > RPos on every "
+              "dataset\n");
+  std::printf("csv: %s/table1.csv\n", out_dir.c_str());
+  return 0;
+} catch (const std::exception& error) {
+  std::fprintf(stderr, "bench_table1 failed: %s\n", error.what());
+  return 1;
+}

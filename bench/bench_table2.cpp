@@ -1,0 +1,164 @@
+// Reproduces paper TABLE II: single-image latency & memory on the
+// Raspberry Pi 4 for a DSB2018 image (256x320x3) and a BBBC005 image
+// (520x696x1).
+//
+// Paper reference:
+//   DSB2018 image:  BL IoU 0.7612, 11453 s  | SegHDC IoU 0.8275, 35.8 s
+//                   (319.9x speedup)
+//   BBBC005 image:  BL OUT OF MEMORY        | SegHDC IoU 0.9587, 178.31 s
+//
+// This bench runs both methods on the host (baseline at host scale; pass
+// --paper for the full 100-channel/1000-iteration baseline), measures
+// host latency and IoU, and projects Pi latency and peak memory through
+// the device model. SegHDC hyper-parameters follow the paper: DSB image
+// d=800, 3 iterations, alpha=1; BBBC image d=2000, 3 iterations,
+// alpha=0.8.
+//
+//   ./bench_table2 [--paper] [--skip-baseline] [--out out]
+#include <cstdio>
+#include <exception>
+
+#include "bench_common.hpp"
+#include "src/device/latency_model.hpp"
+#include "src/device/memory_model.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/csv.hpp"
+
+namespace {
+
+using namespace seghdc;
+
+struct ImageCase {
+  const char* label;
+  bench::DatasetId dataset;
+  std::size_t dim;
+  double alpha;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const util::Cli cli(argc, argv);
+  const bool paper = cli.get_flag("paper");
+  const bool skip_baseline = cli.get_flag("skip-baseline");
+  const auto out_dir = cli.get("out", "out");
+  util::ensure_directory(out_dir);
+
+  const auto pi = device::DeviceSpec::raspberry_pi_4b();
+  bench::Scale scale =
+      paper ? bench::Scale::paper_scale() : bench::Scale::host();
+
+  util::CsvWriter csv(
+      out_dir + "/table2.csv",
+      {"method", "image", "iou", "host_seconds", "pi_seconds",
+       "pi_peak_mem_mb", "fits_pi", "speedup_vs_bl"});
+
+  // Paper Section IV-B: per-image hyper-parameters of the latency runs.
+  const ImageCase cases[] = {
+      {"DSB2018 256x320x3", bench::DatasetId::kDsb2018, 800, 1.0},
+      {"BBBC005 520x696x1", bench::DatasetId::kBbbc005, 2000, 0.8},
+  };
+
+  std::printf("TABLE II: latency on Raspberry Pi for one image\n");
+  std::printf("%-8s %-20s %8s %12s %12s %14s %8s\n", "Method", "Image",
+              "IoU", "host (s)", "Pi (s)", "Pi peak mem", "fits?");
+
+  for (const auto& image_case : cases) {
+    // Table II uses the full-size image even at host scale.
+    bench::Scale full_scale = scale;
+    full_scale.paper = true;  // full-size dataset geometry
+    const auto dataset =
+        bench::make_dataset(image_case.dataset, full_scale);
+    const auto sample = dataset->generate(0);
+    const std::size_t pixels = sample.image.pixel_count();
+
+    // --- Baseline (reference configuration for the projections). ---
+    baseline::KimConfig kim_reference;  // 100 ch / 1000 iters
+    const auto kim_memory = device::estimate_kim_memory(
+        kim_reference, sample.image.channels(), sample.image.height(),
+        sample.image.width());
+    const device::KimWorkload kim_workload{
+        .config = kim_reference,
+        .channels = sample.image.channels(),
+        .height = sample.image.height(),
+        .width = sample.image.width(),
+        .iterations = kim_reference.max_iterations,
+    };
+    const double kim_pi_seconds =
+        device::project_kim_latency(pi, kim_workload);
+
+    double bl_iou = 0.0;
+    double bl_host_seconds = 0.0;
+    const bool bl_fits = kim_memory.fits(pi);
+    if (!skip_baseline && bl_fits) {
+      const auto kim_config = bench::kim_config_for(scale);
+      const auto run = bench::run_kim(kim_config, sample,
+                                      scale.kim_train_downscale);
+      bl_iou = run.iou;
+      bl_host_seconds = run.seconds;
+    }
+
+    if (bl_fits) {
+      std::printf("%-8s %-20s %8.4f %12.2f %12.1f %11.0f MB %8s\n", "BL",
+                  image_case.label, bl_iou, bl_host_seconds,
+                  kim_pi_seconds,
+                  static_cast<double>(kim_memory.peak_bytes()) / (1 << 20),
+                  "yes");
+    } else {
+      std::printf("%-8s %-20s %8s %12s %12s %11.0f MB %8s\n", "BL",
+                  image_case.label, "x*", "-", "-",
+                  static_cast<double>(kim_memory.peak_bytes()) / (1 << 20),
+                  "OOM");
+    }
+    csv.row({"BL", image_case.label,
+             bl_fits ? util::CsvWriter::field(bl_iou) : "OOM",
+             util::CsvWriter::field(bl_host_seconds),
+             util::CsvWriter::field(kim_pi_seconds),
+             util::CsvWriter::field(
+                 static_cast<double>(kim_memory.peak_bytes()) / (1 << 20)),
+             bl_fits ? "1" : "0", "1"});
+
+    // --- SegHDC with the paper's per-image latency configuration. ---
+    auto config = bench::seghdc_config_for(*dataset, full_scale);
+    config.dim = image_case.dim;
+    config.alpha = image_case.alpha;
+    config.iterations = 3;
+    config.color_quantization_shift = paper ? 0 : 2;
+    const auto run = bench::run_seghdc(config, sample);
+
+    const device::SegHdcWorkload workload{
+        .pixels = pixels,
+        .dim = config.dim,
+        .clusters = config.clusters,
+        .iterations = config.iterations,
+    };
+    const double pi_seconds = device::project_seghdc_latency(pi, workload);
+    const auto memory = device::estimate_seghdc_memory(
+        config, sample.image.height(), sample.image.width());
+    const double speedup = bl_fits ? kim_pi_seconds / pi_seconds : 0.0;
+
+    std::printf("%-8s %-20s %8.4f %12.2f %12.1f %11.0f MB %8s", "SegHDC",
+                image_case.label, run.iou, run.seconds, pi_seconds,
+                static_cast<double>(memory.peak_bytes()) / (1 << 20),
+                memory.fits(pi) ? "yes" : "OOM");
+    if (bl_fits) {
+      std::printf("   (%.1fx speedup)", speedup);
+    }
+    std::printf("\n");
+    csv.row({"SegHDC", image_case.label, util::CsvWriter::field(run.iou),
+             util::CsvWriter::field(run.seconds),
+             util::CsvWriter::field(pi_seconds),
+             util::CsvWriter::field(
+                 static_cast<double>(memory.peak_bytes()) / (1 << 20)),
+             memory.fits(pi) ? "1" : "0",
+             util::CsvWriter::field(speedup)});
+  }
+
+  std::printf("\npaper reference: DSB 35.8 s vs 11453 s (319.9x); BBBC "
+              "178.31 s vs OOM\n");
+  std::printf("csv: %s/table2.csv\n", out_dir.c_str());
+  return 0;
+} catch (const std::exception& error) {
+  std::fprintf(stderr, "bench_table2 failed: %s\n", error.what());
+  return 1;
+}

@@ -1,0 +1,94 @@
+// Edge-deployment planner: before shipping a segmentation workload to a
+// device, project latency and peak memory for both SegHDC and the CNN
+// baseline across candidate image sizes — the decision Table II of the
+// paper boils down to ("the baseline OOMs at 520x696; SegHDC runs in
+// minutes").
+//
+//   ./edge_planner [--dim 2000] [--iterations 3]
+#include <cstdio>
+#include <exception>
+
+#include "src/device/latency_model.hpp"
+#include "src/device/memory_model.hpp"
+#include "src/util/cli.hpp"
+
+namespace {
+
+struct Candidate {
+  const char* label;
+  std::size_t width, height, channels;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const seghdc::util::Cli cli(argc, argv);
+  const auto dim = static_cast<std::size_t>(cli.get_int("dim", 2000));
+  const auto iterations =
+      static_cast<std::size_t>(cli.get_int("iterations", 3));
+
+  const auto pi = seghdc::device::DeviceSpec::raspberry_pi_4b();
+  std::printf("target device: %s\n  %s, %.1f GB RAM (%.1f GB usable)\n\n",
+              pi.name.c_str(), pi.cpu.c_str(),
+              static_cast<double>(pi.mem_total_bytes) / (1 << 30),
+              static_cast<double>(pi.mem_available_bytes) / (1 << 30));
+
+  const Candidate candidates[] = {
+      {"QVGA gray", 320, 240, 1},
+      {"DSB2018 tile", 320, 256, 3},
+      {"BBBC005 full", 696, 520, 1},
+      {"1 MP gray", 1024, 1024, 1},
+  };
+
+  seghdc::baseline::KimConfig kim;  // reference configuration
+  seghdc::core::SegHdcConfig seghdc_config;
+  seghdc_config.dim = dim;
+  seghdc_config.iterations = iterations;
+
+  std::printf("%-14s | %-24s | %-24s\n", "workload", "SegHDC (proj.)",
+              "CNN baseline (proj.)");
+  std::printf("%-14s | %-11s %-12s | %-11s %-12s\n", "", "latency",
+              "peak mem", "latency", "peak mem");
+  for (const auto& c : candidates) {
+    const seghdc::device::SegHdcWorkload hdc_load{
+        .pixels = c.width * c.height,
+        .dim = dim,
+        .clusters = 2,
+        .iterations = iterations,
+    };
+    const double hdc_latency =
+        seghdc::device::project_seghdc_latency(pi, hdc_load);
+    const auto hdc_memory = seghdc::device::estimate_seghdc_memory(
+        seghdc_config, c.height, c.width);
+
+    const seghdc::device::KimWorkload kim_load{
+        .config = kim,
+        .channels = c.channels,
+        .height = c.height,
+        .width = c.width,
+        .iterations = kim.max_iterations,
+    };
+    const double kim_latency =
+        seghdc::device::project_kim_latency(pi, kim_load);
+    const auto kim_memory =
+        seghdc::device::estimate_kim_memory(kim, c.channels, c.height,
+                                            c.width);
+
+    char hdc_mem[32];
+    char kim_mem[32];
+    std::snprintf(hdc_mem, sizeof hdc_mem, "%.0f MB %s",
+                  static_cast<double>(hdc_memory.peak_bytes()) / (1 << 20),
+                  hdc_memory.fits(pi) ? "ok" : "OOM!");
+    std::snprintf(kim_mem, sizeof kim_mem, "%.0f MB %s",
+                  static_cast<double>(kim_memory.peak_bytes()) / (1 << 20),
+                  kim_memory.fits(pi) ? "ok" : "OOM!");
+    std::printf("%-14s | %9.1fs  %-12s | %9.0fs  %-12s\n", c.label,
+                hdc_latency, hdc_mem, kim_latency, kim_mem);
+  }
+  std::printf("\nCNN projections assume the reference configuration "
+              "(100 channels, %zu iterations).\n", kim.max_iterations);
+  return 0;
+} catch (const std::exception& error) {
+  std::fprintf(stderr, "edge_planner failed: %s\n", error.what());
+  return 1;
+}

@@ -1,0 +1,100 @@
+// Compare segmentation methods on equal footing with the eval API:
+// SegHDC vs the Otsu classical baseline (and optionally the CNN
+// baseline with --with-cnn) over any of the three synthetic suites.
+//
+//   ./method_comparison [--dataset DSB2018] [--images 6] [--with-cnn]
+//                       [--out out/comparison]
+#include <cstdio>
+#include <exception>
+#include <memory>
+
+#include "src/datasets/bbbc005.hpp"
+#include "src/datasets/dsb2018.hpp"
+#include "src/datasets/monuseg.hpp"
+#include "src/eval/suite.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/csv.hpp"
+
+namespace {
+
+using namespace seghdc;
+
+std::unique_ptr<data::DatasetGenerator> make_dataset(
+    const std::string& name) {
+  if (name == "BBBC005") {
+    data::Bbbc005Config config;
+    config.width = 348;  // host-scale frame
+    config.height = 260;
+    config.min_radius = 8.0;
+    config.max_radius = 15.0;
+    return std::make_unique<data::Bbbc005Generator>(config);
+  }
+  if (name == "DSB2018") {
+    return std::make_unique<data::Dsb2018Generator>();
+  }
+  if (name == "MoNuSeg") {
+    return std::make_unique<data::MonusegGenerator>();
+  }
+  throw std::invalid_argument("unknown dataset '" + name +
+                              "' (BBBC005|DSB2018|MoNuSeg)");
+}
+
+void report(const eval::SuiteResult& result) {
+  std::printf("%-10s %8.4f %8.4f %8.4f %8.4f %10.2fs\n",
+              result.method.c_str(), result.mean_iou(),
+              result.stddev_iou(), result.min_iou(), result.max_iou(),
+              result.mean_seconds());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const util::Cli cli(argc, argv);
+  const auto dataset_name = cli.get("dataset", "DSB2018");
+  const auto images = static_cast<std::size_t>(cli.get_int("images", 6));
+  const auto out_dir = cli.get("out", "out/comparison");
+  util::ensure_directory(out_dir);
+
+  const auto dataset = make_dataset(dataset_name);
+  std::printf("dataset: %s, %zu images\n\n", dataset_name.c_str(), images);
+  std::printf("%-10s %8s %8s %8s %8s %11s\n", "method", "mean", "std",
+              "min", "max", "s/image");
+
+  core::SegHdcConfig config;
+  config.dim = 2000;
+  config.beta = dataset->profile().suggested_beta;
+  config.clusters = dataset->profile().suggested_clusters;
+  config.iterations = 10;
+  config.color_quantization_shift = 2;
+
+  const auto seghdc_result = eval::evaluate_suite(
+      *dataset, images, "SegHDC", eval::seghdc_method(config));
+  report(seghdc_result);
+  eval::write_suite_csv(seghdc_result, out_dir + "/seghdc.csv");
+
+  const auto otsu_result = eval::evaluate_suite(
+      *dataset, images, "Otsu", eval::otsu_method());
+  report(otsu_result);
+  eval::write_suite_csv(otsu_result, out_dir + "/otsu.csv");
+
+  const auto otsu_eq_result = eval::evaluate_suite(
+      *dataset, images, "Otsu+eq", eval::otsu_method(true));
+  report(otsu_eq_result);
+  eval::write_suite_csv(otsu_eq_result, out_dir + "/otsu_eq.csv");
+
+  if (cli.get_flag("with-cnn")) {
+    baseline::KimConfig kim;
+    kim.feature_channels = 32;
+    kim.max_iterations = 60;
+    const auto kim_result = eval::evaluate_suite(
+        *dataset, images, "CNN-BL", eval::kim_method(kim, 2));
+    report(kim_result);
+    eval::write_suite_csv(kim_result, out_dir + "/cnn.csv");
+  }
+
+  std::printf("\nper-image CSVs under %s/\n", out_dir.c_str());
+  return 0;
+} catch (const std::exception& error) {
+  std::fprintf(stderr, "method_comparison failed: %s\n", error.what());
+  return 1;
+}

@@ -1,0 +1,61 @@
+// Digital-pathology scenario (the workload MoNuSeg models): 3-way
+// clustering of an H&E tissue tile — nuclei vs. cytoplasm/gland tissue
+// vs. stroma — exactly the k=3 configuration the paper uses for
+// MoNuSeg. Writes the color-coded cluster map next to the input and
+// reports nuclei IoU after optimal cluster matching.
+//
+//   ./pathology_multiclass [--dim 4000] [--tiles 3] [--out out/pathology]
+#include <cstdio>
+#include <exception>
+
+#include "src/core/seghdc.hpp"
+#include "src/datasets/monuseg.hpp"
+#include "src/imaging/color.hpp"
+#include "src/imaging/pnm.hpp"
+#include "src/metrics/segmentation_metrics.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/csv.hpp"
+
+int main(int argc, char** argv) try {
+  const seghdc::util::Cli cli(argc, argv);
+  const auto tiles = static_cast<std::size_t>(cli.get_int("tiles", 3));
+  const auto out_dir = cli.get("out", "out/pathology");
+  seghdc::util::ensure_directory(out_dir);
+
+  const seghdc::data::MonusegGenerator dataset;
+
+  seghdc::core::SegHdcConfig config;
+  config.dim = static_cast<std::size_t>(cli.get_int("dim", 4000));
+  config.beta = dataset.profile().suggested_beta;          // 26
+  config.clusters = dataset.profile().suggested_clusters;  // 3
+  config.iterations = 10;
+  // Color dominates position on busy histology texture; gamma > 1
+  // re-weights toward color exactly as Section III-③ describes.
+  config.gamma = static_cast<std::size_t>(cli.get_int("gamma", 2));
+  const seghdc::core::SegHdc seghdc(config);
+
+  std::printf("%-14s %8s %10s %12s %9s\n", "tile", "nuclei", "clusters",
+              "nuclei_iou", "seconds");
+  for (std::size_t i = 0; i < tiles; ++i) {
+    const auto sample = dataset.generate(i);
+    const auto result = seghdc.segment(sample.image);
+    const auto matched = seghdc::metrics::best_foreground_iou(
+        result.labels, config.clusters, sample.mask);
+
+    std::printf("%-14s %8zu %10zu %12.4f %8.2fs\n", sample.id.c_str(),
+                sample.instance_count, result.clusters, matched.iou,
+                result.timings.total_seconds);
+
+    const auto prefix = out_dir + "/" + sample.id;
+    seghdc::img::write_ppm(sample.image, prefix + "_image.ppm");
+    seghdc::img::write_ppm(seghdc::img::colorize_labels(result.labels),
+                           prefix + "_clusters.ppm");
+    seghdc::img::write_pgm(matched.mask, prefix + "_nuclei.pgm");
+    seghdc::img::write_pgm(sample.mask, prefix + "_truth.pgm");
+  }
+  std::printf("tiles written under %s/\n", out_dir.c_str());
+  return 0;
+} catch (const std::exception& error) {
+  std::fprintf(stderr, "pathology_multiclass failed: %s\n", error.what());
+  return 1;
+}

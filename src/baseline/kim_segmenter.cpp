@@ -1,0 +1,214 @@
+#include "src/baseline/kim_segmenter.hpp"
+
+#include <unordered_map>
+
+#include "src/nn/activations.hpp"
+#include "src/nn/batchnorm.hpp"
+#include "src/nn/conv2d.hpp"
+#include "src/nn/loss.hpp"
+#include "src/nn/optimizer.hpp"
+#include "src/util/contracts.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/stopwatch.hpp"
+
+namespace seghdc::baseline {
+
+void KimConfig::validate() const {
+  util::expects(feature_channels >= 2,
+                "KimConfig.feature_channels must be >= 2");
+  util::expects(conv_layers >= 1, "KimConfig.conv_layers must be >= 1");
+  util::expects(max_iterations >= 1,
+                "KimConfig.max_iterations must be >= 1");
+  util::expects(min_labels >= 1, "KimConfig.min_labels must be >= 1");
+  util::expects(learning_rate > 0.0,
+                "KimConfig.learning_rate must be positive");
+  util::expects(momentum >= 0.0 && momentum < 1.0,
+                "KimConfig.momentum must be in [0, 1)");
+  util::expects(similarity_weight >= 0.0 && continuity_weight >= 0.0,
+                "KimConfig loss weights must be non-negative");
+}
+
+KimSegmenter::KimSegmenter(const KimConfig& config) : config_(config) {
+  config_.validate();
+}
+
+namespace {
+
+/// The reference architecture: nConv x (3x3 conv -> ReLU -> BN) followed
+/// by a 1x1 conv -> BN head. Owns layers and wires the optimizer.
+struct KimNet {
+  std::vector<nn::Conv2d> convs;
+  std::vector<nn::ReLU> relus;
+  std::vector<nn::BatchNorm2d> norms;
+  nn::Conv2d head;
+  nn::BatchNorm2d head_norm;
+
+  KimNet(std::size_t in_channels, std::size_t features,
+         std::size_t conv_layers, util::Rng& rng)
+      : head(features, features, 1, rng), head_norm(features) {
+    convs.reserve(conv_layers);
+    relus.resize(conv_layers);
+    norms.reserve(conv_layers);
+    for (std::size_t layer = 0; layer < conv_layers; ++layer) {
+      const std::size_t in = layer == 0 ? in_channels : features;
+      convs.emplace_back(in, features, 3, rng);
+      norms.emplace_back(features);
+    }
+  }
+
+  void register_parameters(nn::SgdMomentum& optimizer) {
+    for (std::size_t layer = 0; layer < convs.size(); ++layer) {
+      optimizer.add_parameters(convs[layer].weights(),
+                               convs[layer].weight_grad());
+      optimizer.add_parameters(convs[layer].bias(),
+                               convs[layer].bias_grad());
+      optimizer.add_parameters(norms[layer].gamma(),
+                               norms[layer].gamma_grad());
+      optimizer.add_parameters(norms[layer].beta(),
+                               norms[layer].beta_grad());
+    }
+    optimizer.add_parameters(head.weights(), head.weight_grad());
+    optimizer.add_parameters(head.bias(), head.bias_grad());
+    optimizer.add_parameters(head_norm.gamma(), head_norm.gamma_grad());
+    optimizer.add_parameters(head_norm.beta(), head_norm.beta_grad());
+  }
+
+  void zero_grad() {
+    for (std::size_t layer = 0; layer < convs.size(); ++layer) {
+      convs[layer].zero_grad();
+      norms[layer].zero_grad();
+    }
+    head.zero_grad();
+    head_norm.zero_grad();
+  }
+
+  nn::Tensor forward(const nn::Tensor& input) {
+    nn::Tensor x = input;
+    for (std::size_t layer = 0; layer < convs.size(); ++layer) {
+      x = convs[layer].forward(x);
+      x = relus[layer].forward(x);
+      x = norms[layer].forward(x);
+    }
+    x = head.forward(x);
+    return head_norm.forward(x);
+  }
+
+  void backward(const nn::Tensor& grad_response) {
+    nn::Tensor g = head_norm.backward(grad_response);
+    g = head.backward(g);
+    for (std::size_t layer = convs.size(); layer-- > 0;) {
+      g = norms[layer].backward(g);
+      g = relus[layer].backward(g);
+      g = convs[layer].backward(g);
+    }
+  }
+};
+
+nn::Tensor image_to_tensor(const img::ImageU8& image) {
+  nn::Tensor tensor(image.channels(), image.height(), image.width());
+  for (std::size_t c = 0; c < image.channels(); ++c) {
+    for (std::size_t y = 0; y < image.height(); ++y) {
+      for (std::size_t x = 0; x < image.width(); ++x) {
+        tensor(c, y, x) = static_cast<float>(image(x, y, c)) / 255.0F;
+      }
+    }
+  }
+  return tensor;
+}
+
+}  // namespace
+
+KimResult KimSegmenter::segment(const img::ImageU8& image) const {
+  util::expects(image.channels() == 1 || image.channels() == 3,
+                "KimSegmenter supports 1- or 3-channel images");
+  util::expects(image.width() >= 2 && image.height() >= 2,
+                "KimSegmenter needs at least a 2x2 image");
+
+  const util::Stopwatch watch;
+  util::Rng rng(config_.seed);
+  const nn::Tensor input = image_to_tensor(image);
+
+  KimNet net(image.channels(), config_.feature_channels,
+             config_.conv_layers, rng);
+  nn::SgdMomentum optimizer(config_.learning_rate, config_.momentum);
+  net.register_parameters(optimizer);
+
+  KimResult result;
+  result.loss_history.reserve(config_.max_iterations);
+  std::vector<std::uint32_t> labels;
+
+  for (std::size_t iter = 0; iter < config_.max_iterations; ++iter) {
+    const nn::Tensor response = net.forward(input);
+    labels = nn::argmax_labels(response);
+    result.iterations_run = iter + 1;
+
+    const std::size_t n_labels = nn::distinct_labels(labels);
+    if (n_labels < config_.min_labels) {
+      result.early_stopped = true;
+      break;
+    }
+
+    const nn::LossResult similarity =
+        nn::softmax_cross_entropy(response, labels);
+    const nn::LossResult continuity = nn::continuity_loss(response);
+
+    nn::Tensor grad(response.channels(), response.height(),
+                    response.width());
+    const auto sim_w = static_cast<float>(config_.similarity_weight);
+    const auto con_w = static_cast<float>(config_.continuity_weight);
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+      grad.data()[i] = sim_w * similarity.grad.data()[i] +
+                       con_w * continuity.grad.data()[i];
+    }
+    result.loss_history.push_back(config_.similarity_weight *
+                                      similarity.loss +
+                                  config_.continuity_weight *
+                                      continuity.loss);
+
+    net.zero_grad();
+    net.backward(grad);
+    optimizer.step();
+  }
+
+  // Final labels from the last computed argmax.
+  result.labels = img::LabelMap(image.width(), image.height(), 1, 0);
+  for (std::size_t y = 0; y < image.height(); ++y) {
+    for (std::size_t x = 0; x < image.width(); ++x) {
+      result.labels(x, y) = labels[y * image.width() + x];
+    }
+  }
+  result.label_count = compact_labels(result.labels);
+  result.train_seconds = watch.seconds();
+  return result;
+}
+
+std::uint64_t KimSegmenter::total_macs(const KimConfig& config,
+                                       std::size_t channels,
+                                       std::size_t height, std::size_t width,
+                                       std::size_t iterations) {
+  std::uint64_t forward = 0;
+  for (std::size_t layer = 0; layer < config.conv_layers; ++layer) {
+    const std::size_t in =
+        layer == 0 ? channels : config.feature_channels;
+    forward += nn::Conv2d::forward_macs(in, config.feature_channels, 3,
+                                        height, width);
+  }
+  forward += nn::Conv2d::forward_macs(config.feature_channels,
+                                      config.feature_channels, 1, height,
+                                      width);
+  // Backward ~ 2x forward (dW GEMM + dX GEMM); BN/ReLU/loss are O(HW)
+  // and negligible next to the conv GEMMs.
+  return forward * 3 * iterations;
+}
+
+std::size_t compact_labels(img::LabelMap& labels) {
+  std::unordered_map<std::uint32_t, std::uint32_t> remap;
+  for (auto& value : labels.pixels()) {
+    const auto [it, inserted] = remap.try_emplace(
+        value, static_cast<std::uint32_t>(remap.size()));
+    value = it->second;
+  }
+  return remap.size();
+}
+
+}  // namespace seghdc::baseline

@@ -1,0 +1,83 @@
+// The paper's baseline (its reference [16]): W. Kim et al.,
+// "Unsupervised Learning of Image Segmentation Based on Differentiable
+// Feature Clustering", IEEE TIP 2020.
+//
+// Per image, a small CNN is trained from scratch against its OWN argmax
+// pseudo-labels plus a spatial continuity regulariser:
+//
+//   net: [3x3 conv -> ReLU -> BN] x nConv  ->  1x1 conv -> BN
+//   loop: response = net(image)
+//         target   = argmax_c response          (pseudo-labels)
+//         stop if #distinct(target) < min_labels
+//         loss = sim * CE(response, target) + con * L1(dy, dx of response)
+//         SGD(momentum) step
+//   output: final argmax labels
+//
+// Reference defaults: 100 channels, nConv = 2, up to 1000 iterations,
+// lr = 0.1, momentum = 0.9 — the configuration whose Raspberry-Pi cost
+// (11,453 s / OOM at 520x696, paper Table II) the device model projects.
+// The host benches run a scaled-down configuration (see DESIGN.md §4).
+#ifndef SEGHDC_BASELINE_KIM_SEGMENTER_HPP
+#define SEGHDC_BASELINE_KIM_SEGMENTER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "src/imaging/image.hpp"
+#include "src/nn/tensor.hpp"
+
+namespace seghdc::baseline {
+
+struct KimConfig {
+  std::size_t feature_channels = 100;  ///< reference: 100
+  std::size_t conv_layers = 2;         ///< nConv; reference: 2
+  std::size_t max_iterations = 1000;   ///< reference: 1000
+  std::size_t min_labels = 3;          ///< early stop when fewer remain
+  double learning_rate = 0.1;
+  double momentum = 0.9;
+  double similarity_weight = 1.0;      ///< stepsize_sim
+  double continuity_weight = 1.0;      ///< stepsize_con
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+struct KimResult {
+  img::LabelMap labels;          ///< raw argmax labels, RELABELLED to 0..L-1
+  std::size_t label_count = 0;   ///< distinct labels in the output
+  std::size_t iterations_run = 0;
+  bool early_stopped = false;
+  double train_seconds = 0.0;
+  std::vector<double> loss_history;
+};
+
+class KimSegmenter {
+ public:
+  explicit KimSegmenter(const KimConfig& config);
+
+  const KimConfig& config() const { return config_; }
+
+  /// Trains on `image` (1 or 3 channels, normalised internally) and
+  /// returns the final label map.
+  KimResult segment(const img::ImageU8& image) const;
+
+  /// Total MACs of one full run at `iterations` iterations over an
+  /// H x W, C-channel image (forward + backward ~ 3x forward). Used by
+  /// the device latency model.
+  static std::uint64_t total_macs(const KimConfig& config,
+                                  std::size_t channels, std::size_t height,
+                                  std::size_t width,
+                                  std::size_t iterations);
+
+ private:
+  KimConfig config_;
+};
+
+/// Renumbers the labels of `labels` to a dense 0..L-1 range (stable:
+/// first-seen order); returns L. Exposed for tests and for mapping the
+/// baseline's up-to-q labels onto the metrics' cluster-count limit.
+std::size_t compact_labels(img::LabelMap& labels);
+
+}  // namespace seghdc::baseline
+
+#endif  // SEGHDC_BASELINE_KIM_SEGMENTER_HPP

@@ -1,0 +1,27 @@
+#include "src/baseline/otsu_segmenter.hpp"
+
+#include "src/imaging/color.hpp"
+#include "src/imaging/filters.hpp"
+#include "src/util/contracts.hpp"
+
+namespace seghdc::baseline {
+
+OtsuResult OtsuSegmenter::segment(const img::ImageU8& image) const {
+  util::expects(image.channels() == 1 || image.channels() == 3,
+                "OtsuSegmenter supports 1- or 3-channel images");
+  img::ImageU8 gray = img::to_gray(image);
+  if (equalize_first_) {
+    gray = img::equalize_histogram(gray);
+  }
+  OtsuResult result;
+  result.threshold = img::otsu_threshold(gray);
+  result.labels = img::LabelMap(gray.width(), gray.height(), 1, 0);
+  for (std::size_t y = 0; y < gray.height(); ++y) {
+    for (std::size_t x = 0; x < gray.width(); ++x) {
+      result.labels(x, y) = gray(x, y) > result.threshold ? 1 : 0;
+    }
+  }
+  return result;
+}
+
+}  // namespace seghdc::baseline

@@ -1,0 +1,35 @@
+// Classical global-threshold segmentation (Otsu) — the "traditional
+// imaging processing" comparator the paper's introduction contrasts
+// learning-based segmentation against. It is essentially free to
+// compute, so it bounds what intensity information alone achieves:
+// everywhere SegHDC beats Otsu, the position encoding and HV clustering
+// are earning their keep (uneven illumination, per-nucleus brightness
+// spread, texture).
+#ifndef SEGHDC_BASELINE_OTSU_SEGMENTER_HPP
+#define SEGHDC_BASELINE_OTSU_SEGMENTER_HPP
+
+#include "src/imaging/image.hpp"
+
+namespace seghdc::baseline {
+
+struct OtsuResult {
+  img::LabelMap labels;       ///< 0 = below threshold, 1 = above
+  std::uint8_t threshold = 0; ///< the Otsu threshold used
+};
+
+class OtsuSegmenter {
+ public:
+  /// Optionally histogram-equalizes before thresholding.
+  explicit OtsuSegmenter(bool equalize_first = false)
+      : equalize_first_(equalize_first) {}
+
+  /// Thresholds the (luma of the) image; 1 or 3 channels.
+  OtsuResult segment(const img::ImageU8& image) const;
+
+ private:
+  bool equalize_first_;
+};
+
+}  // namespace seghdc::baseline
+
+#endif  // SEGHDC_BASELINE_OTSU_SEGMENTER_HPP

@@ -1,0 +1,222 @@
+#include "src/core/kmeans.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+
+#include "src/util/contracts.hpp"
+#include "src/util/parallel.hpp"
+
+namespace seghdc::core {
+
+HvKMeans::HvKMeans(const HvKMeansConfig& config) : config_(config) {
+  util::expects(config_.clusters >= 2 && config_.clusters <= 64,
+                "HvKMeans supports 2..64 clusters");
+  util::expects(config_.iterations >= 1,
+                "HvKMeans needs at least one iteration");
+}
+
+HvKMeansResult HvKMeans::run(std::span<const hdc::HyperVector> points,
+                             std::span<const std::uint32_t> weights,
+                             std::span<const std::size_t> seed_points) const {
+  util::expects(!points.empty(), "HvKMeans::run needs at least one point");
+  util::expects(points.size() >= config_.clusters,
+                "HvKMeans::run needs at least as many points as clusters");
+  util::expects(weights.empty() || weights.size() == points.size(),
+                "HvKMeans::run weights must be empty or match points");
+  util::expects(seed_points.size() == config_.clusters,
+                "HvKMeans::run needs exactly `clusters` seed points");
+  const std::size_t dim = points[0].dim();
+  for (const auto& p : points) {
+    util::expects(p.dim() == dim, "HvKMeans::run points must share one dim");
+  }
+
+  const auto weight_of = [&](std::size_t i) -> std::uint32_t {
+    return weights.empty() ? 1u : weights[i];
+  };
+
+  const std::size_t n = points.size();
+  const std::size_t k = config_.clusters;
+
+  HvKMeansResult result;
+  result.assignment.assign(n, 0);
+  result.centroids.assign(k, hdc::Accumulator(dim));
+  result.cluster_weights.assign(k, 0);
+
+  // Initial centroids: the seed points themselves (weight 1 — a seed
+  // defines a direction, not a mass).
+  for (std::size_t c = 0; c < k; ++c) {
+    util::expects(seed_points[c] < n, "HvKMeans seed index in range");
+    result.centroids[c].add(points[seed_points[c]], 1);
+  }
+
+  // Cached per-point norms (sqrt popcount) for the cosine distance.
+  std::vector<double> point_norm(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    point_norm[i] =
+        std::sqrt(static_cast<double>(points[i].popcount()));
+  }
+  result.ops.popcount_bits += static_cast<std::uint64_t>(n) * dim;
+
+  std::vector<double> distance_to_own(n, 0.0);
+  // Majority-binarized centroids for the Hamming variant (rebuilt per
+  // iteration).
+  std::vector<hdc::HyperVector> binary_centroids;
+
+  for (std::size_t iter = 0; iter < config_.iterations; ++iter) {
+    if (config_.distance == ClusterDistance::kHamming) {
+      binary_centroids.clear();
+      binary_centroids.reserve(k);
+      for (const auto& centroid : result.centroids) {
+        binary_centroids.push_back(centroid.to_majority());
+      }
+    }
+    // --- Assignment step (data parallel). ---
+    std::atomic<std::uint64_t> changed{0};
+    util::parallel_for(
+        0, n,
+        [&](std::size_t i) {
+          double best = std::numeric_limits<double>::infinity();
+          std::uint32_t best_cluster = 0;
+          for (std::size_t c = 0; c < k; ++c) {
+            double dist = 0.0;
+            if (config_.distance == ClusterDistance::kCosine) {
+              const double norm_z = result.centroids[c].norm();
+              if (norm_z == 0.0 || point_norm[i] == 0.0) {
+                dist = 1.0;
+              } else {
+                dist = 1.0 - static_cast<double>(
+                                 result.centroids[c].dot(points[i])) /
+                                 (point_norm[i] * norm_z);
+              }
+            } else {
+              dist = static_cast<double>(hdc::HyperVector::hamming(
+                  binary_centroids[c], points[i]));
+            }
+            if (dist < best) {
+              best = dist;
+              best_cluster = static_cast<std::uint32_t>(c);
+            }
+          }
+          if (result.assignment[i] != best_cluster) {
+            changed.fetch_add(1, std::memory_order_relaxed);
+            result.assignment[i] = best_cluster;
+          }
+          distance_to_own[i] = best;
+        },
+        /*grain=*/64);
+    result.ops.dot_adds += static_cast<std::uint64_t>(n) * k * dim;
+    result.ops.distance_evals += static_cast<std::uint64_t>(n) * k;
+
+    // --- Update step: rebuild weighted centroid sums. ---
+    for (auto& centroid : result.centroids) {
+      centroid.clear();
+    }
+    std::fill(result.cluster_weights.begin(), result.cluster_weights.end(),
+              std::uint64_t{0});
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t c = result.assignment[i];
+      result.centroids[c].add(points[i], weight_of(i));
+      result.cluster_weights[c] += weight_of(i);
+    }
+    result.ops.centroid_update_adds += static_cast<std::uint64_t>(n) * dim;
+
+    // --- Empty-cluster repair: reseed with the point farthest from its
+    // own centroid (deterministic: highest distance, lowest index). ---
+    const std::size_t reseeds_before = result.reseeds;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (result.cluster_weights[c] != 0) {
+        continue;
+      }
+      std::size_t farthest = 0;
+      double farthest_distance = -1.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (result.cluster_weights[result.assignment[i]] > weight_of(i) &&
+            distance_to_own[i] > farthest_distance) {
+          farthest_distance = distance_to_own[i];
+          farthest = i;
+        }
+      }
+      const std::uint32_t old_cluster = result.assignment[farthest];
+      result.assignment[farthest] = static_cast<std::uint32_t>(c);
+      // Move the point's mass between clusters. Rebuilding the source
+      // centroid exactly would need a subtract; reseeding is rare and
+      // the next iteration rebuilds all centroids anyway, so only the
+      // destination is patched here.
+      result.centroids[c].add(points[farthest], weight_of(farthest));
+      result.cluster_weights[c] += weight_of(farthest);
+      result.cluster_weights[old_cluster] -= weight_of(farthest);
+      ++result.reseeds;
+    }
+    result.iterations_run = iter + 1;
+
+    // Convergence: iteration 0 always "changes" every point relative to
+    // the zero-initialised assignment, so only later iterations count;
+    // a reseed also perturbs the state and voids the fixed point.
+    if (config_.stop_on_convergence && iter > 0 && changed.load() == 0 &&
+        result.reseeds == reseeds_before) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  return result;
+}
+
+std::vector<std::size_t> largest_color_difference_seeds(
+    std::span<const std::uint8_t> intensities, std::size_t clusters) {
+  util::expects(clusters >= 2, "need at least two clusters");
+  util::expects(intensities.size() >= clusters,
+                "need at least `clusters` points");
+
+  std::vector<std::size_t> seeds;
+  seeds.reserve(clusters);
+
+  // The pair with the largest color difference: global min and max.
+  std::size_t min_index = 0;
+  std::size_t max_index = 0;
+  for (std::size_t i = 1; i < intensities.size(); ++i) {
+    if (intensities[i] < intensities[min_index]) {
+      min_index = i;
+    }
+    if (intensities[i] > intensities[max_index]) {
+      max_index = i;
+    }
+  }
+  if (min_index == max_index) {
+    // Degenerate flat image: fall back to distinct indices.
+    for (std::size_t c = 0; c < clusters; ++c) {
+      seeds.push_back(c);
+    }
+    return seeds;
+  }
+  seeds.push_back(max_index);
+  seeds.push_back(min_index);
+
+  // Remaining seeds: farthest-point sampling on intensity.
+  while (seeds.size() < clusters) {
+    std::size_t best_index = 0;
+    int best_gap = -1;
+    for (std::size_t i = 0; i < intensities.size(); ++i) {
+      int gap = std::numeric_limits<int>::max();
+      bool already = false;
+      for (const std::size_t s : seeds) {
+        if (s == i) {
+          already = true;
+          break;
+        }
+        gap = std::min(gap, std::abs(static_cast<int>(intensities[i]) -
+                                     static_cast<int>(intensities[s])));
+      }
+      if (!already && gap > best_gap) {
+        best_gap = gap;
+        best_index = i;
+      }
+    }
+    seeds.push_back(best_index);
+  }
+  return seeds;
+}
+
+}  // namespace seghdc::core

@@ -1,0 +1,38 @@
+#include "src/core/op_counts.hpp"
+
+namespace seghdc::core {
+
+OpCounts& OpCounts::operator+=(const OpCounts& other) {
+  bind_xor_bits += other.bind_xor_bits;
+  popcount_bits += other.popcount_bits;
+  dot_adds += other.dot_adds;
+  centroid_update_adds += other.centroid_update_adds;
+  distance_evals += other.distance_evals;
+  return *this;
+}
+
+OpCounts operator+(OpCounts lhs, const OpCounts& rhs) {
+  lhs += rhs;
+  return lhs;
+}
+
+OpCounts analytic_seghdc_ops(std::size_t pixels, std::size_t dim,
+                             std::size_t clusters, std::size_t iterations) {
+  OpCounts ops;
+  const auto px = static_cast<std::uint64_t>(pixels);
+  const auto d = static_cast<std::uint64_t>(dim);
+  const auto k = static_cast<std::uint64_t>(clusters);
+  const auto it = static_cast<std::uint64_t>(iterations);
+  // Encoding: one d-bit XOR bind per pixel plus one d-bit popcount for
+  // the pixel HV norm used by the cosine distance.
+  ops.bind_xor_bits = px * d;
+  ops.popcount_bits = px * d;
+  // Clustering: per iteration, each pixel evaluates k dot products of d
+  // adds, then contributes d adds to its centroid update.
+  ops.dot_adds = px * d * k * it;
+  ops.centroid_update_adds = px * d * it;
+  ops.distance_evals = px * k * it;
+  return ops;
+}
+
+}  // namespace seghdc::core

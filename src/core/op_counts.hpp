@@ -1,0 +1,38 @@
+// Operation accounting for the SegHDC pipeline. Every segmentation
+// reports how much elementary work it performed; the device model
+// (src/device) converts these counts into projected edge-device latency
+// for the paper's Table II and Fig. 7 "latency on PI" axes.
+#ifndef SEGHDC_CORE_OP_COUNTS_HPP
+#define SEGHDC_CORE_OP_COUNTS_HPP
+
+#include <cstdint>
+
+namespace seghdc::core {
+
+/// Elementary-operation counts, in units of vector *elements* processed
+/// (a d-dimensional XOR counts d bind_xor_bits, etc.).
+struct OpCounts {
+  std::uint64_t bind_xor_bits = 0;       ///< XOR binding work
+  std::uint64_t popcount_bits = 0;       ///< popcount/Hamming work
+  std::uint64_t dot_adds = 0;            ///< centroid dot-product adds
+  std::uint64_t centroid_update_adds = 0;///< centroid accumulation adds
+  std::uint64_t distance_evals = 0;      ///< point-centroid distances
+
+  std::uint64_t total_element_ops() const {
+    return bind_xor_bits + popcount_bits + dot_adds + centroid_update_adds;
+  }
+
+  OpCounts& operator+=(const OpCounts& other);
+};
+
+OpCounts operator+(OpCounts lhs, const OpCounts& rhs);
+
+/// Analytic per-pixel op counts of a SegHDC run *without* deduplication —
+/// the cost structure of the paper's reference implementation, which the
+/// device latency model is calibrated against.
+OpCounts analytic_seghdc_ops(std::size_t pixels, std::size_t dim,
+                             std::size_t clusters, std::size_t iterations);
+
+}  // namespace seghdc::core
+
+#endif  // SEGHDC_CORE_OP_COUNTS_HPP

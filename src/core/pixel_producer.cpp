@@ -1,0 +1,15 @@
+#include "src/core/pixel_producer.hpp"
+
+#include "src/util/contracts.hpp"
+
+namespace seghdc::core {
+
+hdc::HyperVector PixelProducer::produce(const hdc::HyperVector& position,
+                                        const hdc::HyperVector& color) const {
+  util::expects(position.dim() == color.dim(),
+                "PixelProducer requires equal-dimension inputs");
+  ops_.bind_xor_bits += position.dim();
+  return position ^ color;
+}
+
+}  // namespace seghdc::core

@@ -1,0 +1,59 @@
+// BBBC005-like synthetic fluorescent cell images.
+//
+// The real BBBC005 (Broad Bioimage Benchmark Collection) is itself a
+// *simulated* corpus: SIMCEP-generated fluorescent cell-body images,
+// 520x696 grayscale, with a controlled number of cells per image and a
+// sweep of focus-blur levels. This generator reproduces those governing
+// characteristics: bright convex cell bodies with soft internal gradients
+// on a dark background, per-sample focus blur drawn from a sweep, photon
+// shot noise, and an exact ground-truth mask. It is the easiest of the
+// three suites (paper: SegHDC 0.9414 IoU) because foreground/background
+// are well separated in intensity.
+#ifndef SEGHDC_DATASETS_BBBC005_HPP
+#define SEGHDC_DATASETS_BBBC005_HPP
+
+#include "src/datasets/dataset.hpp"
+#include "src/util/rng.hpp"
+
+namespace seghdc::data {
+
+struct Bbbc005Config {
+  std::size_t width = 696;
+  std::size_t height = 520;
+  std::size_t min_cells = 10;
+  std::size_t max_cells = 35;
+  double min_radius = 14.0;
+  double max_radius = 26.0;
+  double max_eccentricity = 0.45;
+  double irregularity = 0.08;      ///< boundary harmonic amplitude
+  std::uint8_t background_level = 18;
+  std::uint8_t cell_center_level = 210;
+  std::uint8_t cell_edge_level = 150;
+  /// Focus-blur sweep: sample i uses sigma interpolated across
+  /// [min_blur_sigma, max_blur_sigma] by (i mod blur_steps), mirroring
+  /// BBBC005's staged focus series.
+  double min_blur_sigma = 0.8;
+  double max_blur_sigma = 3.8;
+  std::size_t blur_steps = 5;
+  double shot_noise_scale = 1.0;
+  double gaussian_noise_sigma = 5.0;
+  std::uint64_t seed = 0xBBBC005;
+};
+
+class Bbbc005Generator final : public DatasetGenerator {
+ public:
+  explicit Bbbc005Generator(Bbbc005Config config = {});
+
+  const DatasetProfile& profile() const override { return profile_; }
+  Sample generate(std::size_t index) const override;
+
+  const Bbbc005Config& config() const { return config_; }
+
+ private:
+  Bbbc005Config config_;
+  DatasetProfile profile_;
+};
+
+}  // namespace seghdc::data
+
+#endif  // SEGHDC_DATASETS_BBBC005_HPP

@@ -1,0 +1,53 @@
+// Dataset abstraction for the three synthetic benchmark suites.
+//
+// The paper evaluates on BBBC005, DSB2018 and MoNuSeg. Those corpora are
+// not redistributable here, so each generator synthesises images with the
+// same governing characteristics (size, channel count, object statistics,
+// noise regime) plus exact ground-truth masks — see DESIGN.md §4 for the
+// substitution rationale. Generators are pure functions of
+// (config, index): the same sample index always yields the same image,
+// so every experiment is reproducible and samples can be generated lazily
+// in parallel.
+#ifndef SEGHDC_DATASETS_DATASET_HPP
+#define SEGHDC_DATASETS_DATASET_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "src/imaging/image.hpp"
+
+namespace seghdc::data {
+
+/// One dataset sample: an image plus its binary ground-truth mask
+/// (255 = nucleus/cell foreground) and the instance count used to draw it.
+struct Sample {
+  std::string id;
+  img::ImageU8 image;
+  img::ImageU8 mask;
+  std::size_t instance_count = 0;
+};
+
+/// Per-dataset hyper-parameters the paper fixes in Section IV-A.
+struct DatasetProfile {
+  std::string name;
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::size_t channels = 1;
+  std::size_t suggested_clusters = 2;  ///< paper: 2 (BBBC, DSB), 3 (MoNuSeg)
+  std::size_t suggested_beta = 21;     ///< paper: 21 (BBBC), 26 (DSB, MoNuSeg)
+};
+
+/// Interface implemented by the three generators.
+class DatasetGenerator {
+ public:
+  virtual ~DatasetGenerator() = default;
+
+  virtual const DatasetProfile& profile() const = 0;
+
+  /// Deterministically generates sample `index` (any non-negative index).
+  virtual Sample generate(std::size_t index) const = 0;
+};
+
+}  // namespace seghdc::data
+
+#endif  // SEGHDC_DATASETS_DATASET_HPP

@@ -1,0 +1,164 @@
+#include "src/datasets/dsb2018.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "src/imaging/draw.hpp"
+#include "src/imaging/filters.hpp"
+#include "src/imaging/noise.hpp"
+#include "src/util/contracts.hpp"
+
+namespace seghdc::data {
+
+Dsb2018Generator::Dsb2018Generator(Dsb2018Config config) : config_(config) {
+  util::expects(config_.width >= 32 && config_.height >= 32,
+                "Dsb2018Generator image must be at least 32x32");
+  util::expects(config_.min_nuclei >= 1 &&
+                    config_.min_nuclei <= config_.max_nuclei,
+                "Dsb2018Generator nucleus count range must be non-empty");
+  util::expects(config_.brightfield_fraction >= 0.0 &&
+                    config_.brightfield_fraction <= 1.0,
+                "Dsb2018Generator brightfield_fraction must be in [0, 1]");
+  profile_ = DatasetProfile{
+      .name = "DSB2018",
+      .width = config_.width,
+      .height = config_.height,
+      .channels = 3,
+      .suggested_clusters = 2,
+      .suggested_beta = 26,  // paper Section IV-A
+  };
+}
+
+namespace {
+
+/// RGB shading for a nucleus: per-channel interior gradient between a
+/// center color and an edge color.
+img::ShadeFn nucleus_shade(const std::array<std::uint8_t, 3>& center,
+                           const std::array<std::uint8_t, 3>& edge) {
+  return [center, edge](double fraction, std::size_t c, std::uint8_t) {
+    const double value = center[c] + (edge[c] - center[c]) * fraction;
+    return static_cast<std::uint8_t>(std::clamp(value + 0.5, 0.0, 255.0));
+  };
+}
+
+}  // namespace
+
+Sample Dsb2018Generator::generate(std::size_t index) const {
+  util::Rng rng(config_.seed ^ (0xbf58476d1ce4e5b9ULL * (index + 1)));
+
+  Sample sample;
+  sample.id = "dsb2018_" + std::to_string(index);
+  const bool brightfield = rng.next_double() < config_.brightfield_fraction;
+
+  // Background: fluorescence is near-black with a slight channel tint and
+  // an illumination ramp; brightfield is light gray-pink with stain
+  // texture. Both regimes exist in stage1_train.
+  std::array<std::uint8_t, 3> bg{};
+  if (brightfield) {
+    bg = {222, 213, 222};
+  } else {
+    const auto tint = static_cast<std::uint8_t>(rng.next_in(0, 22));
+    bg = {static_cast<std::uint8_t>(10 + tint / 2),
+          static_cast<std::uint8_t>(12 + tint),
+          static_cast<std::uint8_t>(14 + tint / 2)};
+  }
+
+  sample.image = img::ImageU8(config_.width, config_.height, 3);
+  // Uneven illumination: a diagonal ramp of random strength (real DSB
+  // tiles rarely have flat backgrounds).
+  const double ramp = rng.next_double_in(0.0, 28.0);
+  const double ramp_angle = rng.next_double_in(0.0, 6.283185307179586);
+  const double ramp_dx = std::cos(ramp_angle);
+  const double ramp_dy = std::sin(ramp_angle);
+  for (std::size_t y = 0; y < config_.height; ++y) {
+    for (std::size_t x = 0; x < config_.width; ++x) {
+      const double t =
+          (ramp_dx * static_cast<double>(x) / config_.width +
+           ramp_dy * static_cast<double>(y) / config_.height + 1.0) /
+          2.0;
+      const double offset = ramp * (t - 0.5) * (brightfield ? -1.0 : 1.0);
+      for (std::size_t c = 0; c < 3; ++c) {
+        sample.image(x, y, c) = static_cast<std::uint8_t>(
+            std::clamp(bg[c] + offset, 0.0, 255.0));
+      }
+    }
+  }
+  sample.mask = img::ImageU8(config_.width, config_.height, 1, 0);
+
+  const std::size_t nuclei = static_cast<std::size_t>(rng.next_in(
+      static_cast<std::int64_t>(config_.min_nuclei),
+      static_cast<std::int64_t>(config_.max_nuclei)));
+
+  // Nuclei cluster around a few attractor points (DSB tiles typically
+  // show one or two colonies rather than a uniform scatter).
+  const std::size_t attractors = 1 + static_cast<std::size_t>(rng.next_in(0, 2));
+  std::vector<std::pair<double, double>> centers;
+  centers.reserve(attractors);
+  for (std::size_t a = 0; a < attractors; ++a) {
+    centers.emplace_back(
+        rng.next_double_in(config_.width * 0.2, config_.width * 0.8),
+        rng.next_double_in(config_.height * 0.2, config_.height * 0.8));
+  }
+
+  std::vector<img::BlobShape> placed;
+  placed.reserve(nuclei);
+  const std::size_t max_attempts = nuclei * 50;
+  std::size_t attempts = 0;
+  while (placed.size() < nuclei && attempts < max_attempts) {
+    ++attempts;
+    const auto& [ax, ay] = centers[rng.next_below(centers.size())];
+    const double spread =
+        std::min(config_.width, config_.height) * 0.30;
+    const double cx = std::clamp(ax + spread * rng.next_gaussian(), 12.0,
+                                 static_cast<double>(config_.width) - 12.0);
+    const double cy = std::clamp(ay + spread * rng.next_gaussian(), 12.0,
+                                 static_cast<double>(config_.height) - 12.0);
+    const double radius =
+        rng.next_double_in(config_.min_radius, config_.max_radius);
+    auto shape = img::BlobShape::random(cx, cy, radius,
+                                        config_.max_eccentricity,
+                                        config_.irregularity, rng);
+    // Allow touching nuclei (negative gap) ~20% of the time, as in real
+    // colonies, but avoid heavy stacking.
+    const double gap = rng.next_double() < 0.2 ? -3.0 : 1.5;
+    if (img::overlaps_any(shape, placed, gap)) {
+      continue;
+    }
+    placed.push_back(shape);
+  }
+
+  for (const auto& shape : placed) {
+    // Per-nucleus staining/expression level: real tiles mix bright and
+    // barely-visible nuclei, which is what keeps IoU off the ceiling.
+    std::array<std::uint8_t, 3> center{};
+    std::array<std::uint8_t, 3> edge{};
+    if (brightfield) {
+      const auto level = static_cast<std::uint8_t>(rng.next_in(104, 168));
+      center = {level, static_cast<std::uint8_t>(level * 3 / 4),
+                static_cast<std::uint8_t>(std::min(255, level + 36))};
+      edge = {static_cast<std::uint8_t>(level + 42),
+              static_cast<std::uint8_t>(level * 3 / 4 + 42),
+              static_cast<std::uint8_t>(std::min(255, level + 66))};
+    } else {
+      const auto level = static_cast<std::uint8_t>(rng.next_in(84, 208));
+      center = {level, level,
+                static_cast<std::uint8_t>(std::min(255, level + 12))};
+      edge = {static_cast<std::uint8_t>(level * 11 / 20),
+              static_cast<std::uint8_t>(level * 11 / 20),
+              static_cast<std::uint8_t>(level * 11 / 20 + 8)};
+    }
+    img::fill_blob(sample.image, &sample.mask, shape,
+                   nucleus_shade(center, edge));
+  }
+  sample.instance_count = placed.size();
+
+  sample.image = img::gaussian_blur(sample.image, 1.0);
+  img::apply_vignette(sample.image, config_.vignette_edge_gain);
+  img::add_shot_noise(sample.image, config_.shot_noise_scale, rng);
+  img::add_gaussian_noise(sample.image, config_.gaussian_noise_sigma, rng);
+  return sample;
+}
+
+}  // namespace seghdc::data

@@ -1,0 +1,54 @@
+// DSB2018-like synthetic nuclei images.
+//
+// The 2018 Data Science Bowl "stage1_train" set mixes acquisition
+// modalities: mostly dark-field fluorescence (bright nuclei on a near-
+// black background) with a minority of stained bright-field images (dark
+// purple nuclei on a light background), in small RGB tiles. This
+// generator reproduces that mix: a per-sample modality draw, clustered
+// nuclei with touching pairs, illumination vignetting, and sensor noise.
+// Default tile size 320x256x3 matches the latency image the paper uses
+// in Table II (256 x 320 x 3).
+#ifndef SEGHDC_DATASETS_DSB2018_HPP
+#define SEGHDC_DATASETS_DSB2018_HPP
+
+#include "src/datasets/dataset.hpp"
+#include "src/util/rng.hpp"
+
+namespace seghdc::data {
+
+struct Dsb2018Config {
+  std::size_t width = 320;
+  std::size_t height = 256;
+  std::size_t min_nuclei = 8;
+  std::size_t max_nuclei = 26;
+  double min_radius = 9.0;
+  double max_radius = 19.0;
+  double max_eccentricity = 0.35;
+  double irregularity = 0.12;
+  /// Fraction of samples drawn as stained bright-field (the rest are
+  /// dark-field fluorescence). DSB2018's stage1_train is mostly
+  /// fluorescence.
+  double brightfield_fraction = 0.25;
+  double vignette_edge_gain = 0.82;
+  double gaussian_noise_sigma = 6.0;
+  double shot_noise_scale = 0.7;
+  std::uint64_t seed = 0xD5B2018;
+};
+
+class Dsb2018Generator final : public DatasetGenerator {
+ public:
+  explicit Dsb2018Generator(Dsb2018Config config = {});
+
+  const DatasetProfile& profile() const override { return profile_; }
+  Sample generate(std::size_t index) const override;
+
+  const Dsb2018Config& config() const { return config_; }
+
+ private:
+  Dsb2018Config config_;
+  DatasetProfile profile_;
+};
+
+}  // namespace seghdc::data
+
+#endif  // SEGHDC_DATASETS_DSB2018_HPP

@@ -1,0 +1,26 @@
+#include "src/device/device_spec.hpp"
+
+namespace seghdc::device {
+
+DeviceSpec DeviceSpec::raspberry_pi_4b() {
+  DeviceSpec spec;
+  spec.name = "Raspberry Pi 4 Model B (4 GB)";
+  spec.cpu = "Broadcom BCM2711, 4x Cortex-A72 @ 1.5 GHz";
+  spec.cores = 4;
+  spec.frequency_hz = 1.5e9;
+  spec.mem_total_bytes = 4ULL * 1024 * 1024 * 1024;
+  // ~400 MB for Raspberry Pi OS + daemons leaves ~3.6 GB for the
+  // segmentation process.
+  spec.mem_available_bytes = spec.mem_total_bytes - 400ULL * 1024 * 1024;
+  // Calibrated against paper Table II (see device_spec.hpp).
+  spec.hdc_seconds_per_pixel_iter = 1.3331e-4;
+  spec.hdc_seconds_per_pixel_iter_dim = 1.545e-8;
+  spec.cnn_macs_per_second = 2.204e9;
+  // Measured Pi 4B draw: ~2.7 W idle, ~6.4 W all-core NEON load,
+  // ~5.1 W single-threaded interpreter load.
+  spec.hdc_active_watts = 5.1;
+  spec.cnn_active_watts = 6.4;
+  return spec;
+}
+
+}  // namespace seghdc::device

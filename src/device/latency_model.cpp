@@ -1,0 +1,43 @@
+#include "src/device/latency_model.hpp"
+
+#include "src/util/contracts.hpp"
+
+namespace seghdc::device {
+
+double project_seghdc_latency(const DeviceSpec& spec,
+                              const SegHdcWorkload& workload) {
+  util::expects(workload.pixels > 0 && workload.dim > 0,
+                "project_seghdc_latency needs a non-empty workload");
+  util::expects(workload.clusters >= 2,
+                "project_seghdc_latency needs >= 2 clusters");
+  const double per_pixel_iter =
+      spec.hdc_seconds_per_pixel_iter +
+      spec.hdc_seconds_per_pixel_iter_dim * static_cast<double>(workload.dim);
+  return static_cast<double>(workload.pixels) *
+         static_cast<double>(workload.iterations) * per_pixel_iter *
+         (static_cast<double>(workload.clusters) / 2.0);
+}
+
+double project_kim_latency(const DeviceSpec& spec,
+                           const KimWorkload& workload) {
+  util::expects(workload.height > 0 && workload.width > 0,
+                "project_kim_latency needs a non-empty workload");
+  util::expects(workload.iterations > 0,
+                "project_kim_latency needs >= 1 iteration");
+  const std::uint64_t macs = baseline::KimSegmenter::total_macs(
+      workload.config, workload.channels, workload.height, workload.width,
+      workload.iterations);
+  return static_cast<double>(macs) / spec.cnn_macs_per_second;
+}
+
+double project_seghdc_energy(const DeviceSpec& spec,
+                             const SegHdcWorkload& workload) {
+  return spec.hdc_active_watts * project_seghdc_latency(spec, workload);
+}
+
+double project_kim_energy(const DeviceSpec& spec,
+                          const KimWorkload& workload) {
+  return spec.cnn_active_watts * project_kim_latency(spec, workload);
+}
+
+}  // namespace seghdc::device

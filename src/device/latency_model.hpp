@@ -1,0 +1,52 @@
+// Projects workload descriptions onto a DeviceSpec to obtain edge-device
+// latency — the "Latency on PI" numbers of paper Table II and the
+// latency axes of Fig. 7(a)/(b).
+#ifndef SEGHDC_DEVICE_LATENCY_MODEL_HPP
+#define SEGHDC_DEVICE_LATENCY_MODEL_HPP
+
+#include <cstdint>
+
+#include "src/baseline/kim_segmenter.hpp"
+#include "src/device/device_spec.hpp"
+
+namespace seghdc::device {
+
+/// Shape of one SegHDC segmentation run.
+struct SegHdcWorkload {
+  std::size_t pixels = 0;
+  std::size_t dim = 0;
+  std::size_t clusters = 2;
+  std::size_t iterations = 10;
+};
+
+/// Projected seconds for SegHDC on `spec`:
+///   pixels * iterations * (a + b*dim) * (clusters/2).
+double project_seghdc_latency(const DeviceSpec& spec,
+                              const SegHdcWorkload& workload);
+
+/// Shape of one CNN-baseline run (per-image training).
+struct KimWorkload {
+  baseline::KimConfig config;
+  std::size_t channels = 3;
+  std::size_t height = 0;
+  std::size_t width = 0;
+  /// Iterations actually executed (the reference runs max_iterations
+  /// unless early-stopped).
+  std::size_t iterations = 0;
+};
+
+/// Projected seconds for the CNN baseline on `spec`: MACs / rate.
+double project_kim_latency(const DeviceSpec& spec,
+                           const KimWorkload& workload);
+
+/// Projected energy (joules) for a SegHDC run: hdc watts x seconds.
+double project_seghdc_energy(const DeviceSpec& spec,
+                             const SegHdcWorkload& workload);
+
+/// Projected energy (joules) for a CNN-baseline run: cnn watts x seconds.
+double project_kim_energy(const DeviceSpec& spec,
+                          const KimWorkload& workload);
+
+}  // namespace seghdc::device
+
+#endif  // SEGHDC_DEVICE_LATENCY_MODEL_HPP

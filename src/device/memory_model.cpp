@@ -1,0 +1,89 @@
+#include "src/device/memory_model.hpp"
+
+#include "src/util/contracts.hpp"
+
+namespace seghdc::device {
+
+namespace {
+constexpr std::uint64_t kFloatBytes = sizeof(float);
+constexpr std::uint64_t kMiB = 1024ULL * 1024;
+}  // namespace
+
+std::uint64_t MemoryEstimate::peak_bytes() const {
+  const auto tensor_bytes = static_cast<double>(
+      parameter_bytes + activation_bytes + workspace_bytes);
+  return static_cast<std::uint64_t>(tensor_bytes * overhead_factor) +
+         runtime_bytes;
+}
+
+bool MemoryEstimate::fits(const DeviceSpec& spec) const {
+  return peak_bytes() <= spec.mem_available_bytes;
+}
+
+MemoryEstimate estimate_kim_memory(const baseline::KimConfig& config,
+                                   std::size_t channels, std::size_t height,
+                                   std::size_t width) {
+  util::expects(height > 0 && width > 0,
+                "estimate_kim_memory needs a non-empty image");
+  const std::uint64_t hw = static_cast<std::uint64_t>(height) * width;
+  const std::uint64_t f = config.feature_channels;
+
+  MemoryEstimate estimate;
+
+  // --- Parameters: conv weights/biases + BN affine, x3 for grads and
+  // momentum buffers. ---
+  std::uint64_t params = 0;
+  for (std::size_t layer = 0; layer < config.conv_layers; ++layer) {
+    const std::uint64_t in = layer == 0 ? channels : f;
+    params += in * f * 9 + f;  // 3x3 weights + bias
+    params += 2 * f;           // BN gamma/beta
+  }
+  params += f * f + f;  // 1x1 head
+  params += 2 * f;      // head BN
+  estimate.parameter_bytes = params * kFloatBytes * 3;
+
+  // --- Activations saved for backward: input; per conv block the conv
+  // output, ReLU output and BN normalised copy + BN output; head conv
+  // output + head BN pair. ---
+  std::uint64_t activation_floats = channels * hw;  // input
+  activation_floats += config.conv_layers * (4 * f * hw);
+  activation_floats += 3 * f * hw;  // head conv out, head BN xhat + out
+  estimate.activation_bytes = activation_floats * kFloatBytes;
+
+  // --- Workspace: im2col of the widest 3x3 conv lives across the
+  // forward AND is re-materialised as dcols in backward, so both are
+  // resident at the backward peak. Plus one response-gradient tensor. ---
+  const std::uint64_t widest_in = config.conv_layers > 1 ? f : channels;
+  const std::uint64_t im2col = widest_in * 9 * hw * kFloatBytes;
+  estimate.workspace_bytes = 2 * im2col + f * hw * kFloatBytes;
+
+  // PyTorch caching allocator rounds blocks and keeps freed segments.
+  estimate.overhead_factor = 1.25;
+  // CPython + libtorch + loaded shared objects on the Pi.
+  estimate.runtime_bytes = 350 * kMiB;
+  return estimate;
+}
+
+MemoryEstimate estimate_seghdc_memory(const core::SegHdcConfig& config,
+                                      std::size_t height, std::size_t width) {
+  util::expects(height > 0 && width > 0,
+                "estimate_seghdc_memory needs a non-empty image");
+  const std::uint64_t pixels = static_cast<std::uint64_t>(height) * width;
+
+  MemoryEstimate estimate;
+  // Reference layout: pixel HVs as one byte per element (NumPy uint8),
+  // plus the row/column ladders and 256-level color codebooks.
+  const std::uint64_t ladder_rows = (height + config.beta - 1) / config.beta;
+  const std::uint64_t ladder_cols = (width + config.beta - 1) / config.beta;
+  estimate.parameter_bytes =
+      (ladder_rows + ladder_cols + 256) * config.dim;
+  estimate.activation_bytes = pixels * config.dim;  // pixel HVs
+  // Centroids (int32) + assignment vector + distance scratch.
+  estimate.workspace_bytes =
+      config.clusters * config.dim * 4 + pixels * (4 + 8);
+  estimate.overhead_factor = 1.15;  // NumPy temporaries
+  estimate.runtime_bytes = 150 * kMiB;  // CPython + NumPy
+  return estimate;
+}
+
+}  // namespace seghdc::device

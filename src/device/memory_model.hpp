@@ -1,0 +1,51 @@
+// Peak-memory estimator for both methods on an edge device — the model
+// behind the paper's Table II "×* Out of memory" result: the CNN
+// baseline cannot process a 520x696 image on the 4 GB Raspberry Pi,
+// while SegHDC fits comfortably.
+//
+// The CNN estimate follows the PyTorch CPU execution model the reference
+// implementation runs on: parameters + momentum + gradients, every
+// activation saved for backward (conv outputs, ReLU outputs, BN
+// normalised tensors), the im2col workspace of the widest conv — which
+// is materialised BOTH forward (cols) and backward (dcols) — plus an
+// allocator-fragmentation factor and the fixed Python/Torch runtime
+// footprint.
+#ifndef SEGHDC_DEVICE_MEMORY_MODEL_HPP
+#define SEGHDC_DEVICE_MEMORY_MODEL_HPP
+
+#include <cstdint>
+
+#include "src/baseline/kim_segmenter.hpp"
+#include "src/core/config.hpp"
+#include "src/device/device_spec.hpp"
+
+namespace seghdc::device {
+
+struct MemoryEstimate {
+  std::uint64_t parameter_bytes = 0;   ///< weights + grads + momentum
+  std::uint64_t activation_bytes = 0;  ///< saved-for-backward tensors
+  std::uint64_t workspace_bytes = 0;   ///< im2col / scratch buffers
+  std::uint64_t runtime_bytes = 0;     ///< interpreter + framework
+  /// Allocator fragmentation / caching multiplier applied to the tensor
+  /// portions (not the fixed runtime footprint).
+  double overhead_factor = 1.0;
+
+  std::uint64_t peak_bytes() const;
+  /// True when peak_bytes() fits in the device's available memory.
+  bool fits(const DeviceSpec& spec) const;
+};
+
+/// Peak memory of one CNN-baseline training iteration on an
+/// `height` x `width` image with `channels` input channels.
+MemoryEstimate estimate_kim_memory(const baseline::KimConfig& config,
+                                   std::size_t channels, std::size_t height,
+                                   std::size_t width);
+
+/// Peak memory of a SegHDC run (reference implementation layout: one
+/// byte per HV element, per-pixel pixel HVs, integer centroids).
+MemoryEstimate estimate_seghdc_memory(const core::SegHdcConfig& config,
+                                      std::size_t height, std::size_t width);
+
+}  // namespace seghdc::device
+
+#endif  // SEGHDC_DEVICE_MEMORY_MODEL_HPP

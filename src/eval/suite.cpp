@@ -1,0 +1,146 @@
+#include "src/eval/suite.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/baseline/otsu_segmenter.hpp"
+#include "src/imaging/filters.hpp"
+#include "src/metrics/segmentation_metrics.hpp"
+#include "src/util/contracts.hpp"
+#include "src/util/csv.hpp"
+#include "src/util/stopwatch.hpp"
+
+namespace seghdc::eval {
+
+double SuiteResult::mean_iou() const {
+  double sum = 0.0;
+  for (const auto& record : records) {
+    sum += record.iou;
+  }
+  return records.empty() ? 0.0 : sum / static_cast<double>(records.size());
+}
+
+double SuiteResult::min_iou() const {
+  double value = records.empty() ? 0.0 : records.front().iou;
+  for (const auto& record : records) {
+    value = std::min(value, record.iou);
+  }
+  return value;
+}
+
+double SuiteResult::max_iou() const {
+  double value = 0.0;
+  for (const auto& record : records) {
+    value = std::max(value, record.iou);
+  }
+  return value;
+}
+
+double SuiteResult::stddev_iou() const {
+  if (records.size() < 2) {
+    return 0.0;
+  }
+  const double mean = mean_iou();
+  double sum_sq = 0.0;
+  for (const auto& record : records) {
+    sum_sq += (record.iou - mean) * (record.iou - mean);
+  }
+  return std::sqrt(sum_sq / static_cast<double>(records.size() - 1));
+}
+
+double SuiteResult::mean_seconds() const {
+  return records.empty()
+             ? 0.0
+             : total_seconds() / static_cast<double>(records.size());
+}
+
+double SuiteResult::total_seconds() const {
+  double sum = 0.0;
+  for (const auto& record : records) {
+    sum += record.seconds;
+  }
+  return sum;
+}
+
+SuiteResult evaluate_suite(const data::DatasetGenerator& dataset,
+                           std::size_t images,
+                           const std::string& method_name,
+                           const Method& method) {
+  util::expects(images > 0, "evaluate_suite needs at least one image");
+  util::expects(static_cast<bool>(method),
+                "evaluate_suite needs a method");
+  SuiteResult result;
+  result.dataset = dataset.profile().name;
+  result.method = method_name;
+  result.records.reserve(images);
+  for (std::size_t i = 0; i < images; ++i) {
+    const auto sample = dataset.generate(i);
+    const util::Stopwatch watch;
+    const auto labels = method(sample);
+    const double seconds = watch.seconds();
+    util::expects(labels.width() == sample.mask.width() &&
+                      labels.height() == sample.mask.height(),
+                  "method returned a label map of the wrong size");
+    const auto matched =
+        metrics::best_foreground_iou_any(labels, sample.mask);
+    result.records.push_back(ImageRecord{
+        .id = sample.id,
+        .iou = matched.iou,
+        .seconds = seconds,
+        .instances = sample.instance_count,
+    });
+  }
+  return result;
+}
+
+void write_suite_csv(const SuiteResult& result, const std::string& path) {
+  util::CsvWriter csv(path,
+                      {"dataset", "method", "image", "iou", "seconds",
+                       "instances"});
+  for (const auto& record : result.records) {
+    csv.row({result.dataset, result.method, record.id,
+             util::CsvWriter::field(record.iou),
+             util::CsvWriter::field(record.seconds),
+             std::to_string(record.instances)});
+  }
+  csv.row({result.dataset, result.method, "mean",
+           util::CsvWriter::field(result.mean_iou()),
+           util::CsvWriter::field(result.mean_seconds()), ""});
+}
+
+Method seghdc_method(const core::SegHdcConfig& config) {
+  return [config](const data::Sample& sample) {
+    const core::SegHdc seghdc(config);
+    return seghdc.segment(sample.image).labels;
+  };
+}
+
+Method kim_method(const baseline::KimConfig& config,
+                  std::size_t train_downscale) {
+  util::expects(train_downscale >= 1,
+                "kim_method train_downscale must be >= 1");
+  return [config, train_downscale](const data::Sample& sample) {
+    img::ImageU8 train_image = sample.image;
+    if (train_downscale > 1) {
+      train_image = img::resize_bilinear(
+          sample.image, sample.image.width() / train_downscale,
+          sample.image.height() / train_downscale);
+    }
+    const baseline::KimSegmenter segmenter(config);
+    auto labels = segmenter.segment(train_image).labels;
+    if (train_downscale > 1) {
+      labels = img::resize_nearest(labels, sample.image.width(),
+                                   sample.image.height());
+    }
+    return labels;
+  };
+}
+
+Method otsu_method(bool equalize_first) {
+  return [equalize_first](const data::Sample& sample) {
+    const baseline::OtsuSegmenter otsu(equalize_first);
+    return otsu.segment(sample.image).labels;
+  };
+}
+
+}  // namespace seghdc::eval

@@ -1,0 +1,67 @@
+// Dataset-sweep evaluation: run any segmentation method over a
+// generated suite, score every image against its ground truth with the
+// optimal cluster->foreground matching, and aggregate — the measurement
+// loop behind the paper's Table I, exposed as a public API so users can
+// benchmark their own configurations (or their own methods) against
+// SegHDC on the same footing.
+#ifndef SEGHDC_EVAL_SUITE_HPP
+#define SEGHDC_EVAL_SUITE_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/baseline/kim_segmenter.hpp"
+#include "src/core/seghdc.hpp"
+#include "src/datasets/dataset.hpp"
+
+namespace seghdc::eval {
+
+/// Outcome of one method on one image.
+struct ImageRecord {
+  std::string id;
+  double iou = 0.0;
+  double seconds = 0.0;
+  std::size_t instances = 0;  ///< ground-truth instance count
+};
+
+/// Aggregate of a method over a suite.
+struct SuiteResult {
+  std::string dataset;
+  std::string method;
+  std::vector<ImageRecord> records;
+
+  double mean_iou() const;
+  double min_iou() const;
+  double max_iou() const;
+  /// Sample standard deviation of the per-image IoU (0 for < 2 images).
+  double stddev_iou() const;
+  double mean_seconds() const;
+  double total_seconds() const;
+};
+
+/// A segmentation method under evaluation: sample in, label map out
+/// (any number of labels; scoring handles the matching).
+using Method = std::function<img::LabelMap(const data::Sample&)>;
+
+/// Runs `method` over samples [0, images) of `dataset`, timing each
+/// call and scoring with metrics::best_foreground_iou_any.
+SuiteResult evaluate_suite(const data::DatasetGenerator& dataset,
+                           std::size_t images,
+                           const std::string& method_name,
+                           const Method& method);
+
+/// Writes one CSV row per image plus a trailing "mean" row.
+void write_suite_csv(const SuiteResult& result, const std::string& path);
+
+/// The library's own methods as evaluation functors.
+Method seghdc_method(const core::SegHdcConfig& config);
+/// `train_downscale` > 1 trains the CNN at reduced resolution and
+/// upsamples the labels (DESIGN.md §4).
+Method kim_method(const baseline::KimConfig& config,
+                  std::size_t train_downscale = 1);
+Method otsu_method(bool equalize_first = false);
+
+}  // namespace seghdc::eval
+
+#endif  // SEGHDC_EVAL_SUITE_HPP

@@ -1,0 +1,71 @@
+#include "src/hdc/accumulator.hpp"
+
+#include <cmath>
+
+#include "src/util/contracts.hpp"
+
+namespace seghdc::hdc {
+
+Accumulator::Accumulator(std::size_t dim) : counts_(dim, 0) {}
+
+void Accumulator::clear() {
+  counts_.assign(counts_.size(), 0);
+  total_weight_ = 0;
+  sum_squares_ = 0;
+}
+
+void Accumulator::add(const HyperVector& hv, std::uint32_t weight) {
+  util::expects(hv.dim() == counts_.size(),
+                "Accumulator::add dimension mismatch");
+  const auto w = static_cast<std::int64_t>(weight);
+  hv.for_each_set_bit([&](std::size_t i) {
+    const std::int64_t before = counts_[i];
+    counts_[i] = before + w;
+    // Maintain sum of squares incrementally: (x+w)^2 - x^2 = 2xw + w^2.
+    sum_squares_ += 2 * before * w + w * w;
+  });
+  total_weight_ += weight;
+}
+
+std::int64_t Accumulator::at(std::size_t index) const {
+  util::expects(index < counts_.size(),
+                "Accumulator::at index within dimension");
+  return counts_[index];
+}
+
+std::int64_t Accumulator::dot(const HyperVector& hv) const {
+  util::expects(hv.dim() == counts_.size(),
+                "Accumulator::dot dimension mismatch");
+  std::int64_t sum = 0;
+  hv.for_each_set_bit([&](std::size_t i) { sum += counts_[i]; });
+  return sum;
+}
+
+double Accumulator::norm() const {
+  return std::sqrt(static_cast<double>(sum_squares_));
+}
+
+double Accumulator::cosine_distance(const HyperVector& hv) const {
+  util::expects(hv.dim() == counts_.size(),
+                "Accumulator::cosine_distance dimension mismatch");
+  const double norm_z = norm();
+  const double norm_y = std::sqrt(static_cast<double>(hv.popcount()));
+  if (norm_z == 0.0 || norm_y == 0.0) {
+    return 1.0;
+  }
+  const double cosine = static_cast<double>(dot(hv)) / (norm_y * norm_z);
+  return 1.0 - cosine;
+}
+
+HyperVector Accumulator::to_majority() const {
+  HyperVector hv(counts_.size());
+  const auto threshold = static_cast<std::int64_t>(total_weight_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] * 2 > threshold) {
+      hv.set(i, true);
+    }
+  }
+  return hv;
+}
+
+}  // namespace seghdc::hdc

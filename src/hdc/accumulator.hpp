@@ -1,0 +1,69 @@
+// Integer accumulator over binary hypervectors — the "bundling" operation
+// of HDC and the centroid representation of the paper's clusterer
+// (Section III-④): "all HVs in the same class will be summed to produce
+// the new centroid HV". Cosine distance is used against these integer
+// centroids precisely because summation changes vector length but not
+// direction (paper Eq. 7 and surrounding discussion).
+#ifndef SEGHDC_HDC_ACCUMULATOR_HPP
+#define SEGHDC_HDC_ACCUMULATOR_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/hdc/hypervector.hpp"
+
+namespace seghdc::hdc {
+
+/// Element-wise integer sum of (weighted) binary hypervectors.
+class Accumulator {
+ public:
+  Accumulator() = default;
+  explicit Accumulator(std::size_t dim);
+
+  std::size_t dim() const { return counts_.size(); }
+
+  /// Resets all components to zero and the total weight to zero.
+  void clear();
+
+  /// Adds `hv` with multiplicity `weight` (component-wise: counts[i] +=
+  /// weight for every set bit i). Weighted adds are what make the
+  /// deduplicated K-Means exactly equivalent to the per-pixel version.
+  void add(const HyperVector& hv, std::uint32_t weight = 1);
+
+  /// Sum of the weights added since the last clear().
+  std::uint64_t total_weight() const { return total_weight_; }
+
+  /// Component value at `index`.
+  std::int64_t at(std::size_t index) const;
+
+  std::span<const std::int64_t> counts() const { return counts_; }
+
+  /// Dot product with a binary HV: sum of counts at the HV's set bits.
+  std::int64_t dot(const HyperVector& hv) const;
+
+  /// Euclidean norm of the accumulator (sqrt of sum of squares).
+  double norm() const;
+
+  /// Cosine distance to a binary HV per paper Eq. 7:
+  ///   1 - (y . z) / (|y| |z|).
+  /// Returns 1.0 when either vector has zero norm (maximally distant by
+  /// convention, so empty centroids never attract points).
+  double cosine_distance(const HyperVector& hv) const;
+
+  /// Majority-rule binarization: bit i set iff counts[i]*2 > total_weight.
+  /// Ties (exactly half) resolve to 0. Classical HDC bundling output;
+  /// used by the Hamming-distance clustering variant.
+  HyperVector to_majority() const;
+
+ private:
+  std::vector<std::int64_t> counts_;
+  std::uint64_t total_weight_ = 0;
+  // Norm bookkeeping: kept incrementally so the clusterer's per-point
+  // cosine distance never rescans the full accumulator.
+  std::int64_t sum_squares_ = 0;
+};
+
+}  // namespace seghdc::hdc
+
+#endif  // SEGHDC_HDC_ACCUMULATOR_HPP

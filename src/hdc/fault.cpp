@@ -1,0 +1,43 @@
+#include "src/hdc/fault.hpp"
+
+#include <cmath>
+
+#include "src/util/contracts.hpp"
+
+namespace seghdc::hdc {
+
+std::size_t inject_bit_flips(HyperVector& hv, double rate,
+                             util::Rng& rng) {
+  util::expects(rate >= 0.0 && rate <= 1.0,
+                "inject_bit_flips rate must be in [0, 1]");
+  if (rate == 0.0 || hv.dim() == 0) {
+    return 0;
+  }
+  std::size_t flipped = 0;
+  if (rate >= 0.5) {
+    // Dense regime: test every bit directly.
+    for (std::size_t i = 0; i < hv.dim(); ++i) {
+      if (rng.next_double() < rate) {
+        hv.flip(i);
+        ++flipped;
+      }
+    }
+    return flipped;
+  }
+  // Sparse regime: geometric skips between flips (inverse-CDF sampling
+  // of the gap distribution), O(expected flips).
+  const double log_keep = std::log1p(-rate);
+  double position = 0.0;
+  for (;;) {
+    const double u = rng.next_double();
+    // Gap to the next flipped bit.
+    position += std::floor(std::log1p(-u) / log_keep) + 1.0;
+    if (position > static_cast<double>(hv.dim())) {
+      return flipped;
+    }
+    hv.flip(static_cast<std::size_t>(position) - 1);
+    ++flipped;
+  }
+}
+
+}  // namespace seghdc::hdc

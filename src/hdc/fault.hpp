@@ -1,0 +1,28 @@
+// Fault injection for binary hypervectors.
+//
+// A core selling point of HDC (paper Section I, citing its refs [18]
+// and [22]) is robustness: the information in a hypervector is spread
+// holographically across all d dimensions, so random bit errors — from
+// low-voltage SRAM, approximate memories, or radiation — degrade
+// similarity gracefully instead of catastrophically. This module
+// provides the error model used by the robustness bench and the
+// failure-injection tests: independent per-bit flips at a given rate.
+#ifndef SEGHDC_HDC_FAULT_HPP
+#define SEGHDC_HDC_FAULT_HPP
+
+#include <cstddef>
+
+#include "src/hdc/hypervector.hpp"
+#include "src/util/rng.hpp"
+
+namespace seghdc::hdc {
+
+/// Flips each bit of `hv` independently with probability `rate`
+/// (in [0, 1]). Returns the number of bits actually flipped.
+/// Implementation draws the flip count from the exact binomial via
+/// per-word mask sampling, so the cost is O(d/64 + flips).
+std::size_t inject_bit_flips(HyperVector& hv, double rate, util::Rng& rng);
+
+}  // namespace seghdc::hdc
+
+#endif  // SEGHDC_HDC_FAULT_HPP

@@ -1,0 +1,156 @@
+#include "src/hdc/hypervector.hpp"
+
+#include <bit>
+
+#include "src/util/contracts.hpp"
+
+namespace seghdc::hdc {
+
+HyperVector::HyperVector(std::size_t dim)
+    : dim_(dim), words_(words_for(dim), 0) {}
+
+HyperVector HyperVector::random(std::size_t dim, util::Rng& rng) {
+  HyperVector hv(dim);
+  for (auto& word : hv.words_) {
+    word = rng();
+  }
+  hv.clear_padding();
+  return hv;
+}
+
+void HyperVector::clear_padding() {
+  const std::size_t tail = dim_ % 64;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << tail) - 1;
+  }
+}
+
+bool HyperVector::get(std::size_t index) const {
+  util::expects(index < dim_, "HyperVector::get index within dimension");
+  return ((words_[index / 64] >> (index % 64)) & 1) != 0;
+}
+
+void HyperVector::set(std::size_t index, bool value) {
+  util::expects(index < dim_, "HyperVector::set index within dimension");
+  const std::uint64_t mask = std::uint64_t{1} << (index % 64);
+  if (value) {
+    words_[index / 64] |= mask;
+  } else {
+    words_[index / 64] &= ~mask;
+  }
+}
+
+void HyperVector::flip(std::size_t index) {
+  util::expects(index < dim_, "HyperVector::flip index within dimension");
+  words_[index / 64] ^= std::uint64_t{1} << (index % 64);
+}
+
+void HyperVector::flip_range(std::size_t begin, std::size_t end) {
+  util::expects(begin <= end && end <= dim_,
+                "HyperVector::flip_range requires begin <= end <= dim");
+  if (begin == end) {
+    return;
+  }
+  const std::size_t first_word = begin / 64;
+  const std::size_t last_word = (end - 1) / 64;
+  if (first_word == last_word) {
+    // Mask covering bits [begin%64, end%64) of a single word.
+    const std::size_t len = end - begin;
+    const std::uint64_t ones =
+        len == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << len) - 1);
+    words_[first_word] ^= ones << (begin % 64);
+    return;
+  }
+  words_[first_word] ^= ~std::uint64_t{0} << (begin % 64);
+  for (std::size_t w = first_word + 1; w < last_word; ++w) {
+    words_[w] = ~words_[w];
+  }
+  const std::size_t tail = end % 64;
+  const std::uint64_t tail_mask =
+      tail == 0 ? ~std::uint64_t{0} : ((std::uint64_t{1} << tail) - 1);
+  words_[last_word] ^= tail_mask;
+  clear_padding();
+}
+
+std::size_t HyperVector::popcount() const {
+  std::size_t count = 0;
+  for (const auto word : words_) {
+    count += static_cast<std::size_t>(std::popcount(word));
+  }
+  return count;
+}
+
+HyperVector HyperVector::operator^(const HyperVector& other) const {
+  HyperVector result = *this;
+  result ^= other;
+  return result;
+}
+
+HyperVector& HyperVector::operator^=(const HyperVector& other) {
+  util::expects(dim_ == other.dim_,
+                "HyperVector XOR requires equal dimensions");
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    words_[w] ^= other.words_[w];
+  }
+  return *this;
+}
+
+std::size_t HyperVector::hamming(const HyperVector& a, const HyperVector& b) {
+  util::expects(a.dim_ == b.dim_,
+                "Hamming distance requires equal dimensions");
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < a.words_.size(); ++w) {
+    count += static_cast<std::size_t>(std::popcount(a.words_[w] ^ b.words_[w]));
+  }
+  return count;
+}
+
+HyperVector HyperVector::concat(std::span<const HyperVector> parts) {
+  std::size_t total = 0;
+  for (const auto& part : parts) {
+    total += part.dim();
+  }
+  HyperVector result(total);
+  // Word-level splice: each part is OR-ed in at its bit offset with two
+  // shifted writes per word. Parts' padding bits are zero by invariant,
+  // so the OR never leaks stray bits.
+  std::size_t offset = 0;
+  for (const auto& part : parts) {
+    if (part.dim() == 0) {
+      continue;
+    }
+    const auto words = part.words();
+    const std::size_t word_offset = offset / 64;
+    const std::size_t shift = offset % 64;
+    if (shift == 0) {
+      for (std::size_t w = 0; w < words.size(); ++w) {
+        result.words_[word_offset + w] |= words[w];
+      }
+    } else {
+      for (std::size_t w = 0; w < words.size(); ++w) {
+        result.words_[word_offset + w] |= words[w] << shift;
+        const std::uint64_t high = words[w] >> (64 - shift);
+        if (high != 0) {
+          result.words_[word_offset + w + 1] |= high;
+        }
+      }
+    }
+    offset += part.dim();
+  }
+  result.clear_padding();
+  return result;
+}
+
+HyperVector HyperVector::slice(std::size_t begin, std::size_t end) const {
+  util::expects(begin <= end && end <= dim_,
+                "HyperVector::slice requires begin <= end <= dim");
+  HyperVector result(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    if (get(i)) {
+      result.set(i - begin, true);
+    }
+  }
+  return result;
+}
+
+}  // namespace seghdc::hdc

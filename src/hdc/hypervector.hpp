@@ -1,0 +1,105 @@
+// Binary hypervector: the fundamental data type of hyperdimensional
+// computing (paper Section II). A hypervector (HV) is a d-dimensional
+// vector of bits, with d typically in the hundreds to tens of thousands.
+//
+// Representation: bit-packed into 64-bit words so that the two operations
+// SegHDC leans on — XOR binding and Hamming distance — run word-parallel
+// (one XOR / one popcount per 64 dimensions). The unused padding bits of
+// the last word are kept at zero as a class invariant; every mutator
+// preserves it and popcount()/hamming() rely on it.
+#ifndef SEGHDC_HDC_HYPERVECTOR_HPP
+#define SEGHDC_HDC_HYPERVECTOR_HPP
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace seghdc::hdc {
+
+/// Bit-packed binary hypervector of fixed dimensionality.
+class HyperVector {
+ public:
+  /// An empty (dimension-0) HV; useful as a placeholder before assignment.
+  HyperVector() = default;
+
+  /// All-zero HV of dimension `dim`.
+  explicit HyperVector(std::size_t dim);
+
+  /// HV with each bit drawn i.i.d. uniform from {0, 1}. This is the
+  /// classical HDC "random seed HV": two such vectors are
+  /// pseudo-orthogonal (normalized Hamming distance ~ 0.5) with
+  /// overwhelming probability at high dimension.
+  static HyperVector random(std::size_t dim, util::Rng& rng);
+
+  std::size_t dim() const { return dim_; }
+  bool empty() const { return dim_ == 0; }
+
+  /// Value of bit `index`. Requires index < dim().
+  bool get(std::size_t index) const;
+
+  /// Sets bit `index` to `value`. Requires index < dim().
+  void set(std::size_t index, bool value);
+
+  /// Inverts bit `index`. Requires index < dim().
+  void flip(std::size_t index);
+
+  /// Inverts all bits in [begin, end). Requires begin <= end <= dim().
+  /// This is the primitive behind the paper's Manhattan-distance
+  /// encodings: flipping a run of `x` bits moves the HV exactly Hamming
+  /// distance `x` away from its previous value.
+  void flip_range(std::size_t begin, std::size_t end);
+
+  /// Number of set bits.
+  std::size_t popcount() const;
+
+  /// Element-wise XOR (the HDC binding operator). Requires equal dims.
+  HyperVector operator^(const HyperVector& other) const;
+  HyperVector& operator^=(const HyperVector& other);
+
+  bool operator==(const HyperVector& other) const = default;
+
+  /// Hamming distance: number of differing bits. Requires equal dims.
+  static std::size_t hamming(const HyperVector& a, const HyperVector& b);
+
+  /// Concatenates `parts` into one HV whose dimension is the sum of the
+  /// parts' dimensions (paper Fig. 4: the 3-channel color HV is the
+  /// concatenation of three d/3-dimensional channel HVs).
+  static HyperVector concat(std::span<const HyperVector> parts);
+
+  /// Copy of bits [begin, end) as a new (end-begin)-dimensional HV.
+  HyperVector slice(std::size_t begin, std::size_t end) const;
+
+  /// Invokes `fn(index)` for every set bit in ascending order. This is the
+  /// hot loop of the cosine-distance computation against integer
+  /// centroids, so it iterates words and uses countr_zero.
+  template <typename Fn>
+  void for_each_set_bit(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn(w * 64 + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Raw word storage (little-endian bit order within each word). The
+  /// last word's padding bits are guaranteed zero.
+  std::span<const std::uint64_t> words() const { return words_; }
+
+ private:
+  static std::size_t words_for(std::size_t dim) { return (dim + 63) / 64; }
+  void clear_padding();
+
+  std::size_t dim_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace seghdc::hdc
+
+#endif  // SEGHDC_HDC_HYPERVECTOR_HPP

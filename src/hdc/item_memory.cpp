@@ -1,0 +1,90 @@
+#include "src/hdc/item_memory.hpp"
+
+#include <utility>
+
+#include "src/util/contracts.hpp"
+
+namespace seghdc::hdc {
+
+RandomItemMemory::RandomItemMemory(std::size_t dim, std::size_t symbols,
+                                   util::Rng& rng)
+    : dim_(dim) {
+  util::expects(dim > 0, "RandomItemMemory dimension must be positive");
+  util::expects(symbols > 0, "RandomItemMemory needs at least one symbol");
+  items_.reserve(symbols);
+  for (std::size_t s = 0; s < symbols; ++s) {
+    items_.push_back(HyperVector::random(dim, rng));
+  }
+}
+
+const HyperVector& RandomItemMemory::at(std::size_t symbol) const {
+  util::expects(symbol < items_.size(),
+                "RandomItemMemory::at symbol out of range");
+  return items_[symbol];
+}
+
+namespace {
+
+std::vector<std::size_t> linear_offsets(std::size_t levels,
+                                        std::size_t span) {
+  util::expects(levels >= 2, "LevelItemMemory needs at least two levels");
+  std::vector<std::size_t> offsets(levels);
+  for (std::size_t k = 0; k < levels; ++k) {
+    // offset(k) = floor(k * span / (levels-1)): exact multiples when span
+    // is a multiple of levels-1 (the paper's uc ladder), evenly spread
+    // fractional steps otherwise.
+    offsets[k] = k * span / (levels - 1);
+  }
+  return offsets;
+}
+
+}  // namespace
+
+LevelItemMemory::LevelItemMemory(std::size_t dim, std::size_t levels,
+                                 std::size_t span, util::Rng& rng,
+                                 std::size_t region_begin)
+    : LevelItemMemory(dim, linear_offsets(levels, span), rng,
+                      region_begin) {}
+
+LevelItemMemory::LevelItemMemory(std::size_t dim,
+                                 std::vector<std::size_t> offsets,
+                                 util::Rng& rng, std::size_t region_begin)
+    : dim_(dim), offsets_(std::move(offsets)) {
+  util::expects(dim > 0, "LevelItemMemory dimension must be positive");
+  util::expects(offsets_.size() >= 2,
+                "LevelItemMemory needs at least two levels");
+  util::expects(offsets_.front() == 0,
+                "LevelItemMemory offsets must start at 0");
+  for (std::size_t k = 1; k < offsets_.size(); ++k) {
+    util::expects(offsets_[k] >= offsets_[k - 1],
+                  "LevelItemMemory offsets must be non-decreasing");
+  }
+  util::expects(region_begin + offsets_.back() <= dim,
+                "LevelItemMemory flip region must fit in the dimension");
+  span_ = offsets_.back();
+
+  items_.reserve(offsets_.size());
+  HyperVector current = HyperVector::random(dim, rng);
+  items_.push_back(current);
+  for (std::size_t k = 1; k < offsets_.size(); ++k) {
+    // Flip the incremental range [offset(k-1), offset(k)) so that level k
+    // differs from level 0 in exactly offset(k) leading region bits.
+    current.flip_range(region_begin + offsets_[k - 1],
+                       region_begin + offsets_[k]);
+    items_.push_back(current);
+  }
+}
+
+const HyperVector& LevelItemMemory::at(std::size_t level) const {
+  util::expects(level < items_.size(),
+                "LevelItemMemory::at level out of range");
+  return items_[level];
+}
+
+std::size_t LevelItemMemory::offset(std::size_t level) const {
+  util::expects(level < offsets_.size(),
+                "LevelItemMemory::offset level out of range");
+  return offsets_[level];
+}
+
+}  // namespace seghdc::hdc

@@ -1,0 +1,83 @@
+// Item memories: fixed codebooks mapping discrete symbols to hypervectors.
+//
+// * RandomItemMemory — the classical HDC codebook ([17] in the paper):
+//   every symbol gets an i.i.d. random HV, so all pairs are
+//   pseudo-orthogonal and NO similarity structure survives encoding.
+//   SegHDC's RPos / RColor ablation columns in Table I are exactly this
+//   codebook substituted for the structured position / color encoders.
+//
+// * LevelItemMemory — a linear "level ladder": level k is the base HV with
+//   the first offset(k) bits flipped, offset(k) = floor(k * span / (L-1)).
+//   Hamming(level_a, level_b) = |offset(a) - offset(b)|, i.e. Hamming
+//   distance realises the Manhattan distance between level indices
+//   (paper Section III-②). With span = (L-1) * unit this reproduces the
+//   paper's fixed flip unit `uc = floor(d/256)` exactly; with other spans
+//   it degrades gracefully when the dimension is too small for a whole
+//   unit per level (e.g. d=800 split across 3 color channels).
+#ifndef SEGHDC_HDC_ITEM_MEMORY_HPP
+#define SEGHDC_HDC_ITEM_MEMORY_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "src/hdc/hypervector.hpp"
+#include "src/util/rng.hpp"
+
+namespace seghdc::hdc {
+
+/// Codebook of i.i.d. random hypervectors, one per symbol.
+class RandomItemMemory {
+ public:
+  /// Generates `symbols` random HVs of dimension `dim`.
+  RandomItemMemory(std::size_t dim, std::size_t symbols, util::Rng& rng);
+
+  std::size_t dim() const { return dim_; }
+  std::size_t size() const { return items_.size(); }
+
+  /// HV for `symbol`. Requires symbol < size().
+  const HyperVector& at(std::size_t symbol) const;
+
+ private:
+  std::size_t dim_;
+  std::vector<HyperVector> items_;
+};
+
+/// Linear level ladder over [0, levels) with Manhattan-distance structure.
+class LevelItemMemory {
+ public:
+  /// `span` is the total number of bit positions the ladder sweeps from
+  /// level 0 to level levels-1; it must satisfy span <= dim. The flipped
+  /// region is [region_begin, region_begin + span).
+  LevelItemMemory(std::size_t dim, std::size_t levels, std::size_t span,
+                  util::Rng& rng, std::size_t region_begin = 0);
+
+  /// General ladder with caller-provided cumulative flip offsets, one
+  /// per level (monotone non-decreasing, offsets.front() == 0,
+  /// offsets.back() + region_begin <= dim). Level k differs from level 0
+  /// in exactly offsets[k] region bits; used by the color encoder's
+  /// gamma widening, where offsets grow gamma-fold and clip at the
+  /// channel capacity.
+  LevelItemMemory(std::size_t dim, std::vector<std::size_t> offsets,
+                  util::Rng& rng, std::size_t region_begin = 0);
+
+  std::size_t dim() const { return dim_; }
+  std::size_t levels() const { return offsets_.size(); }
+  std::size_t span() const { return span_; }
+
+  /// HV for `level`. Requires level < levels().
+  const HyperVector& at(std::size_t level) const;
+
+  /// Number of bits flipped (relative to level 0) at `level`; the Hamming
+  /// distance between levels a and b is |offset(a) - offset(b)|.
+  std::size_t offset(std::size_t level) const;
+
+ private:
+  std::size_t dim_;
+  std::size_t span_;
+  std::vector<std::size_t> offsets_;
+  std::vector<HyperVector> items_;
+};
+
+}  // namespace seghdc::hdc
+
+#endif  // SEGHDC_HDC_ITEM_MEMORY_HPP

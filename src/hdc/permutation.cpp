@@ -1,0 +1,28 @@
+#include "src/hdc/permutation.hpp"
+
+namespace seghdc::hdc {
+
+HyperVector rotate(const HyperVector& hv, std::size_t shift) {
+  if (hv.dim() == 0) {
+    return hv;
+  }
+  const std::size_t d = hv.dim();
+  const std::size_t offset = shift % d;
+  if (offset == 0) {
+    return hv;
+  }
+  HyperVector result(d);
+  // Bit-wise construction: rotation is never in a per-pixel hot path.
+  for (std::size_t i = 0; i < d; ++i) {
+    if (hv.get((i + offset) % d)) {
+      result.set(i, true);
+    }
+  }
+  return result;
+}
+
+HyperVector rho(const HyperVector& hv, std::size_t times) {
+  return rotate(hv, times);
+}
+
+}  // namespace seghdc::hdc

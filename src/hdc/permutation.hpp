@@ -1,0 +1,26 @@
+// Cyclic permutation (the HDC "rho" operator): rotating a hypervector's
+// bits produces a vector pseudo-orthogonal to the original, which
+// classical HDC uses to encode order/sequence information. SegHDC itself
+// binds position with XOR ladders instead, but the operator belongs in
+// any complete HDC substrate (and enables sequence-encoding extensions,
+// e.g. video frames).
+#ifndef SEGHDC_HDC_PERMUTATION_HPP
+#define SEGHDC_HDC_PERMUTATION_HPP
+
+#include <cstddef>
+
+#include "src/hdc/hypervector.hpp"
+
+namespace seghdc::hdc {
+
+/// Cyclic left-rotation of the bit vector by `shift` positions
+/// (bit i of the result = bit (i + shift) mod d of the input).
+HyperVector rotate(const HyperVector& hv, std::size_t shift);
+
+/// Applies rotate() `times` times with shift 1 — the classical rho^n.
+/// Equivalent to rotate(hv, times % dim) but spelled out for clarity.
+HyperVector rho(const HyperVector& hv, std::size_t times = 1);
+
+}  // namespace seghdc::hdc
+
+#endif  // SEGHDC_HDC_PERMUTATION_HPP

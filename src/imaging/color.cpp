@@ -1,0 +1,105 @@
+#include "src/imaging/color.hpp"
+
+#include "src/util/contracts.hpp"
+
+namespace seghdc::img {
+
+std::uint8_t luma(std::uint8_t r, std::uint8_t g, std::uint8_t b) {
+  const double value = 0.299 * r + 0.587 * g + 0.114 * b;
+  return static_cast<std::uint8_t>(value + 0.5);
+}
+
+ImageU8 to_gray(const ImageU8& image) {
+  if (image.channels() == 1) {
+    return image;
+  }
+  util::expects(image.channels() == 3, "to_gray supports 1 or 3 channels");
+  ImageU8 gray(image.width(), image.height(), 1);
+  for (std::size_t y = 0; y < image.height(); ++y) {
+    for (std::size_t x = 0; x < image.width(); ++x) {
+      gray(x, y) = luma(image(x, y, 0), image(x, y, 1), image(x, y, 2));
+    }
+  }
+  return gray;
+}
+
+ImageU8 to_rgb(const ImageU8& image) {
+  if (image.channels() == 3) {
+    return image;
+  }
+  util::expects(image.channels() == 1, "to_rgb supports 1 or 3 channels");
+  ImageU8 rgb(image.width(), image.height(), 3);
+  for (std::size_t y = 0; y < image.height(); ++y) {
+    for (std::size_t x = 0; x < image.width(); ++x) {
+      const std::uint8_t v = image(x, y);
+      rgb(x, y, 0) = v;
+      rgb(x, y, 1) = v;
+      rgb(x, y, 2) = v;
+    }
+  }
+  return rgb;
+}
+
+std::uint8_t pixel_intensity(const ImageU8& image, std::size_t x,
+                             std::size_t y) {
+  if (image.channels() == 1) {
+    return image.at(x, y);
+  }
+  util::expects(image.channels() == 3,
+                "pixel_intensity supports 1 or 3 channels");
+  return luma(image.at(x, y, 0), image.at(x, y, 1), image.at(x, y, 2));
+}
+
+std::array<std::uint8_t, 3> label_color(std::uint32_t label) {
+  // Hand-picked high-contrast palette for the first few labels (all the
+  // paper's experiments use k <= 3), then a golden-ratio hue walk.
+  static constexpr std::array<std::array<std::uint8_t, 3>, 8> kPalette = {{
+      {0, 0, 0},        // background: black
+      {255, 255, 255},  // foreground: white
+      {230, 60, 60},    // red
+      {60, 120, 230},   // blue
+      {60, 200, 90},    // green
+      {240, 180, 40},   // amber
+      {180, 80, 220},   // purple
+      {80, 220, 220},   // cyan
+  }};
+  if (label < kPalette.size()) {
+    return kPalette[label];
+  }
+  // Deterministic pseudo-hue for any further labels.
+  const std::uint32_t h = label * 2654435761u;
+  return {static_cast<std::uint8_t>(64 + (h & 0x7F)),
+          static_cast<std::uint8_t>(64 + ((h >> 8) & 0x7F)),
+          static_cast<std::uint8_t>(64 + ((h >> 16) & 0x7F))};
+}
+
+ImageU8 colorize_labels(const LabelMap& labels) {
+  util::expects(labels.channels() == 1, "colorize_labels expects 1 channel");
+  ImageU8 rgb(labels.width(), labels.height(), 3);
+  for (std::size_t y = 0; y < labels.height(); ++y) {
+    for (std::size_t x = 0; x < labels.width(); ++x) {
+      const auto color = label_color(labels(x, y));
+      rgb(x, y, 0) = color[0];
+      rgb(x, y, 1) = color[1];
+      rgb(x, y, 2) = color[2];
+    }
+  }
+  return rgb;
+}
+
+ImageU8 labels_to_mask(const LabelMap& labels,
+                       std::uint32_t foreground_mask) {
+  util::expects(labels.channels() == 1, "labels_to_mask expects 1 channel");
+  ImageU8 mask(labels.width(), labels.height(), 1);
+  for (std::size_t y = 0; y < labels.height(); ++y) {
+    for (std::size_t x = 0; x < labels.width(); ++x) {
+      const std::uint32_t label = labels(x, y);
+      const bool fg =
+          label < 32 && ((foreground_mask >> label) & 1u) != 0;
+      mask(x, y) = fg ? 255 : 0;
+    }
+  }
+  return mask;
+}
+
+}  // namespace seghdc::img

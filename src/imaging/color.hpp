@@ -1,0 +1,40 @@
+// Color conversions and label-map visualisation helpers.
+#ifndef SEGHDC_IMAGING_COLOR_HPP
+#define SEGHDC_IMAGING_COLOR_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "src/imaging/image.hpp"
+
+namespace seghdc::img {
+
+/// Rec. 601 luma of an RGB triple, rounded to nearest.
+std::uint8_t luma(std::uint8_t r, std::uint8_t g, std::uint8_t b);
+
+/// 3-channel -> 1-channel luma conversion. 1-channel input is copied.
+ImageU8 to_gray(const ImageU8& image);
+
+/// 1-channel -> 3-channel replication. 3-channel input is copied.
+ImageU8 to_rgb(const ImageU8& image);
+
+/// Scalar intensity of the pixel at (x, y): the value itself for
+/// single-channel images, luma for RGB. Used by the clusterer's
+/// "largest color difference" centroid initialisation.
+std::uint8_t pixel_intensity(const ImageU8& image, std::size_t x,
+                             std::size_t y);
+
+/// A visually distinct color for cluster `label` (stable palette;
+/// label 0 is black so binary masks render conventionally).
+std::array<std::uint8_t, 3> label_color(std::uint32_t label);
+
+/// Renders a label map as an RGB image using label_color().
+ImageU8 colorize_labels(const LabelMap& labels);
+
+/// Renders a label map as a binary mask: pixels whose label is in
+/// `foreground_mask` (bit i set = label i is foreground) become 255.
+ImageU8 labels_to_mask(const LabelMap& labels, std::uint32_t foreground_mask);
+
+}  // namespace seghdc::img
+
+#endif  // SEGHDC_IMAGING_COLOR_HPP

@@ -1,0 +1,119 @@
+#include "src/imaging/connected_components.hpp"
+
+#include <numeric>
+
+#include "src/util/contracts.hpp"
+
+namespace seghdc::img {
+
+namespace {
+
+/// Flat union-find over pixel indices with path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) {
+    const std::size_t ra = find(a);
+    const std::size_t rb = find(b);
+    if (ra != rb) {
+      // Attach the larger root index under the smaller one so the
+      // raster-order numbering below stays deterministic.
+      if (ra < rb) {
+        parent_[rb] = ra;
+      } else {
+        parent_[ra] = rb;
+      }
+    }
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+ComponentResult connected_components(const ImageU8& mask,
+                                     Connectivity connectivity) {
+  util::expects(mask.channels() == 1,
+                "connected_components expects a 1-channel mask");
+  const std::size_t width = mask.width();
+  const std::size_t height = mask.height();
+  UnionFind uf(width * height);
+
+  const auto is_fg = [&](std::size_t x, std::size_t y) {
+    return mask(x, y) != 0;
+  };
+
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      if (!is_fg(x, y)) {
+        continue;
+      }
+      const std::size_t index = y * width + x;
+      if (x > 0 && is_fg(x - 1, y)) {
+        uf.unite(index, index - 1);
+      }
+      if (y > 0 && is_fg(x, y - 1)) {
+        uf.unite(index, index - width);
+      }
+      if (connectivity == Connectivity::kEight && y > 0) {
+        if (x > 0 && is_fg(x - 1, y - 1)) {
+          uf.unite(index, index - width - 1);
+        }
+        if (x + 1 < width && is_fg(x + 1, y - 1)) {
+          uf.unite(index, index - width + 1);
+        }
+      }
+    }
+  }
+
+  ComponentResult result;
+  result.labels = LabelMap(width, height, 1, 0);
+  std::vector<std::uint32_t> root_label(width * height, 0);
+  std::uint32_t next_label = 0;
+
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      if (!is_fg(x, y)) {
+        continue;
+      }
+      const std::size_t root = uf.find(y * width + x);
+      if (root_label[root] == 0) {
+        root_label[root] = ++next_label;
+        ComponentStats stats;
+        stats.label = next_label;
+        stats.min_x = stats.max_x = x;
+        stats.min_y = stats.max_y = y;
+        result.components.push_back(stats);
+      }
+      const std::uint32_t label = root_label[root];
+      result.labels(x, y) = label;
+      auto& stats = result.components[label - 1];
+      ++stats.area;
+      stats.min_x = std::min(stats.min_x, x);
+      stats.max_x = std::max(stats.max_x, x);
+      stats.min_y = std::min(stats.min_y, y);
+      stats.max_y = std::max(stats.max_y, y);
+      stats.centroid_x += static_cast<double>(x);
+      stats.centroid_y += static_cast<double>(y);
+    }
+  }
+  for (auto& stats : result.components) {
+    stats.centroid_x /= static_cast<double>(stats.area);
+    stats.centroid_y /= static_cast<double>(stats.area);
+  }
+  return result;
+}
+
+}  // namespace seghdc::img

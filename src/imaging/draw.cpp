@@ -1,0 +1,148 @@
+#include "src/imaging/draw.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/contracts.hpp"
+
+namespace seghdc::img {
+
+double BlobShape::radial_fraction(double x, double y) const {
+  const double dx = x - center_x;
+  const double dy = y - center_y;
+  const double cos_a = std::cos(angle);
+  const double sin_a = std::sin(angle);
+  // Rotate into the blob frame, normalise by the semi-axes.
+  const double u = (dx * cos_a + dy * sin_a) / radius_x;
+  const double v = (-dx * sin_a + dy * cos_a) / radius_y;
+  const double base = std::sqrt(u * u + v * v);
+  if (harmonic_amplitudes.empty()) {
+    return base;
+  }
+  const double theta = std::atan2(v, u);
+  double modulation = 1.0;
+  for (std::size_t k = 0; k < harmonic_amplitudes.size(); ++k) {
+    const double phase =
+        k < harmonic_phases.size() ? harmonic_phases[k] : 0.0;
+    modulation += harmonic_amplitudes[k] *
+                  std::sin(static_cast<double>(k + 2) * theta + phase);
+  }
+  // Guard against degenerate negative modulation from extreme amplitudes.
+  modulation = std::max(0.2, modulation);
+  return base / modulation;
+}
+
+BlobShape BlobShape::random(double cx, double cy, double radius,
+                            double max_eccentricity, double irregularity,
+                            util::Rng& rng) {
+  util::expects(radius > 0.0, "BlobShape::random radius must be positive");
+  util::expects(max_eccentricity >= 0.0 && max_eccentricity < 1.0,
+                "BlobShape::random eccentricity must be in [0, 1)");
+  BlobShape shape;
+  shape.center_x = cx;
+  shape.center_y = cy;
+  const double ecc = rng.next_double_in(0.0, max_eccentricity);
+  shape.radius_x = radius * (1.0 + ecc);
+  shape.radius_y = radius * (1.0 - ecc);
+  shape.angle = rng.next_double_in(0.0, 2.0 * 3.14159265358979323846);
+  if (irregularity > 0.0) {
+    const std::size_t harmonics = 3;
+    shape.harmonic_amplitudes.resize(harmonics);
+    shape.harmonic_phases.resize(harmonics);
+    for (std::size_t k = 0; k < harmonics; ++k) {
+      // Higher harmonics get smaller amplitudes to keep boundaries smooth.
+      shape.harmonic_amplitudes[k] = rng.next_double_in(
+          0.0, irregularity / static_cast<double>(k + 1));
+      shape.harmonic_phases[k] =
+          rng.next_double_in(0.0, 2.0 * 3.14159265358979323846);
+    }
+  }
+  return shape;
+}
+
+void fill_blob(ImageU8& image, ImageU8* mask, const BlobShape& shape,
+               const ShadeFn& shade) {
+  util::expects(static_cast<bool>(shade), "fill_blob requires a shader");
+  if (mask != nullptr) {
+    util::expects(mask->channels() == 1 && mask->width() == image.width() &&
+                      mask->height() == image.height(),
+                  "fill_blob mask must be a 1-channel image of equal size");
+  }
+  // Conservative bounding box: max radius * (1 + total harmonic swing).
+  double swing = 1.0;
+  for (const double a : shape.harmonic_amplitudes) {
+    swing += std::abs(a);
+  }
+  const double reach = std::max(shape.radius_x, shape.radius_y) * swing + 1.0;
+  const auto x_begin = static_cast<std::ptrdiff_t>(
+      std::floor(shape.center_x - reach));
+  const auto x_end =
+      static_cast<std::ptrdiff_t>(std::ceil(shape.center_x + reach));
+  const auto y_begin = static_cast<std::ptrdiff_t>(
+      std::floor(shape.center_y - reach));
+  const auto y_end =
+      static_cast<std::ptrdiff_t>(std::ceil(shape.center_y + reach));
+
+  for (std::ptrdiff_t y = std::max<std::ptrdiff_t>(0, y_begin);
+       y < std::min<std::ptrdiff_t>(
+               static_cast<std::ptrdiff_t>(image.height()), y_end);
+       ++y) {
+    for (std::ptrdiff_t x = std::max<std::ptrdiff_t>(0, x_begin);
+         x < std::min<std::ptrdiff_t>(
+                 static_cast<std::ptrdiff_t>(image.width()), x_end);
+         ++x) {
+      const double fraction = shape.radial_fraction(
+          static_cast<double>(x), static_cast<double>(y));
+      if (fraction > 1.0) {
+        continue;
+      }
+      const auto ux = static_cast<std::size_t>(x);
+      const auto uy = static_cast<std::size_t>(y);
+      for (std::size_t c = 0; c < image.channels(); ++c) {
+        image(ux, uy, c) = shade(fraction, c, image(ux, uy, c));
+      }
+      if (mask != nullptr) {
+        (*mask)(ux, uy) = 255;
+      }
+    }
+  }
+}
+
+ShadeFn flat_shade(std::uint8_t value, double rim) {
+  return [value, rim](double fraction, std::size_t, std::uint8_t current) {
+    if (rim <= 0.0 || fraction < 1.0 - rim) {
+      return value;
+    }
+    // Linear blend from the blob value to the underlying background
+    // across the rim band.
+    const double t = (fraction - (1.0 - rim)) / rim;
+    const double blended = value + (current - value) * t;
+    return static_cast<std::uint8_t>(std::clamp(blended + 0.5, 0.0, 255.0));
+  };
+}
+
+ShadeFn gradient_shade(std::uint8_t center_value, std::uint8_t edge_value) {
+  return [center_value, edge_value](double fraction, std::size_t,
+                                    std::uint8_t) {
+    const double blended =
+        center_value + (edge_value - center_value) * fraction;
+    return static_cast<std::uint8_t>(std::clamp(blended + 0.5, 0.0, 255.0));
+  };
+}
+
+bool overlaps_any(const BlobShape& shape,
+                  const std::vector<BlobShape>& existing, double min_gap) {
+  const double r1 = std::max(shape.radius_x, shape.radius_y);
+  for (const auto& other : existing) {
+    const double r2 = std::max(other.radius_x, other.radius_y);
+    const double dx = shape.center_x - other.center_x;
+    const double dy = shape.center_y - other.center_y;
+    const double dist = std::sqrt(dx * dx + dy * dy);
+    if (dist < r1 + r2 + min_gap) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace seghdc::img

@@ -1,0 +1,66 @@
+// Rasterisation of the organic shapes the synthetic datasets are built
+// from: rotated ellipses and "blobs" (ellipses with a low-frequency radial
+// perturbation that mimics nuclear membrane irregularity).
+#ifndef SEGHDC_IMAGING_DRAW_HPP
+#define SEGHDC_IMAGING_DRAW_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/imaging/image.hpp"
+#include "src/util/rng.hpp"
+
+namespace seghdc::img {
+
+/// Geometry of a blob: a rotated ellipse whose radius is modulated by a
+/// small sum of angular harmonics, r(theta) *= 1 + sum_k a_k sin(k theta
+/// + phi_k). With all amplitudes zero this is an exact ellipse.
+struct BlobShape {
+  double center_x = 0.0;
+  double center_y = 0.0;
+  double radius_x = 1.0;   ///< semi-axis along the blob's own x
+  double radius_y = 1.0;   ///< semi-axis along the blob's own y
+  double angle = 0.0;      ///< rotation of the axes, radians
+  std::vector<double> harmonic_amplitudes;  ///< a_k for k = 2, 3, ...
+  std::vector<double> harmonic_phases;      ///< phi_k, same length
+
+  /// Signed "radial fraction" of point (x, y): < 1 inside, 1 on the
+  /// boundary, > 1 outside. Used both for hit-testing and shading.
+  double radial_fraction(double x, double y) const;
+
+  /// Random blob centered at (cx, cy) with mean radius `radius`,
+  /// eccentricity up to `max_eccentricity` (0 = circle), and boundary
+  /// irregularity `irregularity` (relative amplitude of the harmonics).
+  static BlobShape random(double cx, double cy, double radius,
+                          double max_eccentricity, double irregularity,
+                          util::Rng& rng);
+};
+
+/// Per-pixel, per-channel shading callback: receives the radial fraction
+/// in [0, 1] (0 = center, 1 = boundary), the channel index, and the
+/// current value; returns the new value.
+using ShadeFn = std::function<std::uint8_t(
+    double radial_fraction, std::size_t channel, std::uint8_t current)>;
+
+/// Rasterises `shape` into `image` (all channels receive the shaded
+/// value) and, when `mask` is non-null, sets covered mask pixels to 255.
+void fill_blob(ImageU8& image, ImageU8* mask, const BlobShape& shape,
+               const ShadeFn& shade);
+
+/// Convenience shading: flat interior `value` with a soft linear rim of
+/// relative width `rim` blending toward the existing background.
+ShadeFn flat_shade(std::uint8_t value, double rim);
+
+/// Convenience shading: radial gradient from `center_value` to
+/// `edge_value` (linear in the radial fraction).
+ShadeFn gradient_shade(std::uint8_t center_value, std::uint8_t edge_value);
+
+/// True when `shape`'s bounding circle (mean radius * 1.5) overlaps any
+/// of `existing`'s bounding circles closer than `min_gap` pixels.
+bool overlaps_any(const BlobShape& shape,
+                  const std::vector<BlobShape>& existing, double min_gap);
+
+}  // namespace seghdc::img
+
+#endif  // SEGHDC_IMAGING_DRAW_HPP

@@ -1,0 +1,268 @@
+#include "src/imaging/filters.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "src/util/contracts.hpp"
+
+namespace seghdc::img {
+
+namespace {
+
+std::vector<double> gaussian_kernel(double sigma) {
+  const int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma)));
+  std::vector<double> kernel(static_cast<std::size_t>(2 * radius + 1));
+  double sum = 0.0;
+  for (int i = -radius; i <= radius; ++i) {
+    const double v = std::exp(-(i * i) / (2.0 * sigma * sigma));
+    kernel[static_cast<std::size_t>(i + radius)] = v;
+    sum += v;
+  }
+  for (auto& v : kernel) {
+    v /= sum;
+  }
+  return kernel;
+}
+
+template <typename T>
+Image<T> gaussian_blur_impl(const Image<T>& image, double sigma) {
+  if (sigma <= 0.0) {
+    return image;
+  }
+  const auto kernel = gaussian_kernel(sigma);
+  const int radius = static_cast<int>(kernel.size() / 2);
+  Image<double> horizontal(image.width(), image.height(), image.channels());
+  for (std::size_t y = 0; y < image.height(); ++y) {
+    for (std::size_t x = 0; x < image.width(); ++x) {
+      for (std::size_t c = 0; c < image.channels(); ++c) {
+        double acc = 0.0;
+        for (int k = -radius; k <= radius; ++k) {
+          acc += kernel[static_cast<std::size_t>(k + radius)] *
+                 static_cast<double>(
+                     image.clamped(static_cast<std::ptrdiff_t>(x) + k,
+                                   static_cast<std::ptrdiff_t>(y), c));
+        }
+        horizontal(x, y, c) = acc;
+      }
+    }
+  }
+  Image<T> result(image.width(), image.height(), image.channels());
+  for (std::size_t y = 0; y < image.height(); ++y) {
+    for (std::size_t x = 0; x < image.width(); ++x) {
+      for (std::size_t c = 0; c < image.channels(); ++c) {
+        double acc = 0.0;
+        for (int k = -radius; k <= radius; ++k) {
+          acc += kernel[static_cast<std::size_t>(k + radius)] *
+                 horizontal.clamped(static_cast<std::ptrdiff_t>(x),
+                                    static_cast<std::ptrdiff_t>(y) + k, c);
+        }
+        if constexpr (std::is_same_v<T, std::uint8_t>) {
+          result(x, y, c) = static_cast<std::uint8_t>(
+              std::clamp(acc + 0.5, 0.0, 255.0));
+        } else {
+          result(x, y, c) = static_cast<T>(acc);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ImageU8 gaussian_blur(const ImageU8& image, double sigma) {
+  return gaussian_blur_impl(image, sigma);
+}
+
+ImageF32 gaussian_blur(const ImageF32& image, double sigma) {
+  return gaussian_blur_impl(image, sigma);
+}
+
+ImageU8 box_blur(const ImageU8& image, std::size_t radius) {
+  if (radius == 0) {
+    return image;
+  }
+  const auto r = static_cast<std::ptrdiff_t>(radius);
+  const double inv = 1.0 / static_cast<double>(2 * radius + 1);
+  ImageU8 result(image.width(), image.height(), image.channels());
+  Image<double> horizontal(image.width(), image.height(), image.channels());
+  for (std::size_t y = 0; y < image.height(); ++y) {
+    for (std::size_t x = 0; x < image.width(); ++x) {
+      for (std::size_t c = 0; c < image.channels(); ++c) {
+        double acc = 0.0;
+        for (std::ptrdiff_t k = -r; k <= r; ++k) {
+          acc += image.clamped(static_cast<std::ptrdiff_t>(x) + k,
+                               static_cast<std::ptrdiff_t>(y), c);
+        }
+        horizontal(x, y, c) = acc * inv;
+      }
+    }
+  }
+  for (std::size_t y = 0; y < image.height(); ++y) {
+    for (std::size_t x = 0; x < image.width(); ++x) {
+      for (std::size_t c = 0; c < image.channels(); ++c) {
+        double acc = 0.0;
+        for (std::ptrdiff_t k = -r; k <= r; ++k) {
+          acc += horizontal.clamped(static_cast<std::ptrdiff_t>(x),
+                                    static_cast<std::ptrdiff_t>(y) + k, c);
+        }
+        result(x, y, c) =
+            static_cast<std::uint8_t>(std::clamp(acc * inv + 0.5, 0.0, 255.0));
+      }
+    }
+  }
+  return result;
+}
+
+std::uint8_t otsu_threshold(const ImageU8& image) {
+  util::expects(image.channels() == 1, "otsu_threshold expects 1 channel");
+  std::array<std::uint64_t, 256> histogram{};
+  for (const auto v : image.pixels()) {
+    ++histogram[v];
+  }
+  const double total = static_cast<double>(image.pixel_count());
+  double sum_all = 0.0;
+  for (int v = 0; v < 256; ++v) {
+    sum_all += v * static_cast<double>(histogram[static_cast<std::size_t>(v)]);
+  }
+  double sum_bg = 0.0;
+  double weight_bg = 0.0;
+  double best_between = -1.0;
+  std::uint8_t best_threshold = 0;
+  for (int t = 0; t < 256; ++t) {
+    weight_bg += static_cast<double>(histogram[static_cast<std::size_t>(t)]);
+    if (weight_bg == 0.0) {
+      continue;
+    }
+    const double weight_fg = total - weight_bg;
+    if (weight_fg == 0.0) {
+      break;
+    }
+    sum_bg += t * static_cast<double>(histogram[static_cast<std::size_t>(t)]);
+    const double mean_bg = sum_bg / weight_bg;
+    const double mean_fg = (sum_all - sum_bg) / weight_fg;
+    const double between =
+        weight_bg * weight_fg * (mean_bg - mean_fg) * (mean_bg - mean_fg);
+    if (between > best_between) {
+      best_between = between;
+      best_threshold = static_cast<std::uint8_t>(t);
+    }
+  }
+  return best_threshold;
+}
+
+ImageU8 threshold(const ImageU8& image, std::uint8_t value) {
+  util::expects(image.channels() == 1, "threshold expects 1 channel");
+  ImageU8 mask(image.width(), image.height(), 1);
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    mask.pixels()[i] = image.pixels()[i] > value ? 255 : 0;
+  }
+  return mask;
+}
+
+ImageU8 resize_bilinear(const ImageU8& image, std::size_t new_width,
+                        std::size_t new_height) {
+  util::expects(new_width > 0 && new_height > 0,
+                "resize_bilinear target dimensions must be positive");
+  ImageU8 result(new_width, new_height, image.channels());
+  const double sx =
+      static_cast<double>(image.width()) / static_cast<double>(new_width);
+  const double sy =
+      static_cast<double>(image.height()) / static_cast<double>(new_height);
+  for (std::size_t y = 0; y < new_height; ++y) {
+    const double fy = (static_cast<double>(y) + 0.5) * sy - 0.5;
+    const auto y0 = static_cast<std::ptrdiff_t>(std::floor(fy));
+    const double wy = fy - static_cast<double>(y0);
+    for (std::size_t x = 0; x < new_width; ++x) {
+      const double fx = (static_cast<double>(x) + 0.5) * sx - 0.5;
+      const auto x0 = static_cast<std::ptrdiff_t>(std::floor(fx));
+      const double wx = fx - static_cast<double>(x0);
+      for (std::size_t c = 0; c < image.channels(); ++c) {
+        const double v00 = image.clamped(x0, y0, c);
+        const double v10 = image.clamped(x0 + 1, y0, c);
+        const double v01 = image.clamped(x0, y0 + 1, c);
+        const double v11 = image.clamped(x0 + 1, y0 + 1, c);
+        const double top = v00 + (v10 - v00) * wx;
+        const double bottom = v01 + (v11 - v01) * wx;
+        result(x, y, c) = static_cast<std::uint8_t>(
+            std::clamp(top + (bottom - top) * wy + 0.5, 0.0, 255.0));
+      }
+    }
+  }
+  return result;
+}
+
+LabelMap resize_nearest(const LabelMap& labels, std::size_t new_width,
+                        std::size_t new_height) {
+  util::expects(new_width > 0 && new_height > 0,
+                "resize_nearest target dimensions must be positive");
+  LabelMap result(new_width, new_height, 1);
+  for (std::size_t y = 0; y < new_height; ++y) {
+    const std::size_t sy =
+        std::min(labels.height() - 1, y * labels.height() / new_height);
+    for (std::size_t x = 0; x < new_width; ++x) {
+      const std::size_t sx =
+          std::min(labels.width() - 1, x * labels.width() / new_width);
+      result(x, y) = labels(sx, sy);
+    }
+  }
+  return result;
+}
+
+ImageU8 equalize_histogram(const ImageU8& image) {
+  util::expects(image.channels() == 1,
+                "equalize_histogram expects 1 channel");
+  std::array<std::uint64_t, 256> histogram{};
+  for (const auto v : image.pixels()) {
+    ++histogram[v];
+  }
+  // CDF-based remap anchored at the first non-empty bin (the standard
+  // formulation: cdf_min maps to 0, the max to 255).
+  std::array<std::uint64_t, 256> cdf{};
+  std::uint64_t running = 0;
+  std::uint64_t cdf_min = 0;
+  for (std::size_t v = 0; v < 256; ++v) {
+    running += histogram[v];
+    cdf[v] = running;
+    if (cdf_min == 0 && histogram[v] != 0) {
+      cdf_min = running;
+    }
+  }
+  const std::uint64_t total = image.pixel_count();
+  ImageU8 equalized(image.width(), image.height(), 1);
+  if (total == cdf_min) {  // constant image: nothing to spread
+    return image;
+  }
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    const std::uint64_t c = cdf[image.pixels()[i]];
+    equalized.pixels()[i] = static_cast<std::uint8_t>(
+        (c - cdf_min) * 255 / (total - cdf_min));
+  }
+  return equalized;
+}
+
+void apply_vignette(ImageU8& image, double edge_gain) {
+  util::expects(edge_gain > 0.0 && edge_gain <= 1.0,
+                "apply_vignette edge_gain must be in (0, 1]");
+  const double cx = static_cast<double>(image.width()) / 2.0;
+  const double cy = static_cast<double>(image.height()) / 2.0;
+  // Distances measured between pixel centers so the falloff is
+  // symmetric across opposite corners.
+  const double max_r2 = (cx - 0.5) * (cx - 0.5) + (cy - 0.5) * (cy - 0.5);
+  for (std::size_t y = 0; y < image.height(); ++y) {
+    for (std::size_t x = 0; x < image.width(); ++x) {
+      const double dx = static_cast<double>(x) + 0.5 - cx;
+      const double dy = static_cast<double>(y) + 0.5 - cy;
+      const double falloff = (dx * dx + dy * dy) / max_r2;
+      const double gain = 1.0 - (1.0 - edge_gain) * falloff;
+      for (std::size_t c = 0; c < image.channels(); ++c) {
+        image(x, y, c) = static_cast<std::uint8_t>(
+            std::clamp(image(x, y, c) * gain + 0.5, 0.0, 255.0));
+      }
+    }
+  }
+}
+
+}  // namespace seghdc::img

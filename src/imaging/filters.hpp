@@ -1,0 +1,48 @@
+// Image filters used by the synthetic dataset generators (focus blur,
+// sensor noise shaping) and by analysis utilities (Otsu thresholding).
+#ifndef SEGHDC_IMAGING_FILTERS_HPP
+#define SEGHDC_IMAGING_FILTERS_HPP
+
+#include <cstdint>
+
+#include "src/imaging/image.hpp"
+
+namespace seghdc::img {
+
+/// Separable Gaussian blur with standard deviation `sigma` (pixels).
+/// sigma <= 0 returns the input unchanged. Border: replicate.
+ImageU8 gaussian_blur(const ImageU8& image, double sigma);
+ImageF32 gaussian_blur(const ImageF32& image, double sigma);
+
+/// Box blur with half-width `radius` (window = 2*radius+1).
+ImageU8 box_blur(const ImageU8& image, std::size_t radius);
+
+/// Otsu's optimal global threshold for a single-channel image. Returns
+/// the threshold t in [0, 255]; foreground is conventionally value > t.
+std::uint8_t otsu_threshold(const ImageU8& image);
+
+/// Applies a fixed threshold: output 255 where value > threshold else 0.
+/// Requires a single-channel image.
+ImageU8 threshold(const ImageU8& image, std::uint8_t value);
+
+/// Bilinear resize to (new_width, new_height); channels preserved.
+ImageU8 resize_bilinear(const ImageU8& image, std::size_t new_width,
+                        std::size_t new_height);
+
+/// Nearest-neighbour resize of a label map (labels must not be blended).
+LabelMap resize_nearest(const LabelMap& labels, std::size_t new_width,
+                        std::size_t new_height);
+
+/// Multiplies intensity by a radial vignette: 1 at the center falling to
+/// `edge_gain` at the corners. Models microscope illumination falloff.
+void apply_vignette(ImageU8& image, double edge_gain);
+
+/// Histogram equalization of a single-channel image: remaps intensities
+/// through the normalised CDF so the output histogram is ~uniform. A
+/// standard preprocessing step for low-contrast microscopy before
+/// intensity-driven segmentation.
+ImageU8 equalize_histogram(const ImageU8& image);
+
+}  // namespace seghdc::img
+
+#endif  // SEGHDC_IMAGING_FILTERS_HPP

@@ -1,0 +1,106 @@
+// Minimal dense image container used across the library: row-major,
+// interleaved channels, value type T. No external image dependencies —
+// the dataset generators, the SegHDC pipeline, the CNN baseline, and the
+// PNM I/O all operate on this type.
+#ifndef SEGHDC_IMAGING_IMAGE_HPP
+#define SEGHDC_IMAGING_IMAGE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/contracts.hpp"
+
+namespace seghdc::img {
+
+/// Dense W x H image with C interleaved channels, row-major storage:
+/// element (x, y, c) lives at index (y * width + x) * channels + c.
+template <typename T>
+class Image {
+ public:
+  Image() = default;
+
+  Image(std::size_t width, std::size_t height, std::size_t channels,
+        T fill = T{})
+      : width_(width),
+        height_(height),
+        channels_(channels),
+        data_(width * height * channels, fill) {
+    util::expects(width > 0 && height > 0 && channels > 0,
+                  "Image dimensions must be positive");
+  }
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+  std::size_t channels() const { return channels_; }
+  /// Number of pixels (width * height), independent of channel count.
+  std::size_t pixel_count() const { return width_ * height_; }
+  /// Number of stored elements (width * height * channels).
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Bounds-checked element access.
+  T& at(std::size_t x, std::size_t y, std::size_t c = 0) {
+    util::expects(x < width_ && y < height_ && c < channels_,
+                  "Image::at coordinates within bounds");
+    return data_[(y * width_ + x) * channels_ + c];
+  }
+  const T& at(std::size_t x, std::size_t y, std::size_t c = 0) const {
+    util::expects(x < width_ && y < height_ && c < channels_,
+                  "Image::at coordinates within bounds");
+    return data_[(y * width_ + x) * channels_ + c];
+  }
+
+  /// Unchecked element access for hot loops.
+  T& operator()(std::size_t x, std::size_t y, std::size_t c = 0) {
+    return data_[(y * width_ + x) * channels_ + c];
+  }
+  const T& operator()(std::size_t x, std::size_t y, std::size_t c = 0) const {
+    return data_[(y * width_ + x) * channels_ + c];
+  }
+
+  /// Clamped read: out-of-range coordinates are clamped to the border
+  /// (replicate padding) — used by the separable filters.
+  const T& clamped(std::ptrdiff_t x, std::ptrdiff_t y,
+                   std::size_t c = 0) const {
+    const auto cx = x < 0 ? 0
+                    : x >= static_cast<std::ptrdiff_t>(width_)
+                        ? width_ - 1
+                        : static_cast<std::size_t>(x);
+    const auto cy = y < 0 ? 0
+                    : y >= static_cast<std::ptrdiff_t>(height_)
+                        ? height_ - 1
+                        : static_cast<std::size_t>(y);
+    return (*this)(cx, cy, c);
+  }
+
+  void fill(T value) { data_.assign(data_.size(), value); }
+
+  std::span<T> pixels() { return data_; }
+  std::span<const T> pixels() const { return data_; }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  bool same_shape(const Image& other) const {
+    return width_ == other.width_ && height_ == other.height_ &&
+           channels_ == other.channels_;
+  }
+
+  bool operator==(const Image& other) const = default;
+
+ private:
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  std::size_t channels_ = 0;
+  std::vector<T> data_;
+};
+
+using ImageU8 = Image<std::uint8_t>;
+using ImageF32 = Image<float>;
+/// Cluster/instance label per pixel; always single-channel.
+using LabelMap = Image<std::uint32_t>;
+
+}  // namespace seghdc::img
+
+#endif  // SEGHDC_IMAGING_IMAGE_HPP

@@ -1,0 +1,49 @@
+#include "src/imaging/morphology.hpp"
+
+#include "src/util/contracts.hpp"
+
+namespace seghdc::img {
+
+namespace {
+
+enum class Op { kErode, kDilate };
+
+ImageU8 morph3x3(const ImageU8& mask, Op op) {
+  util::expects(mask.channels() == 1, "morphology expects a 1-channel mask");
+  ImageU8 result(mask.width(), mask.height(), 1);
+  const auto h = static_cast<std::ptrdiff_t>(mask.height());
+  const auto w = static_cast<std::ptrdiff_t>(mask.width());
+  for (std::ptrdiff_t y = 0; y < h; ++y) {
+    for (std::ptrdiff_t x = 0; x < w; ++x) {
+      bool all = true;
+      bool any = false;
+      for (std::ptrdiff_t dy = -1; dy <= 1; ++dy) {
+        for (std::ptrdiff_t dx = -1; dx <= 1; ++dx) {
+          const std::ptrdiff_t nx = x + dx;
+          const std::ptrdiff_t ny = y + dy;
+          const bool fg = nx >= 0 && nx < w && ny >= 0 && ny < h &&
+                          mask(static_cast<std::size_t>(nx),
+                               static_cast<std::size_t>(ny)) != 0;
+          all = all && fg;
+          any = any || fg;
+        }
+      }
+      const bool out = op == Op::kErode ? all : any;
+      result(static_cast<std::size_t>(x), static_cast<std::size_t>(y)) =
+          out ? 255 : 0;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ImageU8 erode3x3(const ImageU8& mask) { return morph3x3(mask, Op::kErode); }
+
+ImageU8 dilate3x3(const ImageU8& mask) { return morph3x3(mask, Op::kDilate); }
+
+ImageU8 open3x3(const ImageU8& mask) { return dilate3x3(erode3x3(mask)); }
+
+ImageU8 close3x3(const ImageU8& mask) { return erode3x3(dilate3x3(mask)); }
+
+}  // namespace seghdc::img

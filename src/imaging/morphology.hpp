@@ -1,0 +1,24 @@
+// Binary morphology (3x3 structuring element): erosion, dilation, and the
+// derived opening/closing. Used for mask cleanup in examples and tests.
+#ifndef SEGHDC_IMAGING_MORPHOLOGY_HPP
+#define SEGHDC_IMAGING_MORPHOLOGY_HPP
+
+#include "src/imaging/image.hpp"
+
+namespace seghdc::img {
+
+/// 3x3 erosion of a binary (0/255) mask; border treated as background.
+ImageU8 erode3x3(const ImageU8& mask);
+
+/// 3x3 dilation of a binary (0/255) mask.
+ImageU8 dilate3x3(const ImageU8& mask);
+
+/// erode then dilate: removes speckle smaller than the element.
+ImageU8 open3x3(const ImageU8& mask);
+
+/// dilate then erode: fills pinholes smaller than the element.
+ImageU8 close3x3(const ImageU8& mask);
+
+}  // namespace seghdc::img
+
+#endif  // SEGHDC_IMAGING_MORPHOLOGY_HPP

@@ -1,0 +1,93 @@
+#include "src/imaging/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/util/contracts.hpp"
+
+namespace seghdc::img {
+
+void add_gaussian_noise(ImageU8& image, double sigma, util::Rng& rng) {
+  util::expects(sigma >= 0.0, "add_gaussian_noise sigma must be >= 0");
+  if (sigma == 0.0) {
+    return;
+  }
+  for (auto& value : image.pixels()) {
+    const double noisy = value + sigma * rng.next_gaussian();
+    value = static_cast<std::uint8_t>(std::clamp(noisy + 0.5, 0.0, 255.0));
+  }
+}
+
+void add_shot_noise(ImageU8& image, double scale, util::Rng& rng) {
+  util::expects(scale >= 0.0, "add_shot_noise scale must be >= 0");
+  if (scale == 0.0) {
+    return;
+  }
+  for (auto& value : image.pixels()) {
+    const double sigma = scale * std::sqrt(static_cast<double>(value));
+    const double noisy = value + sigma * rng.next_gaussian();
+    value = static_cast<std::uint8_t>(std::clamp(noisy + 0.5, 0.0, 255.0));
+  }
+}
+
+namespace {
+
+double smoothstep(double t) { return t * t * (3.0 - 2.0 * t); }
+
+/// One octave of value noise: bilinear interpolation of a coarse random
+/// lattice with smoothstep easing.
+void add_octave(ImageF32& out, std::size_t period, double amplitude,
+                util::Rng& rng) {
+  const std::size_t grid_w = out.width() / period + 2;
+  const std::size_t grid_h = out.height() / period + 2;
+  std::vector<double> lattice(grid_w * grid_h);
+  for (auto& v : lattice) {
+    v = rng.next_double();
+  }
+  const auto lattice_at = [&](std::size_t gx, std::size_t gy) {
+    return lattice[gy * grid_w + gx];
+  };
+  for (std::size_t y = 0; y < out.height(); ++y) {
+    const std::size_t gy = y / period;
+    const double ty = smoothstep(
+        static_cast<double>(y % period) / static_cast<double>(period));
+    for (std::size_t x = 0; x < out.width(); ++x) {
+      const std::size_t gx = x / period;
+      const double tx = smoothstep(
+          static_cast<double>(x % period) / static_cast<double>(period));
+      const double v00 = lattice_at(gx, gy);
+      const double v10 = lattice_at(gx + 1, gy);
+      const double v01 = lattice_at(gx, gy + 1);
+      const double v11 = lattice_at(gx + 1, gy + 1);
+      const double top = v00 + (v10 - v00) * tx;
+      const double bottom = v01 + (v11 - v01) * tx;
+      out(x, y) += static_cast<float>(amplitude * (top + (bottom - top) * ty));
+    }
+  }
+}
+
+}  // namespace
+
+ImageF32 value_noise(std::size_t width, std::size_t height,
+                     std::size_t base_period, std::size_t octaves,
+                     util::Rng& rng) {
+  util::expects(base_period >= 2, "value_noise base_period must be >= 2");
+  util::expects(octaves >= 1, "value_noise needs at least one octave");
+  ImageF32 out(width, height, 1, 0.0F);
+  double amplitude = 1.0;
+  double total_amplitude = 0.0;
+  std::size_t period = base_period;
+  for (std::size_t o = 0; o < octaves && period >= 2; ++o) {
+    add_octave(out, period, amplitude, rng);
+    total_amplitude += amplitude;
+    amplitude *= 0.5;
+    period /= 2;
+  }
+  for (auto& v : out.pixels()) {
+    v = static_cast<float>(v / total_amplitude);
+  }
+  return out;
+}
+
+}  // namespace seghdc::img

@@ -1,0 +1,30 @@
+// Stochastic texture/noise generators for the synthetic datasets:
+// additive sensor noise, signal-dependent (Poisson-like) shot noise, and
+// multi-octave value noise for tissue/stroma textures.
+#ifndef SEGHDC_IMAGING_NOISE_HPP
+#define SEGHDC_IMAGING_NOISE_HPP
+
+#include "src/imaging/image.hpp"
+#include "src/util/rng.hpp"
+
+namespace seghdc::img {
+
+/// Adds i.i.d. Gaussian noise with standard deviation `sigma` to every
+/// element, clamping to [0, 255].
+void add_gaussian_noise(ImageU8& image, double sigma, util::Rng& rng);
+
+/// Adds signal-dependent noise with per-element standard deviation
+/// `scale * sqrt(value)` — the variance structure of photon shot noise
+/// that dominates fluorescence microscopy.
+void add_shot_noise(ImageU8& image, double scale, util::Rng& rng);
+
+/// Multi-octave value noise in [0, 1]: smooth random texture with feature
+/// size ~`base_period` pixels, each further octave halving the period and
+/// the amplitude (persistence 0.5). Deterministic given `rng` state.
+ImageF32 value_noise(std::size_t width, std::size_t height,
+                     std::size_t base_period, std::size_t octaves,
+                     util::Rng& rng);
+
+}  // namespace seghdc::img
+
+#endif  // SEGHDC_IMAGING_NOISE_HPP

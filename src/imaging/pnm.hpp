@@ -1,0 +1,32 @@
+// PGM / PPM (netpbm) image I/O. The benchmark harness writes every
+// qualitative figure (paper Fig. 6 / Fig. 8) as PGM or PPM so results can
+// be inspected with any image viewer without adding codec dependencies.
+#ifndef SEGHDC_IMAGING_PNM_HPP
+#define SEGHDC_IMAGING_PNM_HPP
+
+#include <string>
+
+#include "src/imaging/image.hpp"
+
+namespace seghdc::img {
+
+/// Writes a single-channel 8-bit image as binary PGM (P5).
+/// Throws std::invalid_argument for multi-channel input,
+/// std::runtime_error on I/O failure.
+void write_pgm(const ImageU8& image, const std::string& path);
+
+/// Writes a 3-channel 8-bit image as binary PPM (P6).
+/// Throws std::invalid_argument unless channels == 3.
+void write_ppm(const ImageU8& image, const std::string& path);
+
+/// Writes 1-channel input as PGM, 3-channel as PPM.
+void write_pnm(const ImageU8& image, const std::string& path);
+
+/// Reads a PGM/PPM file in any of the P2/P3/P5/P6 variants with
+/// maxval <= 255. Comments (#...) are handled. Throws std::runtime_error
+/// on malformed input.
+ImageU8 read_pnm(const std::string& path);
+
+}  // namespace seghdc::img
+
+#endif  // SEGHDC_IMAGING_PNM_HPP

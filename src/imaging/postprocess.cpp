@@ -1,0 +1,85 @@
+#include "src/imaging/postprocess.hpp"
+
+#include "src/imaging/connected_components.hpp"
+#include "src/imaging/morphology.hpp"
+#include "src/util/contracts.hpp"
+
+namespace seghdc::img {
+
+ImageU8 remove_small_components(const ImageU8& mask, std::size_t min_area) {
+  util::expects(mask.channels() == 1,
+                "remove_small_components expects a 1-channel mask");
+  const auto result = connected_components(mask);
+  ImageU8 cleaned(mask.width(), mask.height(), 1, 0);
+  for (std::size_t y = 0; y < mask.height(); ++y) {
+    for (std::size_t x = 0; x < mask.width(); ++x) {
+      const std::uint32_t label = result.labels(x, y);
+      if (label != 0 &&
+          result.components[label - 1].area >= min_area) {
+        cleaned(x, y) = 255;
+      }
+    }
+  }
+  return cleaned;
+}
+
+ImageU8 fill_holes(const ImageU8& mask) {
+  util::expects(mask.channels() == 1, "fill_holes expects a 1-channel mask");
+  // Label the BACKGROUND; any background component that never touches
+  // the border is a hole.
+  ImageU8 inverted(mask.width(), mask.height(), 1, 0);
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    inverted.pixels()[i] = mask.pixels()[i] == 0 ? 255 : 0;
+  }
+  const auto background =
+      connected_components(inverted, Connectivity::kFour);
+  std::vector<bool> touches_border(background.components.size() + 1, false);
+  for (const auto& component : background.components) {
+    touches_border[component.label] =
+        component.min_x == 0 || component.min_y == 0 ||
+        component.max_x == mask.width() - 1 ||
+        component.max_y == mask.height() - 1;
+  }
+  ImageU8 filled = mask;
+  for (std::size_t y = 0; y < mask.height(); ++y) {
+    for (std::size_t x = 0; x < mask.width(); ++x) {
+      const std::uint32_t label = background.labels(x, y);
+      if (label != 0 && !touches_border[label]) {
+        filled(x, y) = 255;
+      }
+    }
+  }
+  return filled;
+}
+
+ImageU8 largest_component(const ImageU8& mask) {
+  util::expects(mask.channels() == 1,
+                "largest_component expects a 1-channel mask");
+  const auto result = connected_components(mask);
+  if (result.components.empty()) {
+    return ImageU8(mask.width(), mask.height(), 1, 0);
+  }
+  std::uint32_t best_label = 1;
+  std::size_t best_area = 0;
+  for (const auto& component : result.components) {
+    if (component.area > best_area) {
+      best_area = component.area;
+      best_label = component.label;
+    }
+  }
+  ImageU8 kept(mask.width(), mask.height(), 1, 0);
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (result.labels.pixels()[i] == best_label) {
+      kept.pixels()[i] = 255;
+    }
+  }
+  return kept;
+}
+
+ImageU8 clean_mask(const ImageU8& mask, std::size_t min_area) {
+  // Holes first: opening a body that still has pinholes erodes it from
+  // the inside out.
+  return remove_small_components(open3x3(fill_holes(mask)), min_area);
+}
+
+}  // namespace seghdc::img

@@ -1,0 +1,33 @@
+// Mask post-processing utilities for downstream consumers of the
+// segmentation output: speckle removal, hole filling, component
+// filtering. SegHDC's raw cluster map is already spatially coherent
+// (the beta-block position encoding sees to that), but real deployments
+// — cell counting, confluence estimation — want clean instance masks.
+#ifndef SEGHDC_IMAGING_POSTPROCESS_HPP
+#define SEGHDC_IMAGING_POSTPROCESS_HPP
+
+#include <cstdint>
+
+#include "src/imaging/image.hpp"
+
+namespace seghdc::img {
+
+/// Removes connected components smaller than `min_area` pixels from a
+/// binary (0/255) mask.
+ImageU8 remove_small_components(const ImageU8& mask, std::size_t min_area);
+
+/// Fills background holes: background regions not connected to the
+/// image border become foreground (a nucleus with a dark center scores
+/// as one solid object).
+ImageU8 fill_holes(const ImageU8& mask);
+
+/// Keeps only the largest connected component (empty mask stays empty).
+ImageU8 largest_component(const ImageU8& mask);
+
+/// The standard cleanup chain: hole filling, 3x3 opening (speckle),
+/// then small-component removal.
+ImageU8 clean_mask(const ImageU8& mask, std::size_t min_area);
+
+}  // namespace seghdc::img
+
+#endif  // SEGHDC_IMAGING_POSTPROCESS_HPP

@@ -1,0 +1,238 @@
+#include "src/metrics/segmentation_metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "src/imaging/color.hpp"
+#include "src/util/contracts.hpp"
+
+namespace seghdc::metrics {
+
+double ConfusionCounts::iou() const {
+  const std::uint64_t denom = true_positive + false_positive + false_negative;
+  if (denom == 0) {
+    // No foreground anywhere: predicted and truth agree vacuously.
+    return 1.0;
+  }
+  return static_cast<double>(true_positive) / static_cast<double>(denom);
+}
+
+double ConfusionCounts::dice() const {
+  const std::uint64_t denom =
+      2 * true_positive + false_positive + false_negative;
+  if (denom == 0) {
+    return 1.0;
+  }
+  return 2.0 * static_cast<double>(true_positive) /
+         static_cast<double>(denom);
+}
+
+double ConfusionCounts::pixel_accuracy() const {
+  const std::uint64_t total =
+      true_positive + false_positive + false_negative + true_negative;
+  if (total == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(true_positive + true_negative) /
+         static_cast<double>(total);
+}
+
+double ConfusionCounts::precision() const {
+  const std::uint64_t denom = true_positive + false_positive;
+  return denom == 0 ? 1.0
+                    : static_cast<double>(true_positive) /
+                          static_cast<double>(denom);
+}
+
+double ConfusionCounts::recall() const {
+  const std::uint64_t denom = true_positive + false_negative;
+  return denom == 0 ? 1.0
+                    : static_cast<double>(true_positive) /
+                          static_cast<double>(denom);
+}
+
+ConfusionCounts confusion(const img::ImageU8& predicted,
+                          const img::ImageU8& truth) {
+  util::expects(predicted.channels() == 1 && truth.channels() == 1,
+                "confusion expects 1-channel masks");
+  util::expects(predicted.width() == truth.width() &&
+                    predicted.height() == truth.height(),
+                "confusion expects equal-size masks");
+  ConfusionCounts counts;
+  const auto pred = predicted.pixels();
+  const auto gt = truth.pixels();
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const bool p = pred[i] != 0;
+    const bool t = gt[i] != 0;
+    if (p && t) {
+      ++counts.true_positive;
+    } else if (p && !t) {
+      ++counts.false_positive;
+    } else if (!p && t) {
+      ++counts.false_negative;
+    } else {
+      ++counts.true_negative;
+    }
+  }
+  return counts;
+}
+
+double binary_iou(const img::ImageU8& predicted, const img::ImageU8& truth) {
+  return confusion(predicted, truth).iou();
+}
+
+MatchedIou best_foreground_iou(const img::LabelMap& labels,
+                               std::size_t clusters,
+                               const img::ImageU8& truth) {
+  util::expects(clusters >= 2 && clusters <= 16,
+                "best_foreground_iou supports 2..16 clusters");
+  util::expects(labels.channels() == 1 && truth.channels() == 1,
+                "best_foreground_iou expects 1-channel inputs");
+  util::expects(labels.width() == truth.width() &&
+                    labels.height() == truth.height(),
+                "best_foreground_iou expects equal-size inputs");
+
+  // Per-cluster foreground/background pixel counts; a single pass
+  // suffices to score every assignment without re-scanning the image.
+  std::vector<std::uint64_t> cluster_fg(clusters, 0);
+  std::vector<std::uint64_t> cluster_bg(clusters, 0);
+  const auto label_pixels = labels.pixels();
+  const auto truth_pixels = truth.pixels();
+  for (std::size_t i = 0; i < label_pixels.size(); ++i) {
+    const std::uint32_t label = label_pixels[i];
+    util::expects(label < clusters,
+                  "label map contains a label >= cluster count");
+    if (truth_pixels[i] != 0) {
+      ++cluster_fg[label];
+    } else {
+      ++cluster_bg[label];
+    }
+  }
+
+  MatchedIou best;
+  best.iou = -1.0;
+  std::uint64_t total_fg = 0;
+  for (std::size_t c = 0; c < clusters; ++c) {
+    total_fg += cluster_fg[c];
+  }
+
+  // Every subset of clusters (including empty and full: an all-background
+  // or all-foreground prediction is still a valid matching) is scored in
+  // O(clusters) from the counts.
+  const std::uint32_t subsets = 1u << clusters;
+  for (std::uint32_t subset = 0; subset < subsets; ++subset) {
+    std::uint64_t tp = 0;
+    std::uint64_t fp = 0;
+    for (std::size_t c = 0; c < clusters; ++c) {
+      if ((subset >> c) & 1u) {
+        tp += cluster_fg[c];
+        fp += cluster_bg[c];
+      }
+    }
+    const std::uint64_t fn = total_fg - tp;
+    const std::uint64_t denom = tp + fp + fn;
+    const double iou = denom == 0
+                           ? 1.0
+                           : static_cast<double>(tp) /
+                                 static_cast<double>(denom);
+    if (iou > best.iou) {
+      best.iou = iou;
+      best.foreground_mask = subset;
+    }
+  }
+
+  best.mask = img::labels_to_mask(labels, best.foreground_mask);
+  return best;
+}
+
+MatchedIou best_foreground_iou_any(const img::LabelMap& labels,
+                                   const img::ImageU8& truth) {
+  util::expects(labels.channels() == 1 && truth.channels() == 1,
+                "best_foreground_iou_any expects 1-channel inputs");
+  util::expects(labels.width() == truth.width() &&
+                    labels.height() == truth.height(),
+                "best_foreground_iou_any expects equal-size inputs");
+
+  std::uint32_t max_label = 0;
+  for (const auto v : labels.pixels()) {
+    max_label = std::max(max_label, v);
+  }
+  const std::size_t label_count = static_cast<std::size_t>(max_label) + 1;
+  if (label_count <= 16) {
+    return best_foreground_iou(labels, std::max<std::size_t>(label_count, 2),
+                               truth);
+  }
+
+  // Greedy over per-label confusion counts: sort labels by
+  // foreground-purity and grow the foreground set while IoU improves.
+  std::vector<std::uint64_t> label_fg(label_count, 0);
+  std::vector<std::uint64_t> label_bg(label_count, 0);
+  const auto label_pixels = labels.pixels();
+  const auto truth_pixels = truth.pixels();
+  std::uint64_t total_fg = 0;
+  for (std::size_t i = 0; i < label_pixels.size(); ++i) {
+    if (truth_pixels[i] != 0) {
+      ++label_fg[label_pixels[i]];
+      ++total_fg;
+    } else {
+      ++label_bg[label_pixels[i]];
+    }
+  }
+  std::vector<std::size_t> order(label_count);
+  for (std::size_t i = 0; i < label_count; ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double purity_a =
+        static_cast<double>(label_fg[a]) /
+        std::max<double>(1.0, static_cast<double>(label_fg[a] + label_bg[a]));
+    const double purity_b =
+        static_cast<double>(label_fg[b]) /
+        std::max<double>(1.0, static_cast<double>(label_fg[b] + label_bg[b]));
+    return purity_a > purity_b;
+  });
+
+  MatchedIou best;
+  best.iou = 0.0;
+  std::uint64_t tp = 0;
+  std::uint64_t fp = 0;
+  std::vector<bool> in_fg(label_count, false);
+  std::vector<bool> best_fg(label_count, false);
+  for (const std::size_t label : order) {
+    tp += label_fg[label];
+    fp += label_bg[label];
+    in_fg[label] = true;
+    const std::uint64_t fn = total_fg - tp;
+    const std::uint64_t denom = tp + fp + fn;
+    const double iou =
+        denom == 0 ? 1.0
+                   : static_cast<double>(tp) / static_cast<double>(denom);
+    if (iou > best.iou) {
+      best.iou = iou;
+      best_fg = in_fg;
+    }
+  }
+
+  best.mask = img::ImageU8(labels.width(), labels.height(), 1, 0);
+  for (std::size_t i = 0; i < label_pixels.size(); ++i) {
+    if (best_fg[label_pixels[i]]) {
+      best.mask.pixels()[i] = 255;
+    }
+  }
+  best.foreground_mask = 0;  // not representable for > 32 labels
+  return best;
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace seghdc::metrics

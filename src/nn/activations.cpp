@@ -1,0 +1,38 @@
+#include "src/nn/activations.hpp"
+
+#include "src/util/contracts.hpp"
+
+namespace seghdc::nn {
+
+Tensor ReLU::forward(const Tensor& input) {
+  channels_ = input.channels();
+  height_ = input.height();
+  width_ = input.width();
+  mask_.assign(input.size(), false);
+  Tensor output(channels_, height_, width_);
+  const auto in = input.values();
+  auto out = output.values();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i] > 0.0F) {
+      out[i] = in[i];
+      mask_[i] = true;
+    }
+  }
+  return output;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) const {
+  util::expects(grad_output.channels() == channels_ &&
+                    grad_output.height() == height_ &&
+                    grad_output.width() == width_,
+                "ReLU::backward requires a prior forward of the same shape");
+  Tensor grad_input(channels_, height_, width_);
+  const auto dout = grad_output.values();
+  auto din = grad_input.values();
+  for (std::size_t i = 0; i < dout.size(); ++i) {
+    din[i] = mask_[i] ? dout[i] : 0.0F;
+  }
+  return grad_input;
+}
+
+}  // namespace seghdc::nn

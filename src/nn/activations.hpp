@@ -1,0 +1,23 @@
+// ReLU activation with saved mask for backward.
+#ifndef SEGHDC_NN_ACTIVATIONS_HPP
+#define SEGHDC_NN_ACTIVATIONS_HPP
+
+#include <vector>
+
+#include "src/nn/tensor.hpp"
+
+namespace seghdc::nn {
+
+class ReLU {
+ public:
+  Tensor forward(const Tensor& input);
+  Tensor backward(const Tensor& grad_output) const;
+
+ private:
+  std::vector<bool> mask_;  ///< true where input > 0
+  std::size_t channels_ = 0, height_ = 0, width_ = 0;
+};
+
+}  // namespace seghdc::nn
+
+#endif  // SEGHDC_NN_ACTIVATIONS_HPP

@@ -1,0 +1,100 @@
+#include "src/nn/batchnorm.hpp"
+
+#include <cmath>
+
+#include "src/util/contracts.hpp"
+
+namespace seghdc::nn {
+
+BatchNorm2d::BatchNorm2d(std::size_t channels, double eps)
+    : channels_(channels), eps_(eps) {
+  util::expects(channels > 0, "BatchNorm2d needs at least one channel");
+  util::expects(eps > 0.0, "BatchNorm2d eps must be positive");
+  gamma_.assign(channels, 1.0F);
+  beta_.assign(channels, 0.0F);
+  gamma_grad_.assign(channels, 0.0F);
+  beta_grad_.assign(channels, 0.0F);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input) {
+  util::expects(input.channels() == channels_,
+                "BatchNorm2d::forward channel mismatch");
+  const std::size_t hw = input.plane();
+  util::expects(hw > 1, "BatchNorm2d needs more than one spatial element");
+
+  Tensor output(input.channels(), input.height(), input.width());
+  normalized_ = Tensor(input.channels(), input.height(), input.width());
+  inv_std_.assign(channels_, 0.0);
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    const float* in_plane = input.data() + c * hw;
+    double mean = 0.0;
+    for (std::size_t i = 0; i < hw; ++i) {
+      mean += in_plane[i];
+    }
+    mean /= static_cast<double>(hw);
+    double var = 0.0;
+    for (std::size_t i = 0; i < hw; ++i) {
+      const double d = in_plane[i] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(hw);  // biased, as in training-mode BN
+    const double inv_std = 1.0 / std::sqrt(var + eps_);
+    inv_std_[c] = inv_std;
+
+    float* norm_plane = normalized_.data() + c * hw;
+    float* out_plane = output.data() + c * hw;
+    const float g = gamma_[c];
+    const float b = beta_[c];
+    for (std::size_t i = 0; i < hw; ++i) {
+      const float xhat =
+          static_cast<float>((in_plane[i] - mean) * inv_std);
+      norm_plane[i] = xhat;
+      out_plane[i] = g * xhat + b;
+    }
+  }
+  return output;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  util::expects(grad_output.channels() == channels_,
+                "BatchNorm2d::backward channel mismatch");
+  util::expects(grad_output.same_shape(normalized_),
+                "BatchNorm2d::backward requires a prior forward of the "
+                "same shape");
+  const std::size_t hw = grad_output.plane();
+  Tensor grad_input(grad_output.channels(), grad_output.height(),
+                    grad_output.width());
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    const float* dout = grad_output.data() + c * hw;
+    const float* xhat = normalized_.data() + c * hw;
+    float* din = grad_input.data() + c * hw;
+
+    double sum_dout = 0.0;
+    double sum_dout_xhat = 0.0;
+    for (std::size_t i = 0; i < hw; ++i) {
+      sum_dout += dout[i];
+      sum_dout_xhat += static_cast<double>(dout[i]) * xhat[i];
+    }
+    gamma_grad_[c] += static_cast<float>(sum_dout_xhat);
+    beta_grad_[c] += static_cast<float>(sum_dout);
+
+    const double scale =
+        static_cast<double>(gamma_[c]) * inv_std_[c] /
+        static_cast<double>(hw);
+    for (std::size_t i = 0; i < hw; ++i) {
+      din[i] = static_cast<float>(
+          scale * (static_cast<double>(hw) * dout[i] - sum_dout -
+                   static_cast<double>(xhat[i]) * sum_dout_xhat));
+    }
+  }
+  return grad_input;
+}
+
+void BatchNorm2d::zero_grad() {
+  gamma_grad_.assign(channels_, 0.0F);
+  beta_grad_.assign(channels_, 0.0F);
+}
+
+}  // namespace seghdc::nn

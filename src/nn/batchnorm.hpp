@@ -1,0 +1,51 @@
+// 2-D batch normalisation over the spatial plane (batch size 1, as in
+// the per-image training loop of the CNN baseline). Training mode only:
+// the baseline never runs inference with frozen statistics.
+#ifndef SEGHDC_NN_BATCHNORM_HPP
+#define SEGHDC_NN_BATCHNORM_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "src/nn/tensor.hpp"
+
+namespace seghdc::nn {
+
+class BatchNorm2d {
+ public:
+  explicit BatchNorm2d(std::size_t channels, double eps = 1e-5);
+
+  std::size_t channels() const { return channels_; }
+
+  /// Normalises each channel over its H*W plane; stores the normalised
+  /// activations and inverse stddev for backward.
+  Tensor forward(const Tensor& input);
+
+  /// Standard batch-norm backward; accumulates gamma/beta gradients and
+  /// returns the input gradient.
+  Tensor backward(const Tensor& grad_output);
+
+  std::span<float> gamma() { return gamma_; }
+  std::span<const float> gamma() const { return gamma_; }
+  std::span<float> beta() { return beta_; }
+  std::span<const float> beta() const { return beta_; }
+  std::span<float> gamma_grad() { return gamma_grad_; }
+  std::span<float> beta_grad() { return beta_grad_; }
+
+  void zero_grad();
+
+ private:
+  std::size_t channels_;
+  double eps_;
+  std::vector<float> gamma_;
+  std::vector<float> beta_;
+  std::vector<float> gamma_grad_;
+  std::vector<float> beta_grad_;
+  // Saved forward state.
+  Tensor normalized_;
+  std::vector<double> inv_std_;
+};
+
+}  // namespace seghdc::nn
+
+#endif  // SEGHDC_NN_BATCHNORM_HPP

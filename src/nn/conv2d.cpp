@@ -1,0 +1,168 @@
+#include "src/nn/conv2d.hpp"
+
+#include <cmath>
+
+#include "src/nn/gemm.hpp"
+#include "src/util/contracts.hpp"
+
+namespace seghdc::nn {
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, util::Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      pad_(kernel / 2) {
+  util::expects(in_channels > 0 && out_channels > 0,
+                "Conv2d channel counts must be positive");
+  util::expects(kernel % 2 == 1, "Conv2d kernel must be odd");
+  const std::size_t fan_in = in_channels * kernel * kernel;
+  weights_.resize(out_channels * fan_in);
+  weight_grad_.assign(weights_.size(), 0.0F);
+  bias_.assign(out_channels, 0.0F);
+  bias_grad_.assign(out_channels, 0.0F);
+  // He-uniform: U(-b, b) with b = sqrt(6 / fan_in).
+  const double bound = std::sqrt(6.0 / static_cast<double>(fan_in));
+  for (auto& w : weights_) {
+    w = static_cast<float>(rng.next_double_in(-bound, bound));
+  }
+}
+
+void Conv2d::im2col(const Tensor& input) {
+  const std::size_t h = input.height();
+  const std::size_t w = input.width();
+  const std::size_t patch = in_channels_ * kernel_ * kernel_;
+  cols_.assign(patch * h * w, 0.0F);
+  // Row r of cols_ = (c, ky, kx) patch coordinate; column = output pixel.
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < in_channels_; ++c) {
+    for (std::size_t ky = 0; ky < kernel_; ++ky) {
+      for (std::size_t kx = 0; kx < kernel_; ++kx, ++row) {
+        float* out_row = cols_.data() + row * h * w;
+        const std::ptrdiff_t dy =
+            static_cast<std::ptrdiff_t>(ky) - static_cast<std::ptrdiff_t>(pad_);
+        const std::ptrdiff_t dx =
+            static_cast<std::ptrdiff_t>(kx) - static_cast<std::ptrdiff_t>(pad_);
+        for (std::size_t y = 0; y < h; ++y) {
+          const std::ptrdiff_t sy = static_cast<std::ptrdiff_t>(y) + dy;
+          if (sy < 0 || sy >= static_cast<std::ptrdiff_t>(h)) {
+            continue;  // stays zero (padding)
+          }
+          for (std::size_t x = 0; x < w; ++x) {
+            const std::ptrdiff_t sx = static_cast<std::ptrdiff_t>(x) + dx;
+            if (sx < 0 || sx >= static_cast<std::ptrdiff_t>(w)) {
+              continue;
+            }
+            out_row[y * w + x] = input(c, static_cast<std::size_t>(sy),
+                                       static_cast<std::size_t>(sx));
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& input) {
+  util::expects(input.channels() == in_channels_,
+                "Conv2d::forward input channel mismatch");
+  last_height_ = input.height();
+  last_width_ = input.width();
+  im2col(input);
+
+  const std::size_t hw = input.plane();
+  const std::size_t patch = in_channels_ * kernel_ * kernel_;
+  Tensor output(out_channels_, input.height(), input.width());
+  // out[outC x HW] = W[outC x patch] * cols[patch x HW]
+  gemm_nn(out_channels_, hw, patch, weights_.data(), cols_.data(),
+          output.data(), /*accumulate=*/false);
+  for (std::size_t c = 0; c < out_channels_; ++c) {
+    float* plane = output.data() + c * hw;
+    const float b = bias_[c];
+    for (std::size_t i = 0; i < hw; ++i) {
+      plane[i] += b;
+    }
+  }
+  return output;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  util::expects(grad_output.channels() == out_channels_ &&
+                    grad_output.height() == last_height_ &&
+                    grad_output.width() == last_width_,
+                "Conv2d::backward gradient shape mismatch");
+  util::expects(!cols_.empty(), "Conv2d::backward requires a prior forward");
+
+  const std::size_t hw = last_height_ * last_width_;
+  const std::size_t patch = in_channels_ * kernel_ * kernel_;
+
+  // dW[outC x patch] += dOut[outC x HW] * cols^T (cols is [patch x HW]).
+  gemm_nt(out_channels_, patch, hw, grad_output.data(), cols_.data(),
+          weight_grad_.data(), /*accumulate=*/true);
+  // db[c] += sum of dOut plane c.
+  for (std::size_t c = 0; c < out_channels_; ++c) {
+    const float* plane = grad_output.data() + c * hw;
+    float sum = 0.0F;
+    for (std::size_t i = 0; i < hw; ++i) {
+      sum += plane[i];
+    }
+    bias_grad_[c] += sum;
+  }
+
+  // dcols[patch x HW] = W^T[patch x outC] * dOut[outC x HW].
+  std::vector<float> dcols(patch * hw);
+  gemm_tn(patch, hw, out_channels_, weights_.data(), grad_output.data(),
+          dcols.data(), /*accumulate=*/false);
+
+  // col2im: scatter-add the patch gradients back to input pixels.
+  Tensor grad_input(in_channels_, last_height_, last_width_, 0.0F);
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < in_channels_; ++c) {
+    for (std::size_t ky = 0; ky < kernel_; ++ky) {
+      for (std::size_t kx = 0; kx < kernel_; ++kx, ++row) {
+        const float* grad_row = dcols.data() + row * hw;
+        const std::ptrdiff_t dy =
+            static_cast<std::ptrdiff_t>(ky) - static_cast<std::ptrdiff_t>(pad_);
+        const std::ptrdiff_t dx =
+            static_cast<std::ptrdiff_t>(kx) - static_cast<std::ptrdiff_t>(pad_);
+        for (std::size_t y = 0; y < last_height_; ++y) {
+          const std::ptrdiff_t sy = static_cast<std::ptrdiff_t>(y) + dy;
+          if (sy < 0 || sy >= static_cast<std::ptrdiff_t>(last_height_)) {
+            continue;
+          }
+          for (std::size_t x = 0; x < last_width_; ++x) {
+            const std::ptrdiff_t sx = static_cast<std::ptrdiff_t>(x) + dx;
+            if (sx < 0 || sx >= static_cast<std::ptrdiff_t>(last_width_)) {
+              continue;
+            }
+            grad_input(c, static_cast<std::size_t>(sy),
+                       static_cast<std::size_t>(sx)) +=
+                grad_row[y * last_width_ + x];
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+void Conv2d::zero_grad() {
+  weight_grad_.assign(weight_grad_.size(), 0.0F);
+  bias_grad_.assign(bias_grad_.size(), 0.0F);
+}
+
+std::uint64_t Conv2d::forward_macs(std::size_t in_channels,
+                                   std::size_t out_channels,
+                                   std::size_t kernel, std::size_t height,
+                                   std::size_t width) {
+  return static_cast<std::uint64_t>(height) * width * in_channels *
+         out_channels * kernel * kernel;
+}
+
+std::uint64_t Conv2d::im2col_bytes(std::size_t in_channels,
+                                   std::size_t kernel, std::size_t height,
+                                   std::size_t width) {
+  return static_cast<std::uint64_t>(height) * width * in_channels * kernel *
+         kernel * sizeof(float);
+}
+
+}  // namespace seghdc::nn

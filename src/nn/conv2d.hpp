@@ -1,0 +1,76 @@
+// 2-D convolution layer (stride 1, zero "same" padding) with explicit
+// forward/backward, implemented as im2col + GEMM — the same structure
+// PyTorch's CPU path uses, which matters because the device memory model
+// charges the baseline for exactly this im2col workspace (DESIGN.md §2,
+// device module).
+#ifndef SEGHDC_NN_CONV2D_HPP
+#define SEGHDC_NN_CONV2D_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "src/nn/tensor.hpp"
+#include "src/util/rng.hpp"
+
+namespace seghdc::nn {
+
+class Conv2d {
+ public:
+  /// Kernel must be odd (1, 3, 5, ...); padding = kernel/2 keeps the
+  /// spatial size. Weights: He-uniform init; bias: zero.
+  Conv2d(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, util::Rng& rng);
+
+  std::size_t in_channels() const { return in_channels_; }
+  std::size_t out_channels() const { return out_channels_; }
+  std::size_t kernel() const { return kernel_; }
+
+  /// Forward pass; stores the im2col matrix of `input` for backward.
+  Tensor forward(const Tensor& input);
+
+  /// Backward pass for the most recent forward; accumulates weight/bias
+  /// gradients and returns the input gradient.
+  Tensor backward(const Tensor& grad_output);
+
+  std::span<float> weights() { return weights_; }
+  std::span<const float> weights() const { return weights_; }
+  std::span<float> bias() { return bias_; }
+  std::span<const float> bias() const { return bias_; }
+  std::span<float> weight_grad() { return weight_grad_; }
+  std::span<float> bias_grad() { return bias_grad_; }
+
+  void zero_grad();
+
+  /// MACs of one forward pass over an H x W input (used by the device
+  /// latency model; backward costs ~2x forward).
+  static std::uint64_t forward_macs(std::size_t in_channels,
+                                    std::size_t out_channels,
+                                    std::size_t kernel, std::size_t height,
+                                    std::size_t width);
+
+  /// Bytes of the im2col workspace for an H x W input (device memory
+  /// model).
+  static std::uint64_t im2col_bytes(std::size_t in_channels,
+                                    std::size_t kernel, std::size_t height,
+                                    std::size_t width);
+
+ private:
+  void im2col(const Tensor& input);
+
+  std::size_t in_channels_;
+  std::size_t out_channels_;
+  std::size_t kernel_;
+  std::size_t pad_;
+  std::vector<float> weights_;      ///< [outC][inC*k*k] row-major
+  std::vector<float> bias_;         ///< [outC]
+  std::vector<float> weight_grad_;  ///< same shape as weights_
+  std::vector<float> bias_grad_;    ///< [outC]
+  // Saved forward state.
+  std::vector<float> cols_;  ///< [inC*k*k][H*W]
+  std::size_t last_height_ = 0;
+  std::size_t last_width_ = 0;
+};
+
+}  // namespace seghdc::nn
+
+#endif  // SEGHDC_NN_CONV2D_HPP

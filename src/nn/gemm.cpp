@@ -1,0 +1,79 @@
+#include "src/nn/gemm.hpp"
+
+#include <cstring>
+
+#include "src/util/parallel.hpp"
+
+namespace seghdc::nn {
+
+void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const float* a,
+             const float* b, float* c, bool accumulate) {
+  util::parallel_for(
+      0, m,
+      [&](std::size_t i) {
+        float* c_row = c + i * n;
+        if (!accumulate) {
+          std::memset(c_row, 0, n * sizeof(float));
+        }
+        const float* a_row = a + i * k;
+        for (std::size_t p = 0; p < k; ++p) {
+          const float a_ip = a_row[p];
+          if (a_ip == 0.0F) {
+            continue;
+          }
+          const float* b_row = b + p * n;
+          for (std::size_t j = 0; j < n; ++j) {
+            c_row[j] += a_ip * b_row[j];
+          }
+        }
+      },
+      /*grain=*/1);
+}
+
+void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* a,
+             const float* b, float* c, bool accumulate) {
+  util::parallel_for(
+      0, m,
+      [&](std::size_t i) {
+        float* c_row = c + i * n;
+        const float* a_row = a + i * k;
+        for (std::size_t j = 0; j < n; ++j) {
+          const float* b_row = b + j * k;
+          float sum = 0.0F;
+          for (std::size_t p = 0; p < k; ++p) {
+            sum += a_row[p] * b_row[p];
+          }
+          if (accumulate) {
+            c_row[j] += sum;
+          } else {
+            c_row[j] = sum;
+          }
+        }
+      },
+      /*grain=*/1);
+}
+
+void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const float* a,
+             const float* b, float* c, bool accumulate) {
+  util::parallel_for(
+      0, m,
+      [&](std::size_t i) {
+        float* c_row = c + i * n;
+        if (!accumulate) {
+          std::memset(c_row, 0, n * sizeof(float));
+        }
+        for (std::size_t p = 0; p < k; ++p) {
+          const float a_pi = a[p * m + i];
+          if (a_pi == 0.0F) {
+            continue;
+          }
+          const float* b_row = b + p * n;
+          for (std::size_t j = 0; j < n; ++j) {
+            c_row[j] += a_pi * b_row[j];
+          }
+        }
+      },
+      /*grain=*/1);
+}
+
+}  // namespace seghdc::nn

@@ -1,0 +1,26 @@
+// Row-major single-precision matrix multiply kernels backing the conv
+// layers (im2col + GEMM). Parallelised over output rows; inner loops are
+// written i-k-j so the compiler can vectorise the unit-stride j axis.
+#ifndef SEGHDC_NN_GEMM_HPP
+#define SEGHDC_NN_GEMM_HPP
+
+#include <cstddef>
+
+namespace seghdc::nn {
+
+/// C[M x N] (+)= A[M x K] * B[K x N]. When `accumulate` is false C is
+/// overwritten. All matrices row-major, no aliasing allowed.
+void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const float* a,
+             const float* b, float* c, bool accumulate);
+
+/// C[M x N] (+)= A[M x K] * B^T where B is [N x K] row-major.
+void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* a,
+             const float* b, float* c, bool accumulate);
+
+/// C[M x N] (+)= A^T * B where A is [K x M] row-major and B is [K x N].
+void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const float* a,
+             const float* b, float* c, bool accumulate);
+
+}  // namespace seghdc::nn
+
+#endif  // SEGHDC_NN_GEMM_HPP

@@ -1,0 +1,118 @@
+#include "src/nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/util/contracts.hpp"
+
+namespace seghdc::nn {
+
+std::vector<std::uint32_t> argmax_labels(const Tensor& logits) {
+  const std::size_t hw = logits.plane();
+  const std::size_t q = logits.channels();
+  std::vector<std::uint32_t> labels(hw, 0);
+  for (std::size_t i = 0; i < hw; ++i) {
+    float best = logits.data()[i];
+    std::uint32_t best_c = 0;
+    for (std::size_t c = 1; c < q; ++c) {
+      const float v = logits.data()[c * hw + i];
+      if (v > best) {
+        best = v;
+        best_c = static_cast<std::uint32_t>(c);
+      }
+    }
+    labels[i] = best_c;
+  }
+  return labels;
+}
+
+std::size_t distinct_labels(const std::vector<std::uint32_t>& labels) {
+  std::unordered_set<std::uint32_t> seen(labels.begin(), labels.end());
+  return seen.size();
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::uint32_t>& targets) {
+  const std::size_t hw = logits.plane();
+  const std::size_t q = logits.channels();
+  util::expects(targets.size() == hw,
+                "softmax_cross_entropy needs one target per pixel");
+
+  LossResult result;
+  result.grad = Tensor(logits.channels(), logits.height(), logits.width());
+  double total = 0.0;
+  const double inv_n = 1.0 / static_cast<double>(hw);
+
+  std::vector<double> probs(q);
+  for (std::size_t i = 0; i < hw; ++i) {
+    // Numerically stable softmax over the channel axis.
+    double max_logit = logits.data()[i];
+    for (std::size_t c = 1; c < q; ++c) {
+      max_logit = std::max(max_logit,
+                           static_cast<double>(logits.data()[c * hw + i]));
+    }
+    double denom = 0.0;
+    for (std::size_t c = 0; c < q; ++c) {
+      probs[c] = std::exp(logits.data()[c * hw + i] - max_logit);
+      denom += probs[c];
+    }
+    const std::uint32_t target = targets[i];
+    util::expects(target < q, "softmax_cross_entropy target within range");
+    total += -(std::log(probs[target] / denom));
+    for (std::size_t c = 0; c < q; ++c) {
+      const double p = probs[c] / denom;
+      const double indicator = c == target ? 1.0 : 0.0;
+      result.grad.data()[c * hw + i] =
+          static_cast<float>((p - indicator) * inv_n);
+    }
+  }
+  result.loss = total * inv_n;
+  return result;
+}
+
+LossResult continuity_loss(const Tensor& response) {
+  const std::size_t h = response.height();
+  const std::size_t w = response.width();
+  const std::size_t q = response.channels();
+  util::expects(h >= 2 && w >= 2,
+                "continuity_loss needs at least a 2x2 response map");
+
+  LossResult result;
+  result.grad = Tensor(q, h, w);
+  double total_y = 0.0;
+  double total_x = 0.0;
+  const double count_y = static_cast<double>(q * (h - 1) * w);
+  const double count_x = static_cast<double>(q * h * (w - 1));
+
+  for (std::size_t c = 0; c < q; ++c) {
+    for (std::size_t y = 0; y < h; ++y) {
+      for (std::size_t x = 0; x < w; ++x) {
+        if (y + 1 < h) {
+          const double diff = static_cast<double>(response(c, y + 1, x)) -
+                              response(c, y, x);
+          total_y += std::abs(diff);
+          // L1 subgradient: sign(diff)/count into (y+1) and the negation
+          // into (y); sign(0) = 0.
+          const auto sign =
+              static_cast<float>((diff > 0.0) - (diff < 0.0));
+          result.grad(c, y + 1, x) += sign / static_cast<float>(count_y);
+          result.grad(c, y, x) -= sign / static_cast<float>(count_y);
+        }
+        if (x + 1 < w) {
+          const double diff = static_cast<double>(response(c, y, x + 1)) -
+                              response(c, y, x);
+          total_x += std::abs(diff);
+          const auto sign =
+              static_cast<float>((diff > 0.0) - (diff < 0.0));
+          result.grad(c, y, x + 1) += sign / static_cast<float>(count_x);
+          result.grad(c, y, x) -= sign / static_cast<float>(count_x);
+        }
+      }
+    }
+  }
+  result.loss = total_y / count_y + total_x / count_x;
+  return result;
+}
+
+}  // namespace seghdc::nn

@@ -1,0 +1,41 @@
+// Losses of the CNN baseline (Kim et al., TIP 2020):
+//  * softmax cross-entropy between the response map and its own argmax
+//    pseudo-labels (the "feature similarity" term), and
+//  * the spatial continuity term: L1 norm of vertical and horizontal
+//    first differences of the response map.
+#ifndef SEGHDC_NN_LOSS_HPP
+#define SEGHDC_NN_LOSS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "src/nn/tensor.hpp"
+
+namespace seghdc::nn {
+
+struct LossResult {
+  double loss = 0.0;
+  Tensor grad;  ///< d(loss)/d(logits), same shape as the input
+};
+
+/// Per-pixel argmax over channels of `logits` — the pseudo-label target
+/// of the baseline's self-training loop.
+std::vector<std::uint32_t> argmax_labels(const Tensor& logits);
+
+/// Number of distinct labels in `labels` (early-stopping criterion).
+std::size_t distinct_labels(const std::vector<std::uint32_t>& labels);
+
+/// Mean softmax cross-entropy of `logits` against per-pixel integer
+/// `targets` (values < logits.channels()); gradient included.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::uint32_t>& targets);
+
+/// Spatial continuity loss: mean |r(c,y+1,x) - r(c,y,x)| +
+/// mean |r(c,y,x+1) - r(c,y,x)| over the response map, with L1
+/// subgradients. Matches the reference implementation's L1Loss against
+/// zero targets on the vertical/horizontal difference maps.
+LossResult continuity_loss(const Tensor& response);
+
+}  // namespace seghdc::nn
+
+#endif  // SEGHDC_NN_LOSS_HPP

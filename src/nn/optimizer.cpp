@@ -1,0 +1,34 @@
+#include "src/nn/optimizer.hpp"
+
+#include "src/util/contracts.hpp"
+
+namespace seghdc::nn {
+
+SgdMomentum::SgdMomentum(double learning_rate, double momentum)
+    : learning_rate_(learning_rate), momentum_(momentum) {
+  util::expects(learning_rate > 0.0, "SgdMomentum lr must be positive");
+  util::expects(momentum >= 0.0 && momentum < 1.0,
+                "SgdMomentum momentum must be in [0, 1)");
+}
+
+std::size_t SgdMomentum::add_parameters(std::span<float> params,
+                                        std::span<float> grads) {
+  util::expects(params.size() == grads.size(),
+                "SgdMomentum parameter/gradient size mismatch");
+  slots_.push_back(Slot{params, grads,
+                        std::vector<float>(params.size(), 0.0F)});
+  return slots_.size() - 1;
+}
+
+void SgdMomentum::step() {
+  const auto lr = static_cast<float>(learning_rate_);
+  const auto mu = static_cast<float>(momentum_);
+  for (auto& slot : slots_) {
+    for (std::size_t i = 0; i < slot.params.size(); ++i) {
+      slot.velocity[i] = mu * slot.velocity[i] + slot.grads[i];
+      slot.params[i] -= lr * slot.velocity[i];
+    }
+  }
+}
+
+}  // namespace seghdc::nn

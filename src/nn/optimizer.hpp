@@ -1,0 +1,41 @@
+// SGD with momentum, PyTorch convention (the reference baseline trains
+// with torch.optim.SGD(lr=0.1, momentum=0.9)):
+//   v <- momentum * v + grad;  param <- param - lr * v
+#ifndef SEGHDC_NN_OPTIMIZER_HPP
+#define SEGHDC_NN_OPTIMIZER_HPP
+
+#include <span>
+#include <vector>
+
+namespace seghdc::nn {
+
+class SgdMomentum {
+ public:
+  SgdMomentum(double learning_rate, double momentum);
+
+  /// Registers a parameter/gradient pair; returns its slot id. The spans
+  /// must remain valid for the optimizer's lifetime.
+  std::size_t add_parameters(std::span<float> params,
+                             std::span<float> grads);
+
+  /// One update step over every registered parameter.
+  void step();
+
+  double learning_rate() const { return learning_rate_; }
+  double momentum() const { return momentum_; }
+
+ private:
+  struct Slot {
+    std::span<float> params;
+    std::span<float> grads;
+    std::vector<float> velocity;
+  };
+
+  double learning_rate_;
+  double momentum_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace seghdc::nn
+
+#endif  // SEGHDC_NN_OPTIMIZER_HPP

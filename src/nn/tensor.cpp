@@ -1,0 +1,5 @@
+// Tensor is header-only; this translation unit anchors the library and
+// hosts shape helpers that do not belong in the header.
+#include "src/nn/tensor.hpp"
+
+namespace seghdc::nn {}  // namespace seghdc::nn

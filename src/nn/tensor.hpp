@@ -1,0 +1,78 @@
+// Minimal CHW float tensor for the CNN baseline. The paper's baseline
+// (Kim et al., TIP 2020) trains per image with batch size 1, so a
+// 3-axis channels/height/width tensor is all the runtime needs — kept
+// deliberately small and fully testable instead of binding libtorch.
+#ifndef SEGHDC_NN_TENSOR_HPP
+#define SEGHDC_NN_TENSOR_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/util/contracts.hpp"
+
+namespace seghdc::nn {
+
+/// Dense CHW float tensor: element (c, y, x) at index (c*H + y)*W + x.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  Tensor(std::size_t channels, std::size_t height, std::size_t width,
+         float fill = 0.0F)
+      : channels_(channels),
+        height_(height),
+        width_(width),
+        data_(channels * height * width, fill) {
+    util::expects(channels > 0 && height > 0 && width > 0,
+                  "Tensor dimensions must be positive");
+  }
+
+  std::size_t channels() const { return channels_; }
+  std::size_t height() const { return height_; }
+  std::size_t width() const { return width_; }
+  std::size_t size() const { return data_.size(); }
+  std::size_t plane() const { return height_ * width_; }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t c, std::size_t y, std::size_t x) {
+    util::expects(c < channels_ && y < height_ && x < width_,
+                  "Tensor::at coordinates within bounds");
+    return data_[(c * height_ + y) * width_ + x];
+  }
+  const float& at(std::size_t c, std::size_t y, std::size_t x) const {
+    util::expects(c < channels_ && y < height_ && x < width_,
+                  "Tensor::at coordinates within bounds");
+    return data_[(c * height_ + y) * width_ + x];
+  }
+
+  float& operator()(std::size_t c, std::size_t y, std::size_t x) {
+    return data_[(c * height_ + y) * width_ + x];
+  }
+  const float& operator()(std::size_t c, std::size_t y, std::size_t x) const {
+    return data_[(c * height_ + y) * width_ + x];
+  }
+
+  void fill(float value) { data_.assign(data_.size(), value); }
+  void zero() { fill(0.0F); }
+
+  bool same_shape(const Tensor& other) const {
+    return channels_ == other.channels_ && height_ == other.height_ &&
+           width_ == other.width_;
+  }
+
+  std::span<float> values() { return data_; }
+  std::span<const float> values() const { return data_; }
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+ private:
+  std::size_t channels_ = 0;
+  std::size_t height_ = 0;
+  std::size_t width_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace seghdc::nn
+
+#endif  // SEGHDC_NN_TENSOR_HPP

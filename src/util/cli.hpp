@@ -1,0 +1,55 @@
+// Minimal command-line option parser shared by the bench harness and the
+// examples. Supports `--name value`, `--name=value`, and boolean flags.
+#ifndef SEGHDC_UTIL_CLI_HPP
+#define SEGHDC_UTIL_CLI_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace seghdc::util {
+
+/// Parsed command line. Unknown options are collected rather than rejected
+/// so a caller can forward them; call `reject_unknown()` to enforce strict
+/// parsing.
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// True when `--name` was present (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// String value of `--name`, or `fallback` if absent.
+  std::string get(const std::string& name, const std::string& fallback) const;
+
+  /// Integer value of `--name`, or `fallback` if absent. Throws
+  /// std::invalid_argument when present but not parseable.
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+
+  /// Floating-point value of `--name`, or `fallback` if absent.
+  double get_double(const std::string& name, double fallback) const;
+
+  /// Boolean flag: present without value, or with value in
+  /// {1,true,yes,on} / {0,false,no,off}.
+  bool get_flag(const std::string& name, bool fallback = false) const;
+
+  /// Positional arguments (everything not starting with `--`).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+  /// Throws std::invalid_argument when any parsed option is not in
+  /// `known` — call after all get() calls with the full option list.
+  void reject_unknown(const std::vector<std::string>& known) const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace seghdc::util
+
+#endif  // SEGHDC_UTIL_CLI_HPP

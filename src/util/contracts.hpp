@@ -1,0 +1,30 @@
+// Contract checking helpers in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (I.6, I.8). Violations throw rather than abort so that
+// library users (and tests) can observe and recover from misuse.
+#ifndef SEGHDC_UTIL_CONTRACTS_HPP
+#define SEGHDC_UTIL_CONTRACTS_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace seghdc::util {
+
+/// Precondition check: throws std::invalid_argument when `condition` is false.
+/// `what` should name the violated requirement from the caller's perspective.
+inline void expects(bool condition, const std::string& what) {
+  if (!condition) {
+    throw std::invalid_argument("precondition violated: " + what);
+  }
+}
+
+/// Postcondition / internal-invariant check: throws std::logic_error.
+/// A failure indicates a bug inside this library, not caller misuse.
+inline void ensures(bool condition, const std::string& what) {
+  if (!condition) {
+    throw std::logic_error("invariant violated: " + what);
+  }
+}
+
+}  // namespace seghdc::util
+
+#endif  // SEGHDC_UTIL_CONTRACTS_HPP

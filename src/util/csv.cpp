@@ -1,0 +1,78 @@
+#include "src/util/csv.hpp"
+
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/contracts.hpp"
+
+namespace seghdc::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  expects(!header.empty(), "CsvWriter header must not be empty");
+  write_row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  expects(fields.size() == columns_,
+          "CsvWriter row width must match header width");
+  write_row(fields);
+  ++rows_;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) {
+      out_ << ',';
+    }
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& raw) {
+  const bool needs_quotes =
+      raw.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) {
+    return raw;
+  }
+  std::string quoted = "\"";
+  for (const char ch : raw) {
+    if (ch == '"') {
+      quoted += "\"\"";
+    } else {
+      quoted += ch;
+    }
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::string CsvWriter::field(double value) {
+  std::ostringstream os;
+  os.precision(10);
+  os << value;
+  return os.str();
+}
+
+std::string CsvWriter::field(long long value) { return std::to_string(value); }
+
+std::string CsvWriter::field(unsigned long long value) {
+  return std::to_string(value);
+}
+
+void ensure_directory(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    throw std::runtime_error("ensure_directory: cannot create " + path +
+                             ": " + ec.message());
+  }
+}
+
+}  // namespace seghdc::util

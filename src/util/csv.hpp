@@ -1,0 +1,46 @@
+// Tiny CSV writer used by the benchmark harness to persist every table /
+// figure series next to the textual report (one file per experiment).
+#ifndef SEGHDC_UTIL_CSV_HPP
+#define SEGHDC_UTIL_CSV_HPP
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace seghdc::util {
+
+/// Streams rows to a CSV file. Fields containing commas, quotes, or
+/// newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (parent directory must exist) and writes the
+  /// header row. Throws std::runtime_error when the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Writes one data row. The number of fields should match the header;
+  /// this is checked and enforced.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats arithmetic values with full precision.
+  static std::string field(double value);
+  static std::string field(long long value);
+  static std::string field(unsigned long long value);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  void write_row(const std::vector<std::string>& fields);
+  static std::string escape(const std::string& raw);
+
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+};
+
+/// Creates `path` (and missing parents) as a directory; no-op when it
+/// already exists. Throws std::runtime_error on failure.
+void ensure_directory(const std::string& path);
+
+}  // namespace seghdc::util
+
+#endif  // SEGHDC_UTIL_CSV_HPP

@@ -1,0 +1,48 @@
+// Small leveled logger for the bench harness and examples. Writes to
+// stderr; the level is a process-wide setting (informational tooling only,
+// never load-bearing for library behaviour).
+#ifndef SEGHDC_UTIL_LOGGING_HPP
+#define SEGHDC_UTIL_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+
+namespace seghdc::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the minimum level that will be emitted (default: kInfo).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits `message` at `level` with a "[level] " prefix when enabled.
+void log(LogLevel level, const std::string& message);
+
+/// Stream-style helper: Logger(LogLevel::kInfo) << "x=" << x;
+/// The message is emitted when the Logger goes out of scope.
+class Logger {
+ public:
+  explicit Logger(LogLevel level) : level_(level) {}
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+  ~Logger() { log(level_, stream_.str()); }
+
+  template <typename T>
+  Logger& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+inline Logger log_debug() { return Logger(LogLevel::kDebug); }
+inline Logger log_info() { return Logger(LogLevel::kInfo); }
+inline Logger log_warn() { return Logger(LogLevel::kWarn); }
+inline Logger log_error() { return Logger(LogLevel::kError); }
+
+}  // namespace seghdc::util
+
+#endif  // SEGHDC_UTIL_LOGGING_HPP

@@ -1,0 +1,129 @@
+#include "src/util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace seghdc::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  std::size_t n = threads;
+  if (n == 0) {
+    n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // The calling thread participates in parallel_for, so spawn n-1 workers.
+  workers_.reserve(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) {
+        return;
+      }
+      task = std::move(queue_.back());
+      queue_.pop_back();
+    }
+    task.fn();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+    }
+    done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  if (begin >= end) {
+    return;
+  }
+  const std::size_t count = end - begin;
+  const std::size_t threads = thread_count();
+  const std::size_t min_grain = std::max<std::size_t>(1, grain);
+  const std::size_t chunks = std::min(
+      (count + min_grain - 1) / min_grain, std::max<std::size_t>(threads, 1));
+  if (chunks <= 1 || workers_.empty()) {
+    for (std::size_t i = begin; i < end; ++i) {
+      body(i);
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> next{begin};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const std::size_t step = std::max(min_grain, count / (chunks * 4) + 1);
+
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t chunk_begin =
+          next.fetch_add(step, std::memory_order_relaxed);
+      if (chunk_begin >= end) {
+        return;
+      }
+      const std::size_t chunk_end = std::min(end, chunk_begin + step);
+      try {
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+          body(i);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(chunks - 1, workers_.size());
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < helpers; ++i) {
+      queue_.push_back(Task{drain});
+    }
+    in_flight_ += helpers;
+  }
+  wake_.notify_all();
+
+  drain();  // calling thread participates
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return in_flight_ == 0; });
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  ThreadPool::shared().parallel_for(begin, end, body, grain);
+}
+
+}  // namespace seghdc::util

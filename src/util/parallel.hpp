@@ -1,0 +1,63 @@
+// Process-wide thread pool with a simple parallel_for. Used by the K-Means
+// assignment step and the conv GEMM, where per-item work is independent.
+#ifndef SEGHDC_UTIL_PARALLEL_HPP
+#define SEGHDC_UTIL_PARALLEL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace seghdc::util {
+
+/// Fixed-size worker pool. Construct once, submit blocking parallel loops.
+/// All exceptions thrown by the body are captured and the first one is
+/// rethrown on the calling thread after the loop completes.
+class ThreadPool {
+ public:
+  /// `threads` = 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Runs body(i) for i in [begin, end), partitioned into contiguous chunks
+  /// across the pool plus the calling thread. Blocks until all chunks are
+  /// done. `grain` caps the minimum chunk size to bound scheduling
+  /// overhead for cheap bodies.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 1);
+
+  /// Shared pool sized to the hardware; created on first use.
+  static ThreadPool& shared();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::vector<Task> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Convenience: parallel_for on the shared pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+}  // namespace seghdc::util
+
+#endif  // SEGHDC_UTIL_PARALLEL_HPP

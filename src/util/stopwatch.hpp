@@ -1,0 +1,32 @@
+// Wall-clock stopwatch used by the pipeline instrumentation and benches.
+#ifndef SEGHDC_UTIL_STOPWATCH_HPP
+#define SEGHDC_UTIL_STOPWATCH_HPP
+
+#include <chrono>
+
+namespace seghdc::util {
+
+/// Monotonic wall-clock stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace seghdc::util
+
+#endif  // SEGHDC_UTIL_STOPWATCH_HPP

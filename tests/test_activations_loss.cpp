@@ -1,0 +1,194 @@
+// Tests for ReLU, argmax pseudo-labels, softmax cross-entropy, and the
+// spatial continuity loss of the CNN baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/nn/activations.hpp"
+#include "src/nn/loss.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace seghdc::nn;
+using seghdc::util::Rng;
+
+Tensor random_tensor(std::size_t c, std::size_t h, std::size_t w,
+                     Rng& rng) {
+  Tensor t(c, h, w);
+  for (auto& v : t.values()) {
+    v = static_cast<float>(rng.next_double_in(-2.0, 2.0));
+  }
+  return t;
+}
+
+TEST(ReLUTest, ForwardClampsNegatives) {
+  Tensor input(1, 1, 4);
+  input(0, 0, 0) = -1.0F;
+  input(0, 0, 1) = 0.0F;
+  input(0, 0, 2) = 2.5F;
+  input(0, 0, 3) = -0.1F;
+  ReLU relu;
+  const auto output = relu.forward(input);
+  EXPECT_EQ(output(0, 0, 0), 0.0F);
+  EXPECT_EQ(output(0, 0, 1), 0.0F);
+  EXPECT_EQ(output(0, 0, 2), 2.5F);
+  EXPECT_EQ(output(0, 0, 3), 0.0F);
+}
+
+TEST(ReLUTest, BackwardMasksGradient) {
+  Tensor input(1, 1, 3);
+  input(0, 0, 0) = -1.0F;
+  input(0, 0, 1) = 3.0F;
+  input(0, 0, 2) = 0.0F;
+  ReLU relu;
+  (void)relu.forward(input);
+  Tensor grad(1, 1, 3, 1.0F);
+  const auto grad_input = relu.backward(grad);
+  EXPECT_EQ(grad_input(0, 0, 0), 0.0F);
+  EXPECT_EQ(grad_input(0, 0, 1), 1.0F);
+  EXPECT_EQ(grad_input(0, 0, 2), 0.0F);  // relu'(0) = 0
+}
+
+TEST(ReLUTest, BackwardShapeChecked) {
+  ReLU relu;
+  Tensor input(1, 2, 2);
+  (void)relu.forward(input);
+  const Tensor wrong(1, 3, 2);
+  EXPECT_THROW(relu.backward(wrong), std::invalid_argument);
+}
+
+TEST(ArgmaxLabels, PicksMaxChannelPerPixel) {
+  Tensor logits(3, 1, 2);
+  // Pixel 0: channel 2 wins; pixel 1: channel 0 wins.
+  logits(0, 0, 0) = 0.1F;
+  logits(1, 0, 0) = 0.5F;
+  logits(2, 0, 0) = 2.0F;
+  logits(0, 0, 1) = 3.0F;
+  logits(1, 0, 1) = 0.0F;
+  logits(2, 0, 1) = -1.0F;
+  const auto labels = argmax_labels(logits);
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0], 2u);
+  EXPECT_EQ(labels[1], 0u);
+}
+
+TEST(ArgmaxLabels, TieGoesToLowerChannel) {
+  Tensor logits(2, 1, 1);
+  logits(0, 0, 0) = 1.0F;
+  logits(1, 0, 0) = 1.0F;
+  EXPECT_EQ(argmax_labels(logits)[0], 0u);
+}
+
+TEST(DistinctLabels, CountsUnique) {
+  EXPECT_EQ(distinct_labels({0, 1, 1, 2, 0}), 3u);
+  EXPECT_EQ(distinct_labels({5, 5, 5}), 1u);
+  EXPECT_EQ(distinct_labels({}), 0u);
+}
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogQ) {
+  const Tensor logits(4, 2, 2, 0.0F);
+  const std::vector<std::uint32_t> targets(4, 0);
+  const auto result = softmax_cross_entropy(logits, targets);
+  EXPECT_NEAR(result.loss, std::log(4.0), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentCorrectPredictionLowLoss) {
+  Tensor logits(2, 1, 1);
+  logits(0, 0, 0) = 10.0F;
+  logits(1, 0, 0) = -10.0F;
+  const auto result = softmax_cross_entropy(logits, {0});
+  EXPECT_LT(result.loss, 1e-6);
+  const auto wrong = softmax_cross_entropy(logits, {1});
+  EXPECT_GT(wrong.loss, 10.0);
+}
+
+TEST(SoftmaxCrossEntropy, GradientSumsToZeroPerPixel) {
+  Rng rng(1);
+  const auto logits = random_tensor(3, 2, 2, rng);
+  const auto targets = argmax_labels(logits);
+  const auto result = softmax_cross_entropy(logits, targets);
+  const std::size_t hw = logits.plane();
+  for (std::size_t i = 0; i < hw; ++i) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) {
+      sum += result.grad.data()[c * hw + i];
+    }
+    EXPECT_NEAR(sum, 0.0, 1e-6) << "pixel " << i;
+  }
+}
+
+TEST(SoftmaxCrossEntropy, NumericalGradientCheck) {
+  Rng rng(2);
+  auto logits = random_tensor(3, 2, 3, rng);
+  const std::vector<std::uint32_t> targets{0, 2, 1, 1, 0, 2};
+  const auto analytic = softmax_cross_entropy(logits, targets);
+  const double h = 1e-3;
+  for (const std::size_t i : {0u, 4u, 9u, 17u}) {
+    const float saved = logits.values()[i];
+    logits.values()[i] = saved + static_cast<float>(h);
+    const double plus = softmax_cross_entropy(logits, targets).loss;
+    logits.values()[i] = saved - static_cast<float>(h);
+    const double minus = softmax_cross_entropy(logits, targets).loss;
+    logits.values()[i] = saved;
+    EXPECT_NEAR(analytic.grad.values()[i], (plus - minus) / (2.0 * h),
+                1e-3)
+        << "logit " << i;
+  }
+}
+
+TEST(SoftmaxCrossEntropy, ValidatesTargets) {
+  const Tensor logits(2, 1, 2, 0.0F);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0}),
+               std::invalid_argument);  // wrong count
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 5}),
+               std::invalid_argument);  // out of range
+}
+
+TEST(ContinuityLoss, FlatResponseHasZeroLoss) {
+  const Tensor response(2, 3, 3, 1.5F);
+  const auto result = continuity_loss(response);
+  EXPECT_NEAR(result.loss, 0.0, 1e-9);
+  for (const auto v : result.grad.values()) {
+    EXPECT_EQ(v, 0.0F);
+  }
+}
+
+TEST(ContinuityLoss, StepEdgeCosts) {
+  // A vertical step: |dx| = 1 along one column transition per row.
+  Tensor response(1, 2, 4, 0.0F);
+  for (std::size_t y = 0; y < 2; ++y) {
+    response(0, y, 2) = 1.0F;
+    response(0, y, 3) = 1.0F;
+  }
+  const auto result = continuity_loss(response);
+  // Horizontal diffs: per row, |0,0->0|=0, |0->1|=1, |1->1|=0 -> 2 of 6
+  // nonzero; vertical diffs all zero.
+  EXPECT_NEAR(result.loss, 2.0 / 6.0, 1e-9);
+}
+
+TEST(ContinuityLoss, NumericalGradientCheck) {
+  Rng rng(3);
+  auto response = random_tensor(2, 3, 3, rng);
+  const auto analytic = continuity_loss(response);
+  const double h = 1e-4;
+  for (const std::size_t i : {0u, 5u, 10u, 17u}) {
+    const float saved = response.values()[i];
+    response.values()[i] = saved + static_cast<float>(h);
+    const double plus = continuity_loss(response).loss;
+    response.values()[i] = saved - static_cast<float>(h);
+    const double minus = continuity_loss(response).loss;
+    response.values()[i] = saved;
+    // L1 subgradient: valid where no diff crosses zero in [x-h, x+h].
+    EXPECT_NEAR(analytic.grad.values()[i], (plus - minus) / (2.0 * h),
+                0.35)
+        << "element " << i;
+  }
+}
+
+TEST(ContinuityLoss, RequiresMinimumSize) {
+  const Tensor tiny(1, 1, 5);
+  EXPECT_THROW(continuity_loss(tiny), std::invalid_argument);
+}
+
+}  // namespace

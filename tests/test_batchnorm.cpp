@@ -1,0 +1,149 @@
+// Tests for BatchNorm2d: normalisation semantics and gradient checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/nn/batchnorm.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace seghdc::nn;
+using seghdc::util::Rng;
+
+Tensor random_tensor(std::size_t c, std::size_t h, std::size_t w,
+                     Rng& rng) {
+  Tensor t(c, h, w);
+  for (auto& v : t.values()) {
+    v = static_cast<float>(rng.next_double_in(-2.0, 2.0));
+  }
+  return t;
+}
+
+TEST(BatchNorm, OutputHasZeroMeanUnitVariancePerChannel) {
+  Rng rng(1);
+  BatchNorm2d bn(3);
+  const auto input = random_tensor(3, 8, 8, rng);
+  const auto output = bn.forward(input);
+  const std::size_t hw = input.plane();
+  for (std::size_t c = 0; c < 3; ++c) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (std::size_t i = 0; i < hw; ++i) {
+      mean += output.data()[c * hw + i];
+    }
+    mean /= static_cast<double>(hw);
+    for (std::size_t i = 0; i < hw; ++i) {
+      const double d = output.data()[c * hw + i] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(hw);
+    EXPECT_NEAR(mean, 0.0, 1e-4) << "channel " << c;
+    EXPECT_NEAR(var, 1.0, 1e-2) << "channel " << c;
+  }
+}
+
+TEST(BatchNorm, GammaBetaAffectOutput) {
+  Rng rng(2);
+  BatchNorm2d bn(1);
+  bn.gamma()[0] = 3.0F;
+  bn.beta()[0] = -1.0F;
+  const auto input = random_tensor(1, 6, 6, rng);
+  const auto output = bn.forward(input);
+  const std::size_t hw = input.plane();
+  double mean = 0.0;
+  for (std::size_t i = 0; i < hw; ++i) {
+    mean += output.data()[i];
+  }
+  mean /= static_cast<double>(hw);
+  EXPECT_NEAR(mean, -1.0, 1e-4);  // beta shifts the mean
+  double var = 0.0;
+  for (std::size_t i = 0; i < hw; ++i) {
+    var += (output.data()[i] - mean) * (output.data()[i] - mean);
+  }
+  var /= static_cast<double>(hw);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);  // gamma scales the stddev
+}
+
+TEST(BatchNorm, ConstantChannelMapsToBeta) {
+  BatchNorm2d bn(1);
+  bn.beta()[0] = 0.5F;
+  const Tensor input(1, 4, 4, 7.0F);
+  const auto output = bn.forward(input);
+  for (const auto v : output.values()) {
+    EXPECT_NEAR(v, 0.5F, 1e-3);  // zero variance -> xhat ~ 0 -> beta
+  }
+}
+
+TEST(BatchNorm, GradientCheck) {
+  Rng rng(3);
+  BatchNorm2d bn(2);
+  bn.gamma()[0] = 1.3F;
+  bn.gamma()[1] = 0.7F;
+  bn.beta()[0] = 0.2F;
+  auto input = random_tensor(2, 4, 4, rng);
+  const auto probe = random_tensor(2, 4, 4, rng);
+
+  const auto loss_of = [&](const Tensor& x) {
+    BatchNorm2d fresh(2);
+    fresh.gamma()[0] = 1.3F;
+    fresh.gamma()[1] = 0.7F;
+    fresh.beta()[0] = 0.2F;
+    const auto out = fresh.forward(x);
+    double loss = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      loss += static_cast<double>(out.values()[i]) * probe.values()[i];
+    }
+    return loss;
+  };
+
+  (void)bn.forward(input);
+  bn.zero_grad();
+  const auto grad_input = bn.backward(probe);
+
+  const double h = 1e-3;
+  for (const std::size_t xi : {0u, 3u, 16u, 31u}) {
+    const float saved = input.values()[xi];
+    input.values()[xi] = saved + static_cast<float>(h);
+    const double plus = loss_of(input);
+    input.values()[xi] = saved - static_cast<float>(h);
+    const double minus = loss_of(input);
+    input.values()[xi] = saved;
+    EXPECT_NEAR(grad_input.values()[xi], (plus - minus) / (2.0 * h), 5e-2)
+        << "input " << xi;
+  }
+}
+
+TEST(BatchNorm, GammaBetaGradients) {
+  Rng rng(4);
+  BatchNorm2d bn(1);
+  const auto input = random_tensor(1, 5, 5, rng);
+  const auto probe = random_tensor(1, 5, 5, rng);
+  const auto normalized = bn.forward(input);
+  bn.zero_grad();
+  (void)bn.backward(probe);
+
+  // d(loss)/d(gamma) = sum(probe * xhat); with fresh gamma=1, beta=0 the
+  // forward output IS xhat.
+  double expected_gamma_grad = 0.0;
+  double expected_beta_grad = 0.0;
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    expected_gamma_grad +=
+        static_cast<double>(probe.values()[i]) * normalized.values()[i];
+    expected_beta_grad += probe.values()[i];
+  }
+  EXPECT_NEAR(bn.gamma_grad()[0], expected_gamma_grad, 1e-2);
+  EXPECT_NEAR(bn.beta_grad()[0], expected_beta_grad, 1e-2);
+}
+
+TEST(BatchNorm, ValidatesArguments) {
+  EXPECT_THROW(BatchNorm2d(0), std::invalid_argument);
+  EXPECT_THROW(BatchNorm2d(4, 0.0), std::invalid_argument);
+  BatchNorm2d bn(2);
+  const Tensor wrong(3, 4, 4);
+  EXPECT_THROW(bn.forward(wrong), std::invalid_argument);
+  const Tensor grad(2, 4, 4);
+  EXPECT_THROW(bn.backward(grad), std::invalid_argument);  // no forward
+}
+
+}  // namespace

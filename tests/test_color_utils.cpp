@@ -1,0 +1,116 @@
+// Tests for color conversions and label-map rendering.
+#include <gtest/gtest.h>
+
+#include "src/imaging/color.hpp"
+
+namespace {
+
+using namespace seghdc::img;
+
+TEST(Luma, KnownValues) {
+  EXPECT_EQ(luma(0, 0, 0), 0);
+  EXPECT_EQ(luma(255, 255, 255), 255);
+  // Rec. 601: 0.299 R + 0.587 G + 0.114 B.
+  EXPECT_EQ(luma(255, 0, 0), 76);
+  EXPECT_EQ(luma(0, 255, 0), 150);
+  EXPECT_EQ(luma(0, 0, 255), 29);
+}
+
+TEST(Luma, GreenDominates) {
+  EXPECT_GT(luma(0, 200, 0), luma(200, 0, 0));
+  EXPECT_GT(luma(200, 0, 0), luma(0, 0, 200));
+}
+
+TEST(ToGray, ConvertsRgbViaLuma) {
+  ImageU8 rgb(2, 1, 3);
+  rgb(0, 0, 0) = 255;  // red pixel
+  rgb(1, 0, 1) = 255;  // green pixel
+  const auto gray = to_gray(rgb);
+  ASSERT_EQ(gray.channels(), 1u);
+  EXPECT_EQ(gray(0, 0), 76);
+  EXPECT_EQ(gray(1, 0), 150);
+}
+
+TEST(ToGray, GrayPassesThrough) {
+  const ImageU8 gray(3, 3, 1, 99);
+  EXPECT_EQ(to_gray(gray), gray);
+}
+
+TEST(ToRgb, ReplicatesChannels) {
+  ImageU8 gray(2, 1, 1);
+  gray(0, 0) = 10;
+  gray(1, 0) = 200;
+  const auto rgb = to_rgb(gray);
+  ASSERT_EQ(rgb.channels(), 3u);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(rgb(0, 0, c), 10);
+    EXPECT_EQ(rgb(1, 0, c), 200);
+  }
+}
+
+TEST(ToRgb, RgbPassesThrough) {
+  const ImageU8 rgb(2, 2, 3, 44);
+  EXPECT_EQ(to_rgb(rgb), rgb);
+}
+
+TEST(PixelIntensity, MatchesChannelSemantics) {
+  ImageU8 gray(1, 1, 1, 123);
+  EXPECT_EQ(pixel_intensity(gray, 0, 0), 123);
+  ImageU8 rgb(1, 1, 3);
+  rgb(0, 0, 0) = 255;
+  EXPECT_EQ(pixel_intensity(rgb, 0, 0), 76);
+}
+
+TEST(LabelColor, ConventionalFirstTwo) {
+  EXPECT_EQ(label_color(0), (std::array<std::uint8_t, 3>{0, 0, 0}));
+  EXPECT_EQ(label_color(1),
+            (std::array<std::uint8_t, 3>{255, 255, 255}));
+}
+
+TEST(LabelColor, DistinctForSmallLabels) {
+  for (std::uint32_t a = 0; a < 8; ++a) {
+    for (std::uint32_t b = a + 1; b < 8; ++b) {
+      EXPECT_NE(label_color(a), label_color(b)) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(LabelColor, DeterministicForLargeLabels) {
+  EXPECT_EQ(label_color(1000), label_color(1000));
+}
+
+TEST(ColorizeLabels, RendersPalette) {
+  seghdc::img::LabelMap labels(2, 1, 1);
+  labels(0, 0) = 0;
+  labels(1, 0) = 1;
+  const auto rgb = colorize_labels(labels);
+  EXPECT_EQ(rgb(0, 0, 0), 0);
+  EXPECT_EQ(rgb(1, 0, 0), 255);
+}
+
+TEST(LabelsToMask, SelectsForegroundBits) {
+  seghdc::img::LabelMap labels(4, 1, 1);
+  labels(0, 0) = 0;
+  labels(1, 0) = 1;
+  labels(2, 0) = 2;
+  labels(3, 0) = 3;
+  // Foreground = labels 1 and 3 (mask 0b1010).
+  const auto mask = labels_to_mask(labels, 0b1010u);
+  EXPECT_EQ(mask(0, 0), 0);
+  EXPECT_EQ(mask(1, 0), 255);
+  EXPECT_EQ(mask(2, 0), 0);
+  EXPECT_EQ(mask(3, 0), 255);
+}
+
+TEST(LabelsToMask, EmptyAndFullSelections) {
+  seghdc::img::LabelMap labels(2, 1, 1);
+  labels(1, 0) = 1;
+  const auto none = labels_to_mask(labels, 0);
+  EXPECT_EQ(none(0, 0), 0);
+  EXPECT_EQ(none(1, 0), 0);
+  const auto all = labels_to_mask(labels, 0b11u);
+  EXPECT_EQ(all(0, 0), 255);
+  EXPECT_EQ(all(1, 0), 255);
+}
+
+}  // namespace

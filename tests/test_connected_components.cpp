@@ -1,0 +1,121 @@
+// Tests for union-find connected-component labeling.
+#include <gtest/gtest.h>
+
+#include "src/imaging/connected_components.hpp"
+
+namespace {
+
+using namespace seghdc::img;
+
+ImageU8 mask_from(const std::vector<std::string>& rows) {
+  ImageU8 mask(rows[0].size(), rows.size(), 1, 0);
+  for (std::size_t y = 0; y < rows.size(); ++y) {
+    for (std::size_t x = 0; x < rows[y].size(); ++x) {
+      mask.at(x, y) = rows[y][x] == '#' ? 255 : 0;
+    }
+  }
+  return mask;
+}
+
+TEST(ConnectedComponents, EmptyMaskHasNoComponents) {
+  const ImageU8 mask(5, 5, 1, 0);
+  const auto result = connected_components(mask);
+  EXPECT_TRUE(result.components.empty());
+  for (const auto v : result.labels.pixels()) {
+    EXPECT_EQ(v, 0u);
+  }
+}
+
+TEST(ConnectedComponents, SingleBlob) {
+  const auto mask = mask_from({
+      ".....",
+      ".###.",
+      ".###.",
+      ".....",
+  });
+  const auto result = connected_components(mask);
+  ASSERT_EQ(result.components.size(), 1u);
+  EXPECT_EQ(result.components[0].area, 6u);
+  EXPECT_EQ(result.components[0].min_x, 1u);
+  EXPECT_EQ(result.components[0].max_x, 3u);
+  EXPECT_EQ(result.components[0].min_y, 1u);
+  EXPECT_EQ(result.components[0].max_y, 2u);
+  EXPECT_NEAR(result.components[0].centroid_x, 2.0, 1e-9);
+  EXPECT_NEAR(result.components[0].centroid_y, 1.5, 1e-9);
+}
+
+TEST(ConnectedComponents, TwoSeparateBlobs) {
+  const auto mask = mask_from({
+      "##..#",
+      "##..#",
+      ".....",
+  });
+  const auto result = connected_components(mask);
+  ASSERT_EQ(result.components.size(), 2u);
+  // Raster order: the left blob is labelled 1.
+  EXPECT_EQ(result.labels.at(0, 0), 1u);
+  EXPECT_EQ(result.labels.at(4, 0), 2u);
+  EXPECT_EQ(result.components[0].area, 4u);
+  EXPECT_EQ(result.components[1].area, 2u);
+}
+
+TEST(ConnectedComponents, DiagonalJoinedOnlyUnderEightConnectivity) {
+  const auto mask = mask_from({
+      "#.",
+      ".#",
+  });
+  const auto eight = connected_components(mask, Connectivity::kEight);
+  EXPECT_EQ(eight.components.size(), 1u);
+  const auto four = connected_components(mask, Connectivity::kFour);
+  EXPECT_EQ(four.components.size(), 2u);
+}
+
+TEST(ConnectedComponents, AntiDiagonalJoinedUnderEight) {
+  const auto mask = mask_from({
+      ".#",
+      "#.",
+  });
+  EXPECT_EQ(connected_components(mask, Connectivity::kEight)
+                .components.size(), 1u);
+  EXPECT_EQ(connected_components(mask, Connectivity::kFour)
+                .components.size(), 2u);
+}
+
+TEST(ConnectedComponents, UShapeIsOneComponent) {
+  const auto mask = mask_from({
+      "#.#",
+      "#.#",
+      "###",
+  });
+  const auto result = connected_components(mask);
+  ASSERT_EQ(result.components.size(), 1u);
+  EXPECT_EQ(result.components[0].area, 7u);
+}
+
+TEST(ConnectedComponents, LabelsAreDense) {
+  const auto mask = mask_from({
+      "#.#.#",
+      ".....",
+      "#.#.#",
+  });
+  const auto result = connected_components(mask, Connectivity::kFour);
+  EXPECT_EQ(result.components.size(), 6u);
+  for (std::size_t i = 0; i < result.components.size(); ++i) {
+    EXPECT_EQ(result.components[i].label, i + 1);
+    EXPECT_EQ(result.components[i].area, 1u);
+  }
+}
+
+TEST(ConnectedComponents, FullMaskSingleComponent) {
+  const ImageU8 mask(7, 4, 1, 255);
+  const auto result = connected_components(mask);
+  ASSERT_EQ(result.components.size(), 1u);
+  EXPECT_EQ(result.components[0].area, 28u);
+}
+
+TEST(ConnectedComponents, MultiChannelThrows) {
+  const ImageU8 rgb(3, 3, 3);
+  EXPECT_THROW(connected_components(rgb), std::invalid_argument);
+}
+
+}  // namespace

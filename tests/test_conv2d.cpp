@@ -1,0 +1,201 @@
+// Tests for the conv layer: exact forward semantics on hand-checkable
+// kernels plus full numerical gradient checks — the correctness bedrock
+// of the CNN baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/nn/conv2d.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace seghdc::nn;
+using seghdc::util::Rng;
+
+Tensor random_tensor(std::size_t c, std::size_t h, std::size_t w,
+                     Rng& rng) {
+  Tensor t(c, h, w);
+  for (auto& v : t.values()) {
+    v = static_cast<float>(rng.next_double_in(-1.0, 1.0));
+  }
+  return t;
+}
+
+TEST(Conv2d, IdentityKernelReproducesInput) {
+  Rng rng(1);
+  Conv2d conv(1, 1, 3, rng);
+  // Kernel = delta at the center.
+  for (auto& w : conv.weights()) {
+    w = 0.0F;
+  }
+  conv.weights()[4] = 1.0F;  // center of the 3x3
+  conv.bias()[0] = 0.0F;
+
+  const auto input = random_tensor(1, 5, 6, rng);
+  const auto output = conv.forward(input);
+  ASSERT_TRUE(output.same_shape(input));
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    EXPECT_NEAR(output.values()[i], input.values()[i], 1e-6);
+  }
+}
+
+TEST(Conv2d, ShiftKernelShiftsWithZeroPadding) {
+  Rng rng(2);
+  Conv2d conv(1, 1, 3, rng);
+  for (auto& w : conv.weights()) {
+    w = 0.0F;
+  }
+  // Weight at (ky=0, kx=1) means output(y,x) = input(y-1, x).
+  conv.weights()[1] = 1.0F;
+  conv.bias()[0] = 0.0F;
+
+  Tensor input(1, 3, 3, 0.0F);
+  input(0, 0, 1) = 5.0F;
+  const auto output = conv.forward(input);
+  EXPECT_NEAR(output(0, 1, 1), 5.0F, 1e-6);
+  // Top row sees zero padding.
+  EXPECT_NEAR(output(0, 0, 0), 0.0F, 1e-6);
+}
+
+TEST(Conv2d, BiasIsAddedPerChannel) {
+  Rng rng(3);
+  Conv2d conv(1, 2, 1, rng);
+  for (auto& w : conv.weights()) {
+    w = 0.0F;
+  }
+  conv.bias()[0] = 1.5F;
+  conv.bias()[1] = -2.0F;
+  const Tensor input(1, 2, 2, 0.0F);
+  const auto output = conv.forward(input);
+  EXPECT_NEAR(output(0, 0, 0), 1.5F, 1e-6);
+  EXPECT_NEAR(output(1, 1, 1), -2.0F, 1e-6);
+}
+
+TEST(Conv2d, OneByOneConvIsChannelMix) {
+  Rng rng(4);
+  Conv2d conv(2, 1, 1, rng);
+  conv.weights()[0] = 2.0F;
+  conv.weights()[1] = 3.0F;
+  conv.bias()[0] = 0.0F;
+  Tensor input(2, 1, 2, 0.0F);
+  input(0, 0, 0) = 1.0F;
+  input(1, 0, 0) = 10.0F;
+  input(0, 0, 1) = 2.0F;
+  input(1, 0, 1) = 20.0F;
+  const auto output = conv.forward(input);
+  EXPECT_NEAR(output(0, 0, 0), 32.0F, 1e-5);
+  EXPECT_NEAR(output(0, 0, 1), 64.0F, 1e-5);
+}
+
+/// Numerical gradient check: perturb each parameter/input element and
+/// compare (loss(p+h) - loss(p-h)) / 2h with the analytic gradient,
+/// where loss = sum(output * probe) for a fixed random probe.
+class ConvGradientCheck : public ::testing::Test {
+ protected:
+  static double loss_of(Conv2d& conv, const Tensor& input,
+                        const Tensor& probe) {
+    const auto output = conv.forward(input);
+    double loss = 0.0;
+    for (std::size_t i = 0; i < output.size(); ++i) {
+      loss += static_cast<double>(output.values()[i]) * probe.values()[i];
+    }
+    return loss;
+  }
+};
+
+TEST_F(ConvGradientCheck, WeightsAndBias) {
+  Rng rng(5);
+  Conv2d conv(2, 3, 3, rng);
+  const auto input = random_tensor(2, 4, 5, rng);
+  const auto probe = random_tensor(3, 4, 5, rng);
+
+  // Analytic gradients.
+  (void)conv.forward(input);
+  conv.zero_grad();
+  (void)conv.backward(probe);
+
+  const double h = 1e-3;
+  for (const std::size_t wi : {0u, 7u, 23u, 53u}) {
+    const float saved = conv.weights()[wi];
+    conv.weights()[wi] = saved + static_cast<float>(h);
+    const double plus = loss_of(conv, input, probe);
+    conv.weights()[wi] = saved - static_cast<float>(h);
+    const double minus = loss_of(conv, input, probe);
+    conv.weights()[wi] = saved;
+    const double numerical = (plus - minus) / (2.0 * h);
+    EXPECT_NEAR(conv.weight_grad()[wi], numerical, 5e-2)
+        << "weight " << wi;
+  }
+  for (std::size_t bi = 0; bi < 3; ++bi) {
+    const float saved = conv.bias()[bi];
+    conv.bias()[bi] = saved + static_cast<float>(h);
+    const double plus = loss_of(conv, input, probe);
+    conv.bias()[bi] = saved - static_cast<float>(h);
+    const double minus = loss_of(conv, input, probe);
+    conv.bias()[bi] = saved;
+    const double numerical = (plus - minus) / (2.0 * h);
+    EXPECT_NEAR(conv.bias_grad()[bi], numerical, 5e-2) << "bias " << bi;
+  }
+}
+
+TEST_F(ConvGradientCheck, InputGradient) {
+  Rng rng(6);
+  Conv2d conv(2, 2, 3, rng);
+  auto input = random_tensor(2, 4, 4, rng);
+  const auto probe = random_tensor(2, 4, 4, rng);
+
+  (void)conv.forward(input);
+  conv.zero_grad();
+  const auto grad_input = conv.backward(probe);
+
+  const double h = 1e-3;
+  for (const std::size_t xi : {0u, 5u, 17u, 31u}) {
+    const float saved = input.values()[xi];
+    input.values()[xi] = saved + static_cast<float>(h);
+    const double plus = loss_of(conv, input, probe);
+    input.values()[xi] = saved - static_cast<float>(h);
+    const double minus = loss_of(conv, input, probe);
+    input.values()[xi] = saved;
+    const double numerical = (plus - minus) / (2.0 * h);
+    EXPECT_NEAR(grad_input.values()[xi], numerical, 5e-2)
+        << "input " << xi;
+  }
+}
+
+TEST(Conv2d, BackwardAccumulatesAcrossCalls) {
+  Rng rng(7);
+  Conv2d conv(1, 1, 3, rng);
+  const auto input = random_tensor(1, 3, 3, rng);
+  const auto probe = random_tensor(1, 3, 3, rng);
+  (void)conv.forward(input);
+  conv.zero_grad();
+  (void)conv.backward(probe);
+  const float once = conv.weight_grad()[0];
+  (void)conv.backward(probe);
+  EXPECT_NEAR(conv.weight_grad()[0], 2.0F * once, 1e-5);
+  conv.zero_grad();
+  EXPECT_EQ(conv.weight_grad()[0], 0.0F);
+}
+
+TEST(Conv2d, ValidatesArguments) {
+  Rng rng(8);
+  EXPECT_THROW(Conv2d(0, 1, 3, rng), std::invalid_argument);
+  EXPECT_THROW(Conv2d(1, 0, 3, rng), std::invalid_argument);
+  EXPECT_THROW(Conv2d(1, 1, 2, rng), std::invalid_argument);
+
+  Conv2d conv(2, 1, 3, rng);
+  const Tensor wrong(3, 4, 4);
+  EXPECT_THROW(conv.forward(wrong), std::invalid_argument);
+  const Tensor grad(1, 4, 4);
+  EXPECT_THROW(conv.backward(grad), std::invalid_argument);  // no forward
+}
+
+TEST(Conv2d, CostFormulas) {
+  EXPECT_EQ(Conv2d::forward_macs(3, 100, 3, 256, 320),
+            256ULL * 320 * 3 * 100 * 9);
+  EXPECT_EQ(Conv2d::im2col_bytes(100, 3, 520, 696),
+            520ULL * 696 * 100 * 9 * 4);
+}
+
+}  // namespace

@@ -1,0 +1,251 @@
+// Tests for the three synthetic dataset generators: determinism,
+// profile consistency, ground-truth/image agreement, and the statistical
+// properties each suite is supposed to exercise.
+#include <gtest/gtest.h>
+
+#include "src/datasets/bbbc005.hpp"
+#include "src/datasets/dsb2018.hpp"
+#include "src/datasets/monuseg.hpp"
+#include "src/imaging/color.hpp"
+#include "src/imaging/connected_components.hpp"
+
+namespace {
+
+using namespace seghdc;
+using namespace seghdc::data;
+
+// Small geometries keep the suite fast; the generators scale freely.
+Bbbc005Config small_bbbc() {
+  Bbbc005Config config;
+  config.width = 174;
+  config.height = 130;
+  config.min_cells = 4;
+  config.max_cells = 10;
+  config.min_radius = 7.0;
+  config.max_radius = 12.0;
+  return config;
+}
+
+Dsb2018Config small_dsb() {
+  Dsb2018Config config;
+  config.width = 160;
+  config.height = 128;
+  config.min_nuclei = 4;
+  config.max_nuclei = 10;
+  return config;
+}
+
+MonusegConfig small_monuseg() {
+  MonusegConfig config;
+  config.width = 128;
+  config.height = 128;
+  config.min_nuclei = 20;
+  config.max_nuclei = 40;
+  return config;
+}
+
+template <typename Generator>
+void expect_deterministic(const Generator& generator) {
+  const auto a = generator.generate(3);
+  const auto b = generator.generate(3);
+  EXPECT_EQ(a.image, b.image);
+  EXPECT_EQ(a.mask, b.mask);
+  EXPECT_EQ(a.instance_count, b.instance_count);
+  const auto other = generator.generate(4);
+  EXPECT_NE(a.image, other.image);
+}
+
+TEST(Bbbc005, ProfileMatchesPaperSettings) {
+  const Bbbc005Generator generator;
+  EXPECT_EQ(generator.profile().name, "BBBC005");
+  EXPECT_EQ(generator.profile().width, 696u);
+  EXPECT_EQ(generator.profile().height, 520u);
+  EXPECT_EQ(generator.profile().channels, 1u);
+  EXPECT_EQ(generator.profile().suggested_clusters, 2u);
+  EXPECT_EQ(generator.profile().suggested_beta, 21u);
+}
+
+TEST(Bbbc005, Deterministic) {
+  expect_deterministic(Bbbc005Generator(small_bbbc()));
+}
+
+TEST(Bbbc005, ForegroundBrighterThanBackground) {
+  const Bbbc005Generator generator(small_bbbc());
+  const auto sample = generator.generate(0);
+  double fg_sum = 0.0, bg_sum = 0.0;
+  std::size_t fg_n = 0, bg_n = 0;
+  for (std::size_t i = 0; i < sample.mask.size(); ++i) {
+    if (sample.mask.pixels()[i] != 0) {
+      fg_sum += sample.image.pixels()[i];
+      ++fg_n;
+    } else {
+      bg_sum += sample.image.pixels()[i];
+      ++bg_n;
+    }
+  }
+  ASSERT_GT(fg_n, 0u);
+  ASSERT_GT(bg_n, 0u);
+  EXPECT_GT(fg_sum / fg_n, bg_sum / bg_n + 50.0);
+}
+
+TEST(Bbbc005, InstanceCountMatchesComponents) {
+  const Bbbc005Generator generator(small_bbbc());
+  const auto sample = generator.generate(1);
+  const auto components = img::connected_components(sample.mask);
+  // Cells are placed non-overlapping, so components == instances.
+  EXPECT_EQ(components.components.size(), sample.instance_count);
+  EXPECT_GE(sample.instance_count, small_bbbc().min_cells);
+  EXPECT_LE(sample.instance_count, small_bbbc().max_cells);
+}
+
+TEST(Bbbc005, BlurSweepRepeatsWithPeriod) {
+  // Samples i and i + blur_steps share the blur level but nothing else.
+  Bbbc005Config config = small_bbbc();
+  config.blur_steps = 3;
+  const Bbbc005Generator generator(config);
+  EXPECT_NE(generator.generate(0).image, generator.generate(3).image);
+}
+
+TEST(Bbbc005, ValidatesConfig) {
+  Bbbc005Config config;
+  config.min_cells = 10;
+  config.max_cells = 5;
+  EXPECT_THROW(Bbbc005Generator{config}, std::invalid_argument);
+  Bbbc005Config tiny;
+  tiny.width = 8;
+  EXPECT_THROW(Bbbc005Generator{tiny}, std::invalid_argument);
+}
+
+TEST(Dsb2018, ProfileMatchesPaperSettings) {
+  const Dsb2018Generator generator;
+  EXPECT_EQ(generator.profile().name, "DSB2018");
+  EXPECT_EQ(generator.profile().width, 320u);
+  EXPECT_EQ(generator.profile().height, 256u);
+  EXPECT_EQ(generator.profile().channels, 3u);
+  EXPECT_EQ(generator.profile().suggested_clusters, 2u);
+  EXPECT_EQ(generator.profile().suggested_beta, 26u);
+}
+
+TEST(Dsb2018, Deterministic) {
+  expect_deterministic(Dsb2018Generator(small_dsb()));
+}
+
+TEST(Dsb2018, ProducesBothModalitiesAcrossSamples) {
+  Dsb2018Config config = small_dsb();
+  config.brightfield_fraction = 0.5;
+  const Dsb2018Generator generator(config);
+  std::size_t dark_background = 0;
+  std::size_t light_background = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const auto sample = generator.generate(i);
+    // Background level from the mask complement.
+    double bg_sum = 0.0;
+    std::size_t bg_n = 0;
+    const auto gray = img::to_gray(sample.image);
+    for (std::size_t p = 0; p < gray.size(); ++p) {
+      if (sample.mask.pixels()[p] == 0) {
+        bg_sum += gray.pixels()[p];
+        ++bg_n;
+      }
+    }
+    const double bg = bg_sum / static_cast<double>(bg_n);
+    if (bg < 100.0) {
+      ++dark_background;
+    } else {
+      ++light_background;
+    }
+  }
+  EXPECT_GT(dark_background, 0u);
+  EXPECT_GT(light_background, 0u);
+}
+
+TEST(Dsb2018, MaskAgreesWithInstances) {
+  const Dsb2018Generator generator(small_dsb());
+  const auto sample = generator.generate(2);
+  EXPECT_GE(sample.instance_count, small_dsb().min_nuclei);
+  std::size_t fg = 0;
+  for (const auto v : sample.mask.pixels()) {
+    fg += v != 0 ? 1 : 0;
+  }
+  EXPECT_GT(fg, 0u);
+  EXPECT_LT(fg, sample.mask.pixel_count() / 2);
+}
+
+TEST(Dsb2018, ValidatesConfig) {
+  Dsb2018Config config;
+  config.brightfield_fraction = 1.5;
+  EXPECT_THROW(Dsb2018Generator{config}, std::invalid_argument);
+}
+
+TEST(Monuseg, ProfileMatchesPaperSettings) {
+  const MonusegGenerator generator;
+  EXPECT_EQ(generator.profile().name, "MoNuSeg");
+  EXPECT_EQ(generator.profile().channels, 3u);
+  EXPECT_EQ(generator.profile().suggested_clusters, 3u);  // k=3 in paper
+  EXPECT_EQ(generator.profile().suggested_beta, 26u);
+}
+
+TEST(Monuseg, Deterministic) {
+  expect_deterministic(MonusegGenerator(small_monuseg()));
+}
+
+TEST(Monuseg, ManySmallNuclei) {
+  const MonusegGenerator generator(small_monuseg());
+  const auto sample = generator.generate(0);
+  EXPECT_GE(sample.instance_count, 20u);
+  const auto components = img::connected_components(sample.mask);
+  // Nuclei may touch (components <= instances) but most stay separate.
+  EXPECT_GE(components.components.size(), sample.instance_count / 2);
+  // Median component is small (crowded tiny nuclei).
+  std::size_t total_area = 0;
+  for (const auto& c : components.components) {
+    total_area += c.area;
+  }
+  const double mean_area = static_cast<double>(total_area) /
+                           static_cast<double>(components.components.size());
+  EXPECT_LT(mean_area, 400.0);
+}
+
+TEST(Monuseg, NucleiDarkerThanStroma) {
+  const MonusegGenerator generator(small_monuseg());
+  const auto sample = generator.generate(1);
+  const auto gray = img::to_gray(sample.image);
+  double fg_sum = 0.0, bg_sum = 0.0;
+  std::size_t fg_n = 0, bg_n = 0;
+  for (std::size_t i = 0; i < gray.size(); ++i) {
+    if (sample.mask.pixels()[i] != 0) {
+      fg_sum += gray.pixels()[i];
+      ++fg_n;
+    } else {
+      bg_sum += gray.pixels()[i];
+      ++bg_n;
+    }
+  }
+  EXPECT_LT(fg_sum / fg_n, bg_sum / bg_n - 20.0);
+}
+
+TEST(Monuseg, HnePalette) {
+  // H&E: red channel should dominate blue-green on stroma (pink).
+  const MonusegGenerator generator(small_monuseg());
+  const auto sample = generator.generate(2);
+  double r = 0.0, g = 0.0;
+  std::size_t n = 0;
+  for (std::size_t y = 0; y < sample.image.height(); ++y) {
+    for (std::size_t x = 0; x < sample.image.width(); ++x) {
+      if (sample.mask.at(x, y) == 0) {
+        r += sample.image.at(x, y, 0);
+        g += sample.image.at(x, y, 1);
+        ++n;
+      }
+    }
+  }
+  EXPECT_GT(r / n, g / n + 10.0);
+}
+
+TEST(Datasets, IdsEncodeIndex) {
+  EXPECT_EQ(Bbbc005Generator(small_bbbc()).generate(7).id, "bbbc005_7");
+  EXPECT_EQ(Dsb2018Generator(small_dsb()).generate(7).id, "dsb2018_7");
+  EXPECT_EQ(MonusegGenerator(small_monuseg()).generate(7).id, "monuseg_7");
+}
+
+}  // namespace

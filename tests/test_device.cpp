@@ -1,0 +1,197 @@
+// Tests for the Raspberry Pi device model: the calibrated latency
+// projections must land on the paper's Table II numbers, and the memory
+// model must reproduce the 520x696 OOM while passing the 256x320 case.
+#include <gtest/gtest.h>
+
+#include "src/device/device_spec.hpp"
+#include "src/device/latency_model.hpp"
+#include "src/device/memory_model.hpp"
+
+namespace {
+
+using namespace seghdc;
+using namespace seghdc::device;
+
+TEST(DeviceSpec, RaspberryPiBasics) {
+  const auto pi = DeviceSpec::raspberry_pi_4b();
+  EXPECT_EQ(pi.cores, 4u);
+  EXPECT_DOUBLE_EQ(pi.frequency_hz, 1.5e9);
+  EXPECT_EQ(pi.mem_total_bytes, 4ULL * 1024 * 1024 * 1024);
+  EXPECT_LT(pi.mem_available_bytes, pi.mem_total_bytes);
+  EXPECT_GT(pi.cnn_macs_per_second, 0.0);
+}
+
+TEST(LatencyModel, ReproducesTable2SegHdcDsbRow) {
+  // DSB2018 image: 256x320, d=800, 3 iterations, k=2 -> paper: 35.8 s.
+  const auto pi = DeviceSpec::raspberry_pi_4b();
+  const double seconds = project_seghdc_latency(
+      pi, SegHdcWorkload{.pixels = 256 * 320, .dim = 800,
+                         .clusters = 2, .iterations = 3});
+  EXPECT_NEAR(seconds, 35.8, 0.5);
+}
+
+TEST(LatencyModel, ReproducesTable2SegHdcBbbcRow) {
+  // BBBC005 image: 520x696, d=2000, 3 iterations -> paper: 178.31 s.
+  const auto pi = DeviceSpec::raspberry_pi_4b();
+  const double seconds = project_seghdc_latency(
+      pi, SegHdcWorkload{.pixels = 520 * 696, .dim = 2000,
+                         .clusters = 2, .iterations = 3});
+  EXPECT_NEAR(seconds, 178.31, 2.0);
+}
+
+TEST(LatencyModel, ReproducesTable2BaselineRow) {
+  // Reference baseline (100 ch, 1000 iters) on 256x320x3 -> 11453 s.
+  const auto pi = DeviceSpec::raspberry_pi_4b();
+  baseline::KimConfig config;
+  const double seconds = project_kim_latency(
+      pi, KimWorkload{.config = config, .channels = 3, .height = 256,
+                      .width = 320, .iterations = 1000});
+  EXPECT_NEAR(seconds, 11453.0, 60.0);
+}
+
+TEST(LatencyModel, SpeedupMatchesPaper) {
+  const auto pi = DeviceSpec::raspberry_pi_4b();
+  baseline::KimConfig config;
+  const double bl = project_kim_latency(
+      pi, KimWorkload{.config = config, .channels = 3, .height = 256,
+                      .width = 320, .iterations = 1000});
+  const double hdc = project_seghdc_latency(
+      pi, SegHdcWorkload{.pixels = 256 * 320, .dim = 800,
+                         .clusters = 2, .iterations = 3});
+  EXPECT_NEAR(bl / hdc, 319.9, 5.0);  // paper: 319.9x
+}
+
+TEST(LatencyModel, Fig7aShape) {
+  // d = 10000: ~linear in iterations, in the paper's 20 s -> 300 s band.
+  const auto pi = DeviceSpec::raspberry_pi_4b();
+  const auto at = [&](std::size_t iters) {
+    return project_seghdc_latency(
+        pi, SegHdcWorkload{.pixels = 256 * 320, .dim = 10000,
+                           .clusters = 2, .iterations = iters});
+  };
+  EXPECT_GT(at(1), 10.0);
+  EXPECT_LT(at(1), 40.0);
+  EXPECT_GT(at(10), 200.0);
+  EXPECT_LT(at(10), 400.0);
+  // Linearity.
+  EXPECT_NEAR(at(10) / at(5), 2.0, 1e-9);
+}
+
+TEST(LatencyModel, Fig7bNearFlatInDimension) {
+  // d 200 -> 1000 at 10 iterations: latency grows by far less than the
+  // 5x dimension factor (paper: ~90 s -> ~110 s).
+  const auto pi = DeviceSpec::raspberry_pi_4b();
+  const auto at = [&](std::size_t dim) {
+    return project_seghdc_latency(
+        pi, SegHdcWorkload{.pixels = 256 * 320, .dim = dim,
+                           .clusters = 2, .iterations = 10});
+  };
+  EXPECT_GT(at(200), 80.0);
+  EXPECT_LT(at(1000), 140.0);
+  EXPECT_LT(at(1000) / at(200), 1.3);
+}
+
+TEST(LatencyModel, ClustersScaleLatency) {
+  const auto pi = DeviceSpec::raspberry_pi_4b();
+  const SegHdcWorkload k2{.pixels = 1000, .dim = 500, .clusters = 2,
+                          .iterations = 5};
+  SegHdcWorkload k3 = k2;
+  k3.clusters = 3;
+  EXPECT_NEAR(project_seghdc_latency(pi, k3) /
+                  project_seghdc_latency(pi, k2),
+              1.5, 1e-9);
+}
+
+TEST(EnergyModel, SegHdcEnergyIsWattsTimesSeconds) {
+  const auto pi = DeviceSpec::raspberry_pi_4b();
+  const SegHdcWorkload workload{.pixels = 256 * 320, .dim = 800,
+                                .clusters = 2, .iterations = 3};
+  const double seconds = project_seghdc_latency(pi, workload);
+  EXPECT_NEAR(project_seghdc_energy(pi, workload),
+              pi.hdc_active_watts * seconds, 1e-9);
+}
+
+TEST(EnergyModel, SegHdcOrdersOfMagnitudeBelowBaseline) {
+  // The paper's energy-efficiency claim in joule terms: >100x less
+  // energy per DSB image.
+  const auto pi = DeviceSpec::raspberry_pi_4b();
+  baseline::KimConfig config;
+  const double kim_joules = project_kim_energy(
+      pi, KimWorkload{.config = config, .channels = 3, .height = 256,
+                      .width = 320, .iterations = 1000});
+  const double hdc_joules = project_seghdc_energy(
+      pi, SegHdcWorkload{.pixels = 256 * 320, .dim = 800,
+                         .clusters = 2, .iterations = 3});
+  EXPECT_GT(kim_joules / hdc_joules, 100.0);
+}
+
+TEST(LatencyModel, ValidatesWorkloads) {
+  const auto pi = DeviceSpec::raspberry_pi_4b();
+  EXPECT_THROW(project_seghdc_latency(pi, SegHdcWorkload{}),
+               std::invalid_argument);
+  EXPECT_THROW(project_kim_latency(pi, KimWorkload{}),
+               std::invalid_argument);
+}
+
+TEST(MemoryModel, BaselineOomsAt520x696) {
+  // Paper Table II: the CNN baseline cannot process the BBBC005 image
+  // on the 4 GB Pi.
+  const auto pi = DeviceSpec::raspberry_pi_4b();
+  baseline::KimConfig config;  // reference: 100 channels
+  const auto estimate = estimate_kim_memory(config, 1, 520, 696);
+  EXPECT_FALSE(estimate.fits(pi));
+  EXPECT_GT(estimate.peak_bytes(), pi.mem_available_bytes);
+}
+
+TEST(MemoryModel, BaselineFitsAt256x320) {
+  const auto pi = DeviceSpec::raspberry_pi_4b();
+  baseline::KimConfig config;
+  const auto estimate = estimate_kim_memory(config, 3, 256, 320);
+  EXPECT_TRUE(estimate.fits(pi));
+}
+
+TEST(MemoryModel, SegHdcFitsBothTable2Images) {
+  const auto pi = DeviceSpec::raspberry_pi_4b();
+  core::SegHdcConfig dsb;
+  dsb.dim = 800;
+  dsb.beta = 26;
+  EXPECT_TRUE(estimate_seghdc_memory(dsb, 256, 320).fits(pi));
+  core::SegHdcConfig bbbc;
+  bbbc.dim = 2000;
+  bbbc.beta = 21;
+  EXPECT_TRUE(estimate_seghdc_memory(bbbc, 520, 696).fits(pi));
+}
+
+TEST(MemoryModel, KimMemoryGrowsWithImageAndChannels) {
+  baseline::KimConfig small;
+  small.feature_channels = 16;
+  baseline::KimConfig big;
+  big.feature_channels = 64;
+  EXPECT_LT(estimate_kim_memory(small, 3, 128, 128).peak_bytes(),
+            estimate_kim_memory(big, 3, 128, 128).peak_bytes());
+  EXPECT_LT(estimate_kim_memory(big, 3, 128, 128).peak_bytes(),
+            estimate_kim_memory(big, 3, 512, 512).peak_bytes());
+}
+
+TEST(MemoryModel, BreakdownIsConsistent) {
+  baseline::KimConfig config;
+  const auto estimate = estimate_kim_memory(config, 3, 256, 320);
+  EXPECT_GT(estimate.parameter_bytes, 0u);
+  EXPECT_GT(estimate.activation_bytes, 0u);
+  EXPECT_GT(estimate.workspace_bytes, 0u);
+  EXPECT_GE(estimate.overhead_factor, 1.0);
+  EXPECT_GE(estimate.peak_bytes(),
+            estimate.parameter_bytes + estimate.activation_bytes +
+                estimate.workspace_bytes);
+}
+
+TEST(MemoryModel, ImageSizeValidation) {
+  baseline::KimConfig config;
+  EXPECT_THROW(estimate_kim_memory(config, 3, 0, 10),
+               std::invalid_argument);
+  core::SegHdcConfig seghdc_config;
+  EXPECT_THROW(estimate_seghdc_memory(seghdc_config, 10, 0),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+// Degenerate and extreme image geometries through the full pipeline:
+// single-row/column images, tiny images, extreme aspect ratios, and
+// blocks larger than the image. A released library must not fall over
+// at the boundaries of its domain.
+#include <gtest/gtest.h>
+
+#include "src/core/seghdc.hpp"
+#include "src/datasets/bbbc005.hpp"
+
+namespace {
+
+using namespace seghdc;
+
+core::SegHdcConfig tiny_config() {
+  core::SegHdcConfig config;
+  config.dim = 256;
+  config.beta = 2;
+  config.iterations = 3;
+  return config;
+}
+
+TEST(EdgeGeometry, SingleRowImage) {
+  img::ImageU8 image(32, 1, 1, 10);
+  for (std::size_t x = 16; x < 32; ++x) {
+    image(x, 0) = 240;
+  }
+  const auto result = core::SegHdc(tiny_config()).segment(image);
+  ASSERT_EQ(result.labels.height(), 1u);
+  // The two halves separate.
+  EXPECT_NE(result.labels(0, 0), result.labels(31, 0));
+  EXPECT_EQ(result.labels(0, 0), result.labels(8, 0));
+}
+
+TEST(EdgeGeometry, SingleColumnImage) {
+  img::ImageU8 image(1, 32, 1, 10);
+  for (std::size_t y = 16; y < 32; ++y) {
+    image(0, y) = 240;
+  }
+  const auto result = core::SegHdc(tiny_config()).segment(image);
+  EXPECT_NE(result.labels(0, 0), result.labels(0, 31));
+}
+
+TEST(EdgeGeometry, TwoPixelImage) {
+  img::ImageU8 image(2, 1, 1);
+  image(0, 0) = 0;
+  image(1, 0) = 255;
+  const auto result = core::SegHdc(tiny_config()).segment(image);
+  EXPECT_NE(result.labels(0, 0), result.labels(1, 0));
+}
+
+TEST(EdgeGeometry, BlockLargerThanImage) {
+  // beta = 64 over a 16x16 image: a single position block; clustering
+  // falls back to pure color separation.
+  img::ImageU8 image(16, 16, 1, 20);
+  for (std::size_t y = 0; y < 8; ++y) {
+    for (std::size_t x = 0; x < 16; ++x) {
+      image(x, y) = 230;
+    }
+  }
+  auto config = tiny_config();
+  config.beta = 64;
+  const auto result = core::SegHdc(config).segment(image);
+  EXPECT_NE(result.labels(0, 0), result.labels(0, 15));
+  EXPECT_EQ(result.labels(0, 0), result.labels(15, 0));
+}
+
+TEST(EdgeGeometry, ExtremeAspectRatio) {
+  img::ImageU8 image(128, 2, 3, 15);
+  for (std::size_t x = 64; x < 128; ++x) {
+    for (std::size_t y = 0; y < 2; ++y) {
+      image(x, y, 0) = 200;
+      image(x, y, 1) = 210;
+      image(x, y, 2) = 190;
+    }
+  }
+  const auto result = core::SegHdc(tiny_config()).segment(image);
+  EXPECT_NE(result.labels(0, 0), result.labels(127, 1));
+}
+
+TEST(EdgeGeometry, FlatImageStillTerminates) {
+  // No color difference at all: seeds fall back to distinct indices and
+  // the pipeline must terminate with a valid (if arbitrary) labeling.
+  const img::ImageU8 image(24, 24, 1, 128);
+  const auto result = core::SegHdc(tiny_config()).segment(image);
+  EXPECT_EQ(result.labels.pixel_count(), 576u);
+  std::uint64_t total = 0;
+  for (const auto count : result.cluster_pixel_counts) {
+    total += count;
+  }
+  EXPECT_EQ(total, 576u);
+}
+
+TEST(EdgeGeometry, MoreClustersThanColors) {
+  // k = 4 on a two-tone image: empty-cluster reseeding must keep the
+  // run alive and all labels valid.
+  img::ImageU8 image(20, 20, 1, 10);
+  for (std::size_t y = 5; y < 15; ++y) {
+    for (std::size_t x = 5; x < 15; ++x) {
+      image(x, y) = 250;
+    }
+  }
+  auto config = tiny_config();
+  config.clusters = 4;
+  const auto result = core::SegHdc(config).segment(image);
+  for (const auto label : result.labels.pixels()) {
+    EXPECT_LT(label, 4u);
+  }
+}
+
+TEST(EdgeGeometry, LargeImageSmallDim) {
+  // A full-size BBBC005 frame with a small dimension exercises the
+  // one-bit flip-unit clamp at real geometry.
+  data::Bbbc005Config data_config;
+  data_config.width = 696;
+  data_config.height = 520;
+  const data::Bbbc005Generator dataset(data_config);
+  const auto sample = dataset.generate(0);
+  auto config = tiny_config();
+  config.dim = 800;
+  config.beta = 21;
+  config.iterations = 2;
+  config.color_quantization_shift = 3;
+  const auto result = core::SegHdc(config).segment(sample.image);
+  EXPECT_EQ(result.labels.width(), 696u);
+  EXPECT_EQ(result.labels.height(), 520u);
+}
+
+}  // namespace

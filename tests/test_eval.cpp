@@ -1,0 +1,151 @@
+// Tests for the suite-evaluation API.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "src/datasets/bbbc005.hpp"
+#include "src/eval/suite.hpp"
+
+namespace {
+
+using namespace seghdc;
+using namespace seghdc::eval;
+
+data::Bbbc005Generator small_dataset() {
+  data::Bbbc005Config config;
+  config.width = 120;
+  config.height = 90;
+  config.min_cells = 3;
+  config.max_cells = 6;
+  config.min_radius = 7.0;
+  config.max_radius = 11.0;
+  return data::Bbbc005Generator(config);
+}
+
+/// A cheating "oracle" method that returns the ground truth as labels.
+Method oracle_method() {
+  return [](const data::Sample& sample) {
+    img::LabelMap labels(sample.mask.width(), sample.mask.height(), 1, 0);
+    for (std::size_t i = 0; i < sample.mask.size(); ++i) {
+      labels.pixels()[i] = sample.mask.pixels()[i] != 0 ? 1 : 0;
+    }
+    return labels;
+  };
+}
+
+/// A useless method assigning everything to one label.
+Method constant_method() {
+  return [](const data::Sample& sample) {
+    return img::LabelMap(sample.mask.width(), sample.mask.height(), 1, 0);
+  };
+}
+
+TEST(EvaluateSuite, OracleScoresPerfectIou) {
+  const auto dataset = small_dataset();
+  const auto result = evaluate_suite(dataset, 3, "oracle", oracle_method());
+  EXPECT_EQ(result.dataset, "BBBC005");
+  EXPECT_EQ(result.method, "oracle");
+  ASSERT_EQ(result.records.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.mean_iou(), 1.0);
+  EXPECT_DOUBLE_EQ(result.min_iou(), 1.0);
+  EXPECT_DOUBLE_EQ(result.stddev_iou(), 0.0);
+}
+
+TEST(EvaluateSuite, ConstantMethodScoresLow) {
+  const auto dataset = small_dataset();
+  const auto result =
+      evaluate_suite(dataset, 3, "constant", constant_method());
+  // All-one-label: the matcher picks the better polarity, which for
+  // sparse foreground is "all background" -> IoU 0 against non-empty GT.
+  EXPECT_LT(result.mean_iou(), 0.3);
+}
+
+TEST(EvaluateSuite, AggregatesMatchRecords) {
+  const auto dataset = small_dataset();
+  auto method = oracle_method();
+  auto result = evaluate_suite(dataset, 4, "oracle", method);
+  // Hand-patch records to known values and check the statistics.
+  result.records[0].iou = 0.2;
+  result.records[1].iou = 0.4;
+  result.records[2].iou = 0.6;
+  result.records[3].iou = 0.8;
+  EXPECT_NEAR(result.mean_iou(), 0.5, 1e-12);
+  EXPECT_NEAR(result.min_iou(), 0.2, 1e-12);
+  EXPECT_NEAR(result.max_iou(), 0.8, 1e-12);
+  EXPECT_NEAR(result.stddev_iou(), std::sqrt(0.2 / 3.0), 1e-9);
+}
+
+TEST(EvaluateSuite, RecordsTimings) {
+  const auto dataset = small_dataset();
+  const auto result = evaluate_suite(dataset, 2, "oracle", oracle_method());
+  EXPECT_GE(result.total_seconds(), 0.0);
+  EXPECT_NEAR(result.mean_seconds() * 2.0, result.total_seconds(), 1e-9);
+}
+
+TEST(EvaluateSuite, ValidatesArguments) {
+  const auto dataset = small_dataset();
+  EXPECT_THROW(evaluate_suite(dataset, 0, "x", oracle_method()),
+               std::invalid_argument);
+  EXPECT_THROW(evaluate_suite(dataset, 1, "x", Method{}),
+               std::invalid_argument);
+  // Wrong-size label maps are rejected.
+  const auto bad = [](const data::Sample&) {
+    return img::LabelMap(2, 2, 1, 0);
+  };
+  EXPECT_THROW(evaluate_suite(dataset, 1, "bad", bad),
+               std::invalid_argument);
+}
+
+TEST(EvaluateSuite, SegHdcFactoryBeatsConstant) {
+  const auto dataset = small_dataset();
+  core::SegHdcConfig config;
+  config.dim = 512;
+  config.beta = 8;
+  config.iterations = 4;
+  config.color_quantization_shift = 3;
+  const auto seghdc_result =
+      evaluate_suite(dataset, 2, "SegHDC", seghdc_method(config));
+  const auto constant_result =
+      evaluate_suite(dataset, 2, "constant", constant_method());
+  EXPECT_GT(seghdc_result.mean_iou(), constant_result.mean_iou() + 0.4);
+}
+
+TEST(EvaluateSuite, OtsuFactoryRunsOnSuite) {
+  const auto dataset = small_dataset();
+  const auto result = evaluate_suite(dataset, 2, "Otsu", otsu_method());
+  // Clean-ish fluorescent images: global threshold does reasonably.
+  EXPECT_GT(result.mean_iou(), 0.4);
+}
+
+TEST(EvaluateSuite, KimFactoryRunsTiny) {
+  const auto dataset = small_dataset();
+  baseline::KimConfig config;
+  config.feature_channels = 6;
+  config.max_iterations = 5;
+  const auto result =
+      evaluate_suite(dataset, 1, "BL", kim_method(config, 2));
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_GE(result.records[0].iou, 0.0);
+  EXPECT_LE(result.records[0].iou, 1.0);
+}
+
+TEST(WriteSuiteCsv, EmitsPerImageAndMeanRows) {
+  const auto dataset = small_dataset();
+  const auto result = evaluate_suite(dataset, 2, "oracle", oracle_method());
+  const auto path =
+      (std::filesystem::temp_directory_path() / "seghdc_suite.csv")
+          .string();
+  write_suite_csv(result, path);
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+  }
+  EXPECT_EQ(lines, 1u + 2u + 1u);  // header + 2 images + mean
+  std::filesystem::remove(path);
+}
+
+}  // namespace

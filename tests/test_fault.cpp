@@ -1,0 +1,108 @@
+// Tests for hypervector fault injection and the end-to-end robustness
+// property it supports (graceful degradation of segmentation quality).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/seghdc.hpp"
+#include "src/hdc/fault.hpp"
+#include "src/metrics/segmentation_metrics.hpp"
+
+namespace {
+
+using namespace seghdc;
+using namespace seghdc::hdc;
+
+TEST(FaultInjection, ZeroRateIsNoop) {
+  util::Rng rng(1);
+  auto hv = HyperVector::random(1024, rng);
+  const auto original = hv;
+  EXPECT_EQ(inject_bit_flips(hv, 0.0, rng), 0u);
+  EXPECT_EQ(hv, original);
+}
+
+TEST(FaultInjection, RateOneFlipsEverything) {
+  util::Rng rng(2);
+  auto hv = HyperVector::random(512, rng);
+  const auto original = hv;
+  const auto flipped = inject_bit_flips(hv, 1.0, rng);
+  EXPECT_EQ(flipped, 512u);
+  EXPECT_EQ(HyperVector::hamming(hv, original), 512u);
+}
+
+class FaultRateTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FaultRateTest, FlipCountMatchesRateStatistically) {
+  const double rate = GetParam();
+  util::Rng rng(3);
+  const std::size_t dim = 20000;
+  auto hv = HyperVector::random(dim, rng);
+  const auto original = hv;
+  const auto flipped = inject_bit_flips(hv, rate, rng);
+  EXPECT_EQ(HyperVector::hamming(hv, original), flipped);
+  // Binomial(d, rate): mean d*rate, stddev sqrt(d*rate*(1-rate)).
+  const double expected = static_cast<double>(dim) * rate;
+  const double stddev = std::sqrt(expected * (1.0 - rate));
+  EXPECT_NEAR(static_cast<double>(flipped), expected, 5.0 * stddev + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, FaultRateTest,
+                         ::testing::Values(0.001, 0.01, 0.05, 0.1, 0.3,
+                                           0.6, 0.9));
+
+TEST(FaultInjection, RejectsBadRate) {
+  util::Rng rng(4);
+  auto hv = HyperVector::random(64, rng);
+  EXPECT_THROW(inject_bit_flips(hv, -0.1, rng), std::invalid_argument);
+  EXPECT_THROW(inject_bit_flips(hv, 1.1, rng), std::invalid_argument);
+}
+
+TEST(FaultInjection, DeterministicGivenRngState) {
+  util::Rng rng_a(5);
+  util::Rng rng_b(5);
+  util::Rng source(6);
+  auto hv_a = HyperVector::random(2048, source);
+  auto hv_b = hv_a;
+  inject_bit_flips(hv_a, 0.07, rng_a);
+  inject_bit_flips(hv_b, 0.07, rng_b);
+  EXPECT_EQ(hv_a, hv_b);
+}
+
+// End-to-end robustness: segmentation quality must degrade gracefully
+// with the bit-error rate (the HDC claim the paper cites).
+TEST(Robustness, SegmentationDegradesGracefully) {
+  img::ImageU8 image(48, 48, 1, 25);
+  img::ImageU8 truth(48, 48, 1, 0);
+  for (std::size_t y = 12; y < 36; ++y) {
+    for (std::size_t x = 12; x < 36; ++x) {
+      image(x, y) = 215;
+      truth(x, y) = 255;
+    }
+  }
+  core::SegHdcConfig config;
+  config.dim = 2048;
+  config.beta = 6;
+  config.iterations = 5;
+
+  const auto iou_at = [&](double rate) {
+    auto c = config;
+    c.bit_error_rate = rate;
+    const auto result = core::SegHdc(c).segment(image);
+    return metrics::best_foreground_iou(result.labels, 2, truth).iou;
+  };
+
+  const double clean = iou_at(0.0);
+  const double at_5pct = iou_at(0.05);
+  const double at_10pct = iou_at(0.10);
+  EXPECT_DOUBLE_EQ(clean, 1.0);
+  EXPECT_GT(at_5pct, 0.95);   // nearly unaffected
+  EXPECT_GT(at_10pct, 0.90);  // graceful, not catastrophic
+}
+
+TEST(Robustness, ConfigValidatesRate) {
+  core::SegHdcConfig config;
+  config.bit_error_rate = 1.5;
+  EXPECT_THROW(core::SegHdc{config}, std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// Tests for the image filters used by the dataset generators.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/imaging/filters.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace seghdc::img;
+
+double mean_of(const ImageU8& image) {
+  double sum = 0.0;
+  for (const auto v : image.pixels()) {
+    sum += v;
+  }
+  return sum / static_cast<double>(image.size());
+}
+
+TEST(GaussianBlur, ZeroSigmaIsIdentity) {
+  ImageU8 image(8, 8, 1);
+  image.at(4, 4) = 200;
+  EXPECT_EQ(gaussian_blur(image, 0.0), image);
+  EXPECT_EQ(gaussian_blur(image, -1.0), image);
+}
+
+TEST(GaussianBlur, SpreadsAnImpulse) {
+  ImageU8 image(11, 11, 1, 0);
+  image.at(5, 5) = 255;
+  const auto blurred = gaussian_blur(image, 1.5);
+  EXPECT_LT(blurred.at(5, 5), 255);
+  EXPECT_GT(blurred.at(4, 5), 0);
+  EXPECT_GT(blurred.at(5, 4), 0);
+  // Symmetric kernel on a centered impulse.
+  EXPECT_EQ(blurred.at(4, 5), blurred.at(6, 5));
+  EXPECT_EQ(blurred.at(5, 4), blurred.at(5, 6));
+}
+
+TEST(GaussianBlur, ApproximatelyPreservesMean) {
+  seghdc::util::Rng rng(1);
+  ImageU8 image(32, 32, 1);
+  for (auto& v : image.pixels()) {
+    v = static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  const auto blurred = gaussian_blur(image, 2.0);
+  EXPECT_NEAR(mean_of(blurred), mean_of(image), 2.0);
+}
+
+TEST(GaussianBlur, FlatImageUnchanged) {
+  const ImageU8 image(16, 16, 3, 99);
+  const auto blurred = gaussian_blur(image, 3.0);
+  for (const auto v : blurred.pixels()) {
+    EXPECT_EQ(v, 99);
+  }
+}
+
+TEST(BoxBlur, ZeroRadiusIsIdentity) {
+  ImageU8 image(5, 5, 1);
+  image.at(2, 2) = 100;
+  EXPECT_EQ(box_blur(image, 0), image);
+}
+
+TEST(BoxBlur, AveragesNeighborhood) {
+  ImageU8 image(5, 5, 1, 0);
+  image.at(2, 2) = 90;
+  const auto blurred = box_blur(image, 1);
+  EXPECT_EQ(blurred.at(2, 2), 10);  // 90 / 9
+  EXPECT_EQ(blurred.at(1, 1), 10);
+  EXPECT_EQ(blurred.at(4, 4), 0);
+}
+
+TEST(Otsu, SeparatesBimodalHistogram) {
+  ImageU8 image(20, 20, 1);
+  for (std::size_t y = 0; y < 20; ++y) {
+    for (std::size_t x = 0; x < 20; ++x) {
+      image.at(x, y) = x < 10 ? 40 : 200;
+    }
+  }
+  const auto t = otsu_threshold(image);
+  EXPECT_GE(t, 40);
+  EXPECT_LT(t, 200);
+}
+
+TEST(Otsu, FlatImageDoesNotCrash) {
+  const ImageU8 image(8, 8, 1, 100);
+  EXPECT_NO_THROW(otsu_threshold(image));
+}
+
+TEST(Threshold, BinarizesStrictlyAbove) {
+  ImageU8 image(3, 1, 1);
+  image.at(0, 0) = 99;
+  image.at(1, 0) = 100;
+  image.at(2, 0) = 101;
+  const auto mask = threshold(image, 100);
+  EXPECT_EQ(mask.at(0, 0), 0);
+  EXPECT_EQ(mask.at(1, 0), 0);
+  EXPECT_EQ(mask.at(2, 0), 255);
+}
+
+TEST(ResizeBilinear, IdentitySize) {
+  seghdc::util::Rng rng(2);
+  ImageU8 image(7, 5, 3);
+  for (auto& v : image.pixels()) {
+    v = static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  const auto resized = resize_bilinear(image, 7, 5);
+  EXPECT_EQ(resized, image);
+}
+
+TEST(ResizeBilinear, FlatStaysFlat) {
+  const ImageU8 image(10, 10, 1, 77);
+  const auto up = resize_bilinear(image, 23, 17);
+  EXPECT_EQ(up.width(), 23u);
+  EXPECT_EQ(up.height(), 17u);
+  for (const auto v : up.pixels()) {
+    EXPECT_EQ(v, 77);
+  }
+}
+
+TEST(ResizeBilinear, DownscalePreservesMeanApproximately) {
+  seghdc::util::Rng rng(3);
+  ImageU8 image(64, 64, 1);
+  for (auto& v : image.pixels()) {
+    v = static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  const auto down = resize_bilinear(image, 32, 32);
+  EXPECT_NEAR(mean_of(down), mean_of(image), 4.0);
+}
+
+TEST(ResizeNearest, PreservesLabelValues) {
+  seghdc::img::LabelMap labels(4, 4, 1, 0);
+  labels.at(0, 0) = 7;
+  labels.at(3, 3) = 1000000;
+  const auto up = resize_nearest(labels, 8, 8);
+  EXPECT_EQ(up.at(0, 0), 7u);
+  EXPECT_EQ(up.at(7, 7), 1000000u);
+  // Nearest-neighbour never invents new labels.
+  for (const auto v : up.pixels()) {
+    EXPECT_TRUE(v == 0u || v == 7u || v == 1000000u);
+  }
+}
+
+TEST(Vignette, DarkensCornersKeepsCenter) {
+  ImageU8 image(21, 21, 1, 200);
+  apply_vignette(image, 0.5);
+  EXPECT_NEAR(image.at(10, 10), 200, 2);
+  EXPECT_LT(image.at(0, 0), 120);
+  // Symmetry across corners.
+  EXPECT_NEAR(image.at(0, 0), image.at(20, 20), 2);
+}
+
+TEST(Vignette, RejectsBadGain) {
+  ImageU8 image(4, 4, 1, 100);
+  EXPECT_THROW(apply_vignette(image, 0.0), std::invalid_argument);
+  EXPECT_THROW(apply_vignette(image, 1.5), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+// Tests for the GEMM kernels against a naive reference.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/nn/gemm.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace seghdc::nn;
+
+std::vector<float> random_matrix(std::size_t rows, std::size_t cols,
+                                 seghdc::util::Rng& rng) {
+  std::vector<float> m(rows * cols);
+  for (auto& v : m) {
+    v = static_cast<float>(rng.next_double_in(-1.0, 1.0));
+  }
+  return m;
+}
+
+std::vector<float> reference_nn(std::size_t m, std::size_t n, std::size_t k,
+                                const std::vector<float>& a,
+                                const std::vector<float>& b) {
+  std::vector<float> c(m * n, 0.0F);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      for (std::size_t j = 0; j < n; ++j) {
+        c[i * n + j] += a[i * k + p] * b[p * n + j];
+      }
+    }
+  }
+  return c;
+}
+
+void expect_near(const std::vector<float>& actual,
+                 const std::vector<float>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], 1e-4) << "element " << i;
+  }
+}
+
+class GemmShapes : public ::testing::TestWithParam<
+                       std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(GemmShapes, NnMatchesReference) {
+  const auto [m, n, k] = GetParam();
+  seghdc::util::Rng rng(1);
+  const auto a = random_matrix(m, k, rng);
+  const auto b = random_matrix(k, n, rng);
+  std::vector<float> c(m * n, 99.0F);
+  gemm_nn(m, n, k, a.data(), b.data(), c.data(), /*accumulate=*/false);
+  expect_near(c, reference_nn(m, n, k, a, b));
+}
+
+TEST_P(GemmShapes, NtMatchesReference) {
+  const auto [m, n, k] = GetParam();
+  seghdc::util::Rng rng(2);
+  const auto a = random_matrix(m, k, rng);
+  const auto b_t = random_matrix(n, k, rng);  // B^T stored as [n x k]
+  // Reference uses B in [k x n] layout.
+  std::vector<float> b(k * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t p = 0; p < k; ++p) {
+      b[p * n + j] = b_t[j * k + p];
+    }
+  }
+  std::vector<float> c(m * n, 0.0F);
+  gemm_nt(m, n, k, a.data(), b_t.data(), c.data(), /*accumulate=*/false);
+  expect_near(c, reference_nn(m, n, k, a, b));
+}
+
+TEST_P(GemmShapes, TnMatchesReference) {
+  const auto [m, n, k] = GetParam();
+  seghdc::util::Rng rng(3);
+  const auto a_t = random_matrix(k, m, rng);  // A^T stored as [k x m]
+  const auto b = random_matrix(k, n, rng);
+  std::vector<float> a(m * k);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      a[i * k + p] = a_t[p * m + i];
+    }
+  }
+  std::vector<float> c(m * n, 0.0F);
+  gemm_tn(m, n, k, a_t.data(), b.data(), c.data(), /*accumulate=*/false);
+  expect_near(c, reference_nn(m, n, k, a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(std::tuple<std::size_t, std::size_t, std::size_t>{
+                          1, 1, 1},
+                      std::tuple<std::size_t, std::size_t, std::size_t>{
+                          3, 5, 7},
+                      std::tuple<std::size_t, std::size_t, std::size_t>{
+                          16, 16, 16},
+                      std::tuple<std::size_t, std::size_t, std::size_t>{
+                          1, 64, 9},
+                      std::tuple<std::size_t, std::size_t, std::size_t>{
+                          33, 17, 29}));
+
+TEST(Gemm, AccumulateAddsOnTop) {
+  seghdc::util::Rng rng(4);
+  const auto a = random_matrix(4, 6, rng);
+  const auto b = random_matrix(6, 5, rng);
+  std::vector<float> c(4 * 5, 1.0F);
+  gemm_nn(4, 5, 6, a.data(), b.data(), c.data(), /*accumulate=*/true);
+  const auto product = reference_nn(4, 5, 6, a, b);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], product[i] + 1.0F, 1e-4);
+  }
+}
+
+TEST(Gemm, OverwriteClearsPreviousContent) {
+  seghdc::util::Rng rng(5);
+  const auto a = random_matrix(3, 3, rng);
+  const auto b = random_matrix(3, 3, rng);
+  std::vector<float> c(9, 1234.0F);
+  gemm_nn(3, 3, 3, a.data(), b.data(), c.data(), /*accumulate=*/false);
+  expect_near(c, reference_nn(3, 3, 3, a, b));
+}
+
+TEST(Gemm, ZeroMatrixGivesZero) {
+  const std::vector<float> a(4 * 4, 0.0F);
+  std::vector<float> b(4 * 4, 3.0F);
+  std::vector<float> c(4 * 4, 7.0F);
+  gemm_nn(4, 4, 4, a.data(), b.data(), c.data(), /*accumulate=*/false);
+  for (const float v : c) {
+    EXPECT_EQ(v, 0.0F);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,253 @@
+// Tests for the bit-packed hypervector: the paper's entire encoding
+// story rests on flip_range/XOR/Hamming behaving exactly, including at
+// 64-bit word boundaries.
+#include <gtest/gtest.h>
+
+#include "src/hdc/hypervector.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using seghdc::hdc::HyperVector;
+using seghdc::util::Rng;
+
+TEST(HyperVector, ZeroInitialized) {
+  const HyperVector hv(100);
+  EXPECT_EQ(hv.dim(), 100u);
+  EXPECT_EQ(hv.popcount(), 0u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(hv.get(i));
+  }
+}
+
+TEST(HyperVector, DefaultIsEmpty) {
+  const HyperVector hv;
+  EXPECT_TRUE(hv.empty());
+  EXPECT_EQ(hv.dim(), 0u);
+}
+
+TEST(HyperVector, SetGetFlip) {
+  HyperVector hv(70);
+  hv.set(0, true);
+  hv.set(69, true);
+  EXPECT_TRUE(hv.get(0));
+  EXPECT_TRUE(hv.get(69));
+  EXPECT_EQ(hv.popcount(), 2u);
+  hv.flip(0);
+  EXPECT_FALSE(hv.get(0));
+  hv.set(69, false);
+  EXPECT_EQ(hv.popcount(), 0u);
+}
+
+TEST(HyperVector, OutOfRangeAccessThrows) {
+  HyperVector hv(10);
+  EXPECT_THROW(hv.get(10), std::invalid_argument);
+  EXPECT_THROW(hv.set(10, true), std::invalid_argument);
+  EXPECT_THROW(hv.flip(10), std::invalid_argument);
+  EXPECT_THROW(hv.flip_range(5, 11), std::invalid_argument);
+  EXPECT_THROW(hv.flip_range(7, 5), std::invalid_argument);
+}
+
+TEST(HyperVector, RandomIsBalanced) {
+  Rng rng(1);
+  const auto hv = HyperVector::random(10000, rng);
+  const double density =
+      static_cast<double>(hv.popcount()) / static_cast<double>(hv.dim());
+  EXPECT_NEAR(density, 0.5, 0.03);
+}
+
+TEST(HyperVector, RandomPaddingBitsAreZero) {
+  Rng rng(2);
+  const auto hv = HyperVector::random(65, rng);  // 2 words, 63 pad bits
+  EXPECT_LE(hv.popcount(), 65u);
+  const auto words = hv.words();
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[1] & ~std::uint64_t{1}, 0u);
+}
+
+// flip_range across word boundaries is the core primitive of the
+// Manhattan encodings — sweep begin/end combinations around them.
+class FlipRangeTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(FlipRangeTest, FlipsExactlyTheRange) {
+  const auto [begin, end] = GetParam();
+  HyperVector hv(200);
+  hv.flip_range(begin, end);
+  EXPECT_EQ(hv.popcount(), end - begin);
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(hv.get(i), i >= begin && i < end) << "bit " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WordBoundaries, FlipRangeTest,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{0, 0},
+                      std::pair<std::size_t, std::size_t>{0, 1},
+                      std::pair<std::size_t, std::size_t>{0, 64},
+                      std::pair<std::size_t, std::size_t>{1, 63},
+                      std::pair<std::size_t, std::size_t>{63, 65},
+                      std::pair<std::size_t, std::size_t>{64, 128},
+                      std::pair<std::size_t, std::size_t>{60, 130},
+                      std::pair<std::size_t, std::size_t>{0, 200},
+                      std::pair<std::size_t, std::size_t>{127, 129},
+                      std::pair<std::size_t, std::size_t>{199, 200}));
+
+TEST(HyperVector, FlipRangeIsInvolution) {
+  Rng rng(3);
+  auto hv = HyperVector::random(300, rng);
+  const auto original = hv;
+  hv.flip_range(17, 217);
+  EXPECT_NE(hv, original);
+  hv.flip_range(17, 217);
+  EXPECT_EQ(hv, original);
+}
+
+TEST(HyperVector, FlipRangeMovesHammingExactly) {
+  Rng rng(4);
+  const auto original = HyperVector::random(1000, rng);
+  for (const std::size_t width : {1u, 7u, 64u, 100u, 321u}) {
+    auto flipped = original;
+    flipped.flip_range(50, 50 + width);
+    EXPECT_EQ(HyperVector::hamming(original, flipped), width);
+  }
+}
+
+TEST(HyperVector, XorSelfIsZero) {
+  Rng rng(5);
+  const auto hv = HyperVector::random(500, rng);
+  EXPECT_EQ((hv ^ hv).popcount(), 0u);
+}
+
+TEST(HyperVector, XorIsCommutativeAndAssociative) {
+  Rng rng(6);
+  const auto a = HyperVector::random(300, rng);
+  const auto b = HyperVector::random(300, rng);
+  const auto c = HyperVector::random(300, rng);
+  EXPECT_EQ(a ^ b, b ^ a);
+  EXPECT_EQ((a ^ b) ^ c, a ^ (b ^ c));
+}
+
+TEST(HyperVector, XorIsSelfInverseBinding) {
+  // The HDC binding property: (a ^ b) ^ b recovers a.
+  Rng rng(7);
+  const auto a = HyperVector::random(300, rng);
+  const auto b = HyperVector::random(300, rng);
+  EXPECT_EQ((a ^ b) ^ b, a);
+}
+
+TEST(HyperVector, XorDimensionMismatchThrows) {
+  const HyperVector a(10);
+  const HyperVector b(11);
+  EXPECT_THROW(a ^ b, std::invalid_argument);
+  EXPECT_THROW(HyperVector::hamming(a, b), std::invalid_argument);
+}
+
+TEST(HyperVector, HammingBasics) {
+  HyperVector a(128);
+  HyperVector b(128);
+  EXPECT_EQ(HyperVector::hamming(a, b), 0u);
+  a.set(3, true);
+  b.set(100, true);
+  EXPECT_EQ(HyperVector::hamming(a, b), 2u);
+  b.set(3, true);
+  EXPECT_EQ(HyperVector::hamming(a, b), 1u);
+}
+
+TEST(HyperVector, HammingEqualsXorPopcount) {
+  Rng rng(8);
+  const auto a = HyperVector::random(777, rng);
+  const auto b = HyperVector::random(777, rng);
+  EXPECT_EQ(HyperVector::hamming(a, b), (a ^ b).popcount());
+}
+
+TEST(HyperVector, TwoRandomHvsArePseudoOrthogonal) {
+  Rng rng(9);
+  const auto a = HyperVector::random(10000, rng);
+  const auto b = HyperVector::random(10000, rng);
+  const double normalized =
+      static_cast<double>(HyperVector::hamming(a, b)) / 10000.0;
+  EXPECT_NEAR(normalized, 0.5, 0.03);  // paper Lemma 1's premise
+}
+
+class ConcatTest : public ::testing::TestWithParam<
+                       std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(ConcatTest, PreservesAllBitsAtCorrectOffsets) {
+  const auto [d0, d1, d2] = GetParam();
+  Rng rng(10);
+  std::vector<HyperVector> parts;
+  parts.push_back(HyperVector::random(d0, rng));
+  parts.push_back(HyperVector::random(d1, rng));
+  parts.push_back(HyperVector::random(d2, rng));
+  const auto whole = HyperVector::concat(parts);
+  ASSERT_EQ(whole.dim(), d0 + d1 + d2);
+  std::size_t offset = 0;
+  for (const auto& part : parts) {
+    for (std::size_t i = 0; i < part.dim(); ++i) {
+      EXPECT_EQ(whole.get(offset + i), part.get(i))
+          << "offset " << offset << " bit " << i;
+    }
+    offset += part.dim();
+  }
+  EXPECT_EQ(whole.popcount(),
+            parts[0].popcount() + parts[1].popcount() + parts[2].popcount());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    UnalignedSplits, ConcatTest,
+    ::testing::Values(std::tuple<std::size_t, std::size_t, std::size_t>{
+                          64, 64, 64},
+                      std::tuple<std::size_t, std::size_t, std::size_t>{
+                          266, 266, 268},  // d=800 RGB split
+                      std::tuple<std::size_t, std::size_t, std::size_t>{
+                          1, 1, 1},
+                      std::tuple<std::size_t, std::size_t, std::size_t>{
+                          63, 65, 127},
+                      std::tuple<std::size_t, std::size_t, std::size_t>{
+                          100, 3, 500}));
+
+TEST(HyperVector, ConcatDistanceIsSumOfPartDistances) {
+  // The additivity that makes 3-channel color encoding Manhattan
+  // (paper Fig. 4): hamming(concat(a1,a2), concat(b1,b2)) =
+  // hamming(a1,b1) + hamming(a2,b2).
+  Rng rng(11);
+  const auto a1 = HyperVector::random(333, rng);
+  const auto a2 = HyperVector::random(467, rng);
+  const auto b1 = HyperVector::random(333, rng);
+  const auto b2 = HyperVector::random(467, rng);
+  const std::vector<HyperVector> a_parts{a1, a2};
+  const std::vector<HyperVector> b_parts{b1, b2};
+  EXPECT_EQ(HyperVector::hamming(HyperVector::concat(a_parts),
+                                 HyperVector::concat(b_parts)),
+            HyperVector::hamming(a1, b1) + HyperVector::hamming(a2, b2));
+}
+
+TEST(HyperVector, SliceRoundTripsConcat) {
+  Rng rng(12);
+  const auto a = HyperVector::random(129, rng);
+  const auto b = HyperVector::random(71, rng);
+  const std::vector<HyperVector> parts{a, b};
+  const auto whole = HyperVector::concat(parts);
+  EXPECT_EQ(whole.slice(0, 129), a);
+  EXPECT_EQ(whole.slice(129, 200), b);
+}
+
+TEST(HyperVector, SliceBoundsChecked) {
+  const HyperVector hv(10);
+  EXPECT_THROW(hv.slice(5, 11), std::invalid_argument);
+  EXPECT_THROW(hv.slice(7, 5), std::invalid_argument);
+}
+
+TEST(HyperVector, ForEachSetBitVisitsExactlyTheSetBits) {
+  HyperVector hv(200);
+  const std::vector<std::size_t> expected{0, 1, 63, 64, 65, 128, 199};
+  for (const auto i : expected) {
+    hv.set(i, true);
+  }
+  std::vector<std::size_t> visited;
+  hv.for_each_set_bit([&](std::size_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited, expected);
+}
+
+}  // namespace

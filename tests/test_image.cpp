@@ -1,0 +1,79 @@
+// Tests for the Image container.
+#include <gtest/gtest.h>
+
+#include "src/imaging/image.hpp"
+
+namespace {
+
+using seghdc::img::ImageU8;
+using seghdc::img::LabelMap;
+
+TEST(Image, ConstructionAndFill) {
+  ImageU8 image(4, 3, 2, 7);
+  EXPECT_EQ(image.width(), 4u);
+  EXPECT_EQ(image.height(), 3u);
+  EXPECT_EQ(image.channels(), 2u);
+  EXPECT_EQ(image.pixel_count(), 12u);
+  EXPECT_EQ(image.size(), 24u);
+  for (const auto v : image.pixels()) {
+    EXPECT_EQ(v, 7);
+  }
+  image.fill(9);
+  EXPECT_EQ(image.at(3, 2, 1), 9);
+}
+
+TEST(Image, DefaultIsEmpty) {
+  const ImageU8 image;
+  EXPECT_TRUE(image.empty());
+  EXPECT_EQ(image.size(), 0u);
+}
+
+TEST(Image, ZeroDimensionThrows) {
+  EXPECT_THROW(ImageU8(0, 3, 1), std::invalid_argument);
+  EXPECT_THROW(ImageU8(3, 0, 1), std::invalid_argument);
+  EXPECT_THROW(ImageU8(3, 3, 0), std::invalid_argument);
+}
+
+TEST(Image, InterleavedLayout) {
+  ImageU8 image(2, 2, 3);
+  image.at(1, 0, 2) = 42;
+  // (y*W + x)*C + c = (0*2+1)*3+2 = 5
+  EXPECT_EQ(image.pixels()[5], 42);
+  image.at(0, 1, 0) = 13;
+  EXPECT_EQ(image.pixels()[6], 13);
+}
+
+TEST(Image, AtBoundsChecked) {
+  ImageU8 image(2, 2, 1);
+  EXPECT_THROW(image.at(2, 0), std::invalid_argument);
+  EXPECT_THROW(image.at(0, 2), std::invalid_argument);
+  EXPECT_THROW(image.at(0, 0, 1), std::invalid_argument);
+}
+
+TEST(Image, ClampedReplicatesBorder) {
+  ImageU8 image(3, 3, 1);
+  image.at(0, 0) = 10;
+  image.at(2, 2) = 20;
+  EXPECT_EQ(image.clamped(-5, -5), 10);
+  EXPECT_EQ(image.clamped(10, 10), 20);
+  EXPECT_EQ(image.clamped(-1, 2), image.at(0, 2));
+}
+
+TEST(Image, SameShapeAndEquality) {
+  ImageU8 a(3, 2, 1, 0);
+  ImageU8 b(3, 2, 1, 0);
+  ImageU8 c(2, 3, 1, 0);
+  EXPECT_TRUE(a.same_shape(b));
+  EXPECT_FALSE(a.same_shape(c));
+  EXPECT_EQ(a, b);
+  b.at(1, 1) = 5;
+  EXPECT_NE(a, b);
+}
+
+TEST(Image, LabelMapHoldsWideValues) {
+  LabelMap labels(2, 2, 1);
+  labels.at(1, 1) = 1000000u;
+  EXPECT_EQ(labels.at(1, 1), 1000000u);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Tests for the item memories: the classical random codebook (RPos /
+// RColor ablations) and the Manhattan level ladder.
+#include <gtest/gtest.h>
+
+#include "src/hdc/item_memory.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using seghdc::hdc::HyperVector;
+using seghdc::hdc::LevelItemMemory;
+using seghdc::hdc::RandomItemMemory;
+using seghdc::util::Rng;
+
+TEST(RandomItemMemory, ShapeAndAccess) {
+  Rng rng(1);
+  const RandomItemMemory memory(512, 16, rng);
+  EXPECT_EQ(memory.dim(), 512u);
+  EXPECT_EQ(memory.size(), 16u);
+  EXPECT_EQ(memory.at(0).dim(), 512u);
+  EXPECT_THROW(memory.at(16), std::invalid_argument);
+}
+
+TEST(RandomItemMemory, SymbolsArePseudoOrthogonal) {
+  Rng rng(2);
+  const RandomItemMemory memory(8192, 8, rng);
+  for (std::size_t a = 0; a < 8; ++a) {
+    for (std::size_t b = a + 1; b < 8; ++b) {
+      const double normalized =
+          static_cast<double>(
+              HyperVector::hamming(memory.at(a), memory.at(b))) /
+          8192.0;
+      EXPECT_NEAR(normalized, 0.5, 0.04) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(RandomItemMemory, RejectsDegenerateArguments) {
+  Rng rng(3);
+  EXPECT_THROW(RandomItemMemory(0, 4, rng), std::invalid_argument);
+  EXPECT_THROW(RandomItemMemory(16, 0, rng), std::invalid_argument);
+}
+
+TEST(LevelItemMemory, PaperLadderExactUnits) {
+  // The paper's color ladder: uc = floor(d/256); span = 255*uc gives
+  // hamming(v_a, v_b) = |a-b| * uc exactly.
+  Rng rng(4);
+  const std::size_t d = 2048;
+  const std::size_t uc = d / 256;  // 8
+  const LevelItemMemory ladder(d, 256, 255 * uc, rng);
+  EXPECT_EQ(HyperVector::hamming(ladder.at(0), ladder.at(1)), uc);
+  EXPECT_EQ(HyperVector::hamming(ladder.at(0), ladder.at(255)), 255 * uc);
+  EXPECT_EQ(HyperVector::hamming(ladder.at(10), ladder.at(30)), 20 * uc);
+}
+
+class LevelLadderTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(LevelLadderTest, HammingEqualsOffsetDifference) {
+  const auto [dim, levels, span] = GetParam();
+  Rng rng(5);
+  const LevelItemMemory ladder(dim, levels, span, rng);
+  // Manhattan property on a sample of level pairs.
+  for (std::size_t a = 0; a < levels; a += levels / 7 + 1) {
+    for (std::size_t b = 0; b < levels; b += levels / 5 + 1) {
+      const std::size_t expected = a > b
+                                       ? ladder.offset(a) - ladder.offset(b)
+                                       : ladder.offset(b) - ladder.offset(a);
+      EXPECT_EQ(HyperVector::hamming(ladder.at(a), ladder.at(b)), expected)
+          << "levels " << a << ", " << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndSpans, LevelLadderTest,
+    ::testing::Values(
+        std::tuple<std::size_t, std::size_t, std::size_t>{2048, 256,
+                                                          255 * 8},
+        std::tuple<std::size_t, std::size_t, std::size_t>{266, 256, 264},
+        std::tuple<std::size_t, std::size_t, std::size_t>{100, 256, 99},
+        std::tuple<std::size_t, std::size_t, std::size_t>{512, 16, 480},
+        std::tuple<std::size_t, std::size_t, std::size_t>{64, 2, 64}));
+
+TEST(LevelItemMemory, OffsetsAreMonotoneNonDecreasing) {
+  Rng rng(6);
+  const LevelItemMemory ladder(300, 256, 299, rng);
+  for (std::size_t k = 1; k < 256; ++k) {
+    EXPECT_GE(ladder.offset(k), ladder.offset(k - 1));
+  }
+  EXPECT_EQ(ladder.offset(0), 0u);
+  EXPECT_EQ(ladder.offset(255), 299u);
+}
+
+TEST(LevelItemMemory, RegionBeginShiftsFlips) {
+  Rng rng(7);
+  const std::size_t d = 256;
+  const LevelItemMemory ladder(d, 4, 30, rng, /*region_begin=*/100);
+  // All flips live in [100, 130): bits outside must agree across levels.
+  const auto& low = ladder.at(0);
+  const auto& high = ladder.at(3);
+  for (std::size_t i = 0; i < d; ++i) {
+    if (i < 100 || i >= 130) {
+      EXPECT_EQ(low.get(i), high.get(i)) << "bit " << i;
+    }
+  }
+  EXPECT_EQ(HyperVector::hamming(low, high), 30u);
+}
+
+TEST(LevelItemMemory, DistantLevelsFarCloseLevelsNear) {
+  Rng rng(8);
+  const LevelItemMemory ladder(2560, 256, 2550, rng);
+  const auto near = HyperVector::hamming(ladder.at(100), ladder.at(101));
+  const auto far = HyperVector::hamming(ladder.at(0), ladder.at(200));
+  EXPECT_LT(near, far);
+}
+
+TEST(LevelItemMemory, RejectsDegenerateArguments) {
+  Rng rng(9);
+  EXPECT_THROW(LevelItemMemory(0, 4, 0, rng), std::invalid_argument);
+  EXPECT_THROW(LevelItemMemory(64, 1, 10, rng), std::invalid_argument);
+  EXPECT_THROW(LevelItemMemory(64, 4, 65, rng), std::invalid_argument);
+  EXPECT_THROW(LevelItemMemory(64, 4, 30, rng, /*region_begin=*/40),
+               std::invalid_argument);
+}
+
+TEST(LevelItemMemory, AccessorsValidateRange) {
+  Rng rng(10);
+  const LevelItemMemory ladder(64, 4, 30, rng);
+  EXPECT_THROW(ladder.at(4), std::invalid_argument);
+  EXPECT_THROW(ladder.offset(4), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Tests for the CNN baseline (Kim et al., TIP 2020) on top of the NN
+// runtime: training reduces the loss, the label map is well-formed, and
+// early stopping triggers on label collapse.
+#include <gtest/gtest.h>
+
+#include "src/baseline/kim_segmenter.hpp"
+#include "src/metrics/segmentation_metrics.hpp"
+
+namespace {
+
+using namespace seghdc;
+using namespace seghdc::baseline;
+
+/// Small two-tone test image.
+img::ImageU8 make_card(std::size_t size, std::size_t channels) {
+  img::ImageU8 image(size, size, channels, 30);
+  for (std::size_t y = size / 4; y < 3 * size / 4; ++y) {
+    for (std::size_t x = size / 4; x < 3 * size / 4; ++x) {
+      for (std::size_t c = 0; c < channels; ++c) {
+        image(x, y, c) = 210;
+      }
+    }
+  }
+  return image;
+}
+
+KimConfig tiny_config() {
+  KimConfig config;
+  config.feature_channels = 8;
+  config.conv_layers = 2;
+  config.max_iterations = 12;
+  config.min_labels = 2;
+  return config;
+}
+
+TEST(KimSegmenter, ProducesWellFormedLabelMap) {
+  const auto image = make_card(24, 3);
+  const KimSegmenter segmenter(tiny_config());
+  const auto result = segmenter.segment(image);
+  EXPECT_EQ(result.labels.width(), 24u);
+  EXPECT_EQ(result.labels.height(), 24u);
+  EXPECT_GE(result.label_count, 1u);
+  EXPECT_LE(result.label_count, 8u);
+  // Labels are compacted to 0..L-1.
+  for (const auto v : result.labels.pixels()) {
+    EXPECT_LT(v, result.label_count);
+  }
+}
+
+TEST(KimSegmenter, LossDecreasesOverTraining) {
+  const auto image = make_card(24, 1);
+  auto config = tiny_config();
+  config.max_iterations = 20;
+  config.min_labels = 1;  // never early-stop
+  const KimSegmenter segmenter(config);
+  const auto result = segmenter.segment(image);
+  ASSERT_GE(result.loss_history.size(), 10u);
+  // Compare the first and last thirds of the loss history.
+  double early = 0.0;
+  double late = 0.0;
+  const std::size_t third = result.loss_history.size() / 3;
+  for (std::size_t i = 0; i < third; ++i) {
+    early += result.loss_history[i];
+    late += result.loss_history[result.loss_history.size() - 1 - i];
+  }
+  EXPECT_LT(late, early);
+}
+
+TEST(KimSegmenter, EarlyStopsWhenLabelsCollapse) {
+  const auto image = make_card(20, 1);
+  auto config = tiny_config();
+  config.min_labels = 100;  // impossible to satisfy -> stop immediately
+  const KimSegmenter segmenter(config);
+  const auto result = segmenter.segment(image);
+  EXPECT_TRUE(result.early_stopped);
+  EXPECT_EQ(result.iterations_run, 1u);
+}
+
+TEST(KimSegmenter, DeterministicGivenSeed) {
+  const auto image = make_card(20, 1);
+  const KimSegmenter segmenter(tiny_config());
+  const auto a = segmenter.segment(image);
+  const auto b = segmenter.segment(image);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.iterations_run, b.iterations_run);
+}
+
+TEST(KimSegmenter, SeedChangesInitialization) {
+  const auto image = make_card(20, 1);
+  auto config_a = tiny_config();
+  auto config_b = tiny_config();
+  config_b.seed = 999;
+  const auto a = KimSegmenter(config_a).segment(image);
+  const auto b = KimSegmenter(config_b).segment(image);
+  // Different inits explore different label assignments (they may
+  // coincide semantically, but the raw loss paths differ).
+  ASSERT_FALSE(a.loss_history.empty());
+  ASSERT_FALSE(b.loss_history.empty());
+  EXPECT_NE(a.loss_history.front(), b.loss_history.front());
+}
+
+TEST(KimSegmenter, SegmentsEasyCardReasonably) {
+  // On a crisp two-tone card, even a tiny run should align labels with
+  // the square decently.
+  const auto image = make_card(32, 1);
+  img::ImageU8 truth(32, 32, 1, 0);
+  for (std::size_t y = 8; y < 24; ++y) {
+    for (std::size_t x = 8; x < 24; ++x) {
+      truth.at(x, y) = 255;
+    }
+  }
+  auto config = tiny_config();
+  config.max_iterations = 30;
+  const auto result = KimSegmenter(config).segment(image);
+  const auto matched =
+      metrics::best_foreground_iou_any(result.labels, truth);
+  EXPECT_GT(matched.iou, 0.5);
+}
+
+TEST(KimSegmenter, ValidatesConfig) {
+  KimConfig config;
+  config.feature_channels = 1;
+  EXPECT_THROW(KimSegmenter{config}, std::invalid_argument);
+  config = KimConfig{};
+  config.conv_layers = 0;
+  EXPECT_THROW(KimSegmenter{config}, std::invalid_argument);
+  config = KimConfig{};
+  config.learning_rate = 0.0;
+  EXPECT_THROW(KimSegmenter{config}, std::invalid_argument);
+  config = KimConfig{};
+  config.momentum = 1.0;
+  EXPECT_THROW(KimSegmenter{config}, std::invalid_argument);
+}
+
+TEST(KimSegmenter, RejectsUnsupportedImages) {
+  const KimSegmenter segmenter(tiny_config());
+  const img::ImageU8 two_channel(8, 8, 2, 0);
+  EXPECT_THROW(segmenter.segment(two_channel), std::invalid_argument);
+  const img::ImageU8 tiny(1, 1, 1, 0);
+  EXPECT_THROW(segmenter.segment(tiny), std::invalid_argument);
+}
+
+TEST(KimSegmenter, TotalMacsFormula) {
+  KimConfig config;  // 100 channels, 2 conv layers
+  // Reference workload of paper Table II: 3x256x320, 1000 iterations.
+  const auto macs = KimSegmenter::total_macs(config, 3, 256, 320, 1000);
+  const std::uint64_t hw = 256ULL * 320;
+  const std::uint64_t fwd =
+      hw * 3 * 100 * 9 + hw * 100 * 100 * 9 + hw * 100 * 100;
+  EXPECT_EQ(macs, fwd * 3 * 1000);
+}
+
+TEST(CompactLabels, RenumbersDenselyStable) {
+  img::LabelMap labels(4, 1, 1, 0);
+  labels.at(0, 0) = 7;
+  labels.at(1, 0) = 3;
+  labels.at(2, 0) = 7;
+  labels.at(3, 0) = 11;
+  const auto count = compact_labels(labels);
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(labels.at(0, 0), 0u);  // first seen -> 0
+  EXPECT_EQ(labels.at(1, 0), 1u);
+  EXPECT_EQ(labels.at(2, 0), 0u);
+  EXPECT_EQ(labels.at(3, 0), 2u);
+}
+
+}  // namespace

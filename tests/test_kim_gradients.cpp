@@ -1,0 +1,162 @@
+// Whole-network numerical gradient check: a miniature Kim architecture
+// (conv -> ReLU -> BN -> 1x1 conv -> BN) with the combined
+// cross-entropy + continuity loss, differentiated end to end and
+// compared against central differences. This is the strongest
+// correctness statement the NN runtime can make: if this passes, the
+// baseline's training loop optimises the true gradient.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/nn/activations.hpp"
+#include "src/nn/batchnorm.hpp"
+#include "src/nn/conv2d.hpp"
+#include "src/nn/loss.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace seghdc::nn;
+using seghdc::util::Rng;
+
+/// A fixed-architecture miniature net with externally owned weights so
+/// the check can perturb them.
+struct MiniNet {
+  Conv2d conv;
+  ReLU relu;
+  BatchNorm2d norm;
+  Conv2d head;
+  BatchNorm2d head_norm;
+
+  explicit MiniNet(Rng& rng)
+      : conv(1, 4, 3, rng), norm(4), head(4, 4, 1, rng), head_norm(4) {}
+
+  Tensor forward(const Tensor& input) {
+    return head_norm.forward(head.forward(norm.forward(
+        relu.forward(conv.forward(input)))));
+  }
+
+  void zero_grad() {
+    conv.zero_grad();
+    norm.zero_grad();
+    head.zero_grad();
+    head_norm.zero_grad();
+  }
+
+  void backward(const Tensor& grad) {
+    conv.backward(relu.backward(norm.backward(
+        head.backward(head_norm.backward(grad)))));
+  }
+};
+
+/// Kim-style loss against FIXED targets (argmax would change under
+/// perturbation and break differentiability of the check).
+double loss_of(MiniNet& net, const Tensor& input,
+               const std::vector<std::uint32_t>& targets) {
+  const Tensor response = net.forward(input);
+  const auto similarity = softmax_cross_entropy(response, targets);
+  const auto continuity = continuity_loss(response);
+  return similarity.loss + continuity.loss;
+}
+
+TEST(KimGradients, EndToEndWeightGradientsMatchNumerical) {
+  Rng rng(11);
+  MiniNet net(rng);
+  Tensor input(1, 6, 6);
+  for (auto& v : input.values()) {
+    v = static_cast<float>(rng.next_double());
+  }
+  const Tensor probe_response = net.forward(input);
+  const auto targets = argmax_labels(probe_response);
+
+  // Analytic gradient of the combined loss.
+  const Tensor response = net.forward(input);
+  const auto similarity = softmax_cross_entropy(response, targets);
+  const auto continuity = continuity_loss(response);
+  Tensor grad(response.channels(), response.height(), response.width());
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    grad.data()[i] =
+        similarity.grad.data()[i] + continuity.grad.data()[i];
+  }
+  net.zero_grad();
+  net.backward(grad);
+
+  // The continuity term's L1 subgradient is only piecewise smooth, so
+  // tolerances are loose; the CE term dominates at init.
+  const double h = 1e-3;
+  const auto check_param = [&](std::span<float> params,
+                               std::span<float> grads, std::size_t index,
+                               const char* name) {
+    const float saved = params[index];
+    params[index] = saved + static_cast<float>(h);
+    const double plus = loss_of(net, input, targets);
+    params[index] = saved - static_cast<float>(h);
+    const double minus = loss_of(net, input, targets);
+    params[index] = saved;
+    const double numerical = (plus - minus) / (2.0 * h);
+    EXPECT_NEAR(grads[index], numerical, 2e-2) << name << "[" << index
+                                               << "]";
+  };
+
+  check_param(net.conv.weights(), net.conv.weight_grad(), 0, "conv.w");
+  check_param(net.conv.weights(), net.conv.weight_grad(), 17, "conv.w");
+  check_param(net.conv.bias(), net.conv.bias_grad(), 2, "conv.b");
+  check_param(net.norm.gamma(), net.norm.gamma_grad(), 1, "bn.gamma");
+  check_param(net.norm.beta(), net.norm.beta_grad(), 3, "bn.beta");
+  check_param(net.head.weights(), net.head.weight_grad(), 5, "head.w");
+  check_param(net.head_norm.gamma(), net.head_norm.gamma_grad(), 0,
+              "head_bn.gamma");
+  check_param(net.head_norm.beta(), net.head_norm.beta_grad(), 2,
+              "head_bn.beta");
+}
+
+TEST(KimGradients, GradientDescentOnFixedTargetsReducesLoss) {
+  // One more dynamical check: repeated steps against FIXED pseudo-labels
+  // must reduce the combined loss monotonically-ish.
+  Rng rng(13);
+  MiniNet net(rng);
+  Tensor input(1, 8, 8);
+  for (auto& v : input.values()) {
+    v = static_cast<float>(rng.next_double());
+  }
+  const auto targets = argmax_labels(net.forward(input));
+
+  double first_loss = 0.0;
+  double last_loss = 0.0;
+  const float lr = 0.05F;
+  for (int step = 0; step < 12; ++step) {
+    const Tensor response = net.forward(input);
+    const auto similarity = softmax_cross_entropy(response, targets);
+    const auto continuity = continuity_loss(response);
+    const double loss = similarity.loss + continuity.loss;
+    if (step == 0) {
+      first_loss = loss;
+    }
+    last_loss = loss;
+    Tensor grad(response.channels(), response.height(), response.width());
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+      grad.data()[i] =
+          similarity.grad.data()[i] + continuity.grad.data()[i];
+    }
+    net.zero_grad();
+    net.backward(grad);
+    // Plain SGD on every parameter group.
+    const auto apply = [lr](std::span<float> params,
+                            std::span<float> grads) {
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        params[i] -= lr * grads[i];
+      }
+    };
+    apply(net.conv.weights(), net.conv.weight_grad());
+    apply(net.conv.bias(), net.conv.bias_grad());
+    apply(net.norm.gamma(), net.norm.gamma_grad());
+    apply(net.norm.beta(), net.norm.beta_grad());
+    apply(net.head.weights(), net.head.weight_grad());
+    apply(net.head.bias(), net.head.bias_grad());
+    apply(net.head_norm.gamma(), net.head_norm.gamma_grad());
+    apply(net.head_norm.beta(), net.head_norm.beta_grad());
+  }
+  EXPECT_LT(last_loss, first_loss);
+}
+
+}  // namespace

@@ -1,0 +1,227 @@
+// Tests for the hypervector K-Means clusterer (paper Section III-④).
+#include <gtest/gtest.h>
+
+#include "src/core/kmeans.hpp"
+#include "src/hdc/hypervector.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace seghdc;
+using namespace seghdc::core;
+
+/// Two well-separated families of HVs: perturbations (few flips) of two
+/// random anchors.
+struct TwoClusterData {
+  std::vector<hdc::HyperVector> points;
+  std::vector<std::size_t> truth;  ///< 0 or 1 per point
+};
+
+TwoClusterData make_two_clusters(std::size_t per_cluster, std::size_t dim,
+                                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  TwoClusterData data;
+  const auto anchor_a = hdc::HyperVector::random(dim, rng);
+  const auto anchor_b = hdc::HyperVector::random(dim, rng);
+  for (std::size_t i = 0; i < per_cluster; ++i) {
+    auto a = anchor_a;
+    auto b = anchor_b;
+    // Perturb ~2% of the bits.
+    for (std::size_t f = 0; f < dim / 50; ++f) {
+      a.flip(rng.next_below(dim));
+      b.flip(rng.next_below(dim));
+    }
+    data.points.push_back(a);
+    data.truth.push_back(0);
+    data.points.push_back(b);
+    data.truth.push_back(1);
+  }
+  return data;
+}
+
+/// Fraction of points whose assignment agrees with the ground truth
+/// under the better of the two label polarities.
+double clustering_accuracy(const std::vector<std::uint32_t>& assignment,
+                           const std::vector<std::size_t>& truth) {
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    agree += assignment[i] == truth[i] ? 1 : 0;
+  }
+  const double direct =
+      static_cast<double>(agree) / static_cast<double>(truth.size());
+  return std::max(direct, 1.0 - direct);
+}
+
+TEST(HvKMeans, SeparatesTwoClusters) {
+  const auto data = make_two_clusters(40, 2048, 1);
+  const HvKMeans kmeans(HvKMeansConfig{.clusters = 2, .iterations = 10});
+  const std::vector<std::size_t> seeds{0, 1};  // one from each family
+  const auto result = kmeans.run(data.points, {}, seeds);
+  EXPECT_GE(clustering_accuracy(result.assignment, data.truth), 0.99);
+  EXPECT_EQ(result.iterations_run, 10u);
+}
+
+TEST(HvKMeans, HammingDistanceVariantAlsoSeparates) {
+  const auto data = make_two_clusters(40, 2048, 2);
+  const HvKMeans kmeans(HvKMeansConfig{
+      .clusters = 2, .iterations = 10,
+      .distance = ClusterDistance::kHamming});
+  const std::vector<std::size_t> seeds{0, 1};
+  const auto result = kmeans.run(data.points, {}, seeds);
+  EXPECT_GE(clustering_accuracy(result.assignment, data.truth), 0.99);
+}
+
+TEST(HvKMeans, WeightedDedupEquivalentToExpandedPoints) {
+  // The engineering claim behind the pipeline's dedup: clustering unique
+  // points with multiplicities == clustering the expanded multiset.
+  util::Rng rng(3);
+  std::vector<hdc::HyperVector> unique_points;
+  std::vector<std::uint32_t> weights{5, 3, 7, 2, 4, 6};
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    unique_points.push_back(hdc::HyperVector::random(512, rng));
+  }
+  std::vector<hdc::HyperVector> expanded;
+  std::vector<std::size_t> expanded_of_unique;
+  for (std::size_t u = 0; u < unique_points.size(); ++u) {
+    for (std::uint32_t w = 0; w < weights[u]; ++w) {
+      expanded.push_back(unique_points[u]);
+      expanded_of_unique.push_back(u);
+    }
+  }
+
+  const HvKMeans kmeans(HvKMeansConfig{.clusters = 2, .iterations = 6});
+  const std::vector<std::size_t> unique_seeds{0, 2};
+  // Seed the expanded run with copies of the same two uniques.
+  std::vector<std::size_t> expanded_seeds;
+  for (std::size_t i = 0; i < expanded.size(); ++i) {
+    if ((expanded_of_unique[i] == 0 || expanded_of_unique[i] == 2) &&
+        (expanded_seeds.empty() ||
+         expanded_of_unique[expanded_seeds.back()] !=
+             expanded_of_unique[i])) {
+      expanded_seeds.push_back(i);
+    }
+  }
+  ASSERT_EQ(expanded_seeds.size(), 2u);
+
+  const auto dedup_result = kmeans.run(unique_points, weights, unique_seeds);
+  const auto full_result = kmeans.run(expanded, {}, expanded_seeds);
+
+  for (std::size_t i = 0; i < expanded.size(); ++i) {
+    EXPECT_EQ(full_result.assignment[i],
+              dedup_result.assignment[expanded_of_unique[i]])
+        << "expanded point " << i;
+  }
+}
+
+TEST(HvKMeans, ClusterWeightsSumToTotal) {
+  const auto data = make_two_clusters(10, 256, 4);
+  std::vector<std::uint32_t> weights(data.points.size(), 3);
+  const HvKMeans kmeans(HvKMeansConfig{.clusters = 2, .iterations = 3});
+  const auto result = kmeans.run(data.points, weights,
+                                 std::vector<std::size_t>{0, 1});
+  EXPECT_EQ(result.cluster_weights[0] + result.cluster_weights[1],
+            3 * data.points.size());
+}
+
+TEST(HvKMeans, EmptyClusterGetsReseeded) {
+  // Three seeds but only two genuine families: one cluster will go
+  // empty and must be repaired rather than staying dead.
+  const auto data = make_two_clusters(20, 1024, 5);
+  const HvKMeans kmeans(HvKMeansConfig{.clusters = 3, .iterations = 8});
+  const auto result = kmeans.run(data.points, {},
+                                 std::vector<std::size_t>{0, 1, 2});
+  std::size_t nonempty = 0;
+  for (const auto w : result.cluster_weights) {
+    nonempty += w > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(nonempty, 3u);
+}
+
+TEST(HvKMeans, DeterministicAcrossRuns) {
+  const auto data = make_two_clusters(15, 512, 6);
+  const HvKMeans kmeans(HvKMeansConfig{.clusters = 2, .iterations = 5});
+  const auto a = kmeans.run(data.points, {}, std::vector<std::size_t>{0, 1});
+  const auto b = kmeans.run(data.points, {}, std::vector<std::size_t>{0, 1});
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(HvKMeans, OpsAccounting) {
+  const auto data = make_two_clusters(8, 256, 7);
+  const HvKMeans kmeans(HvKMeansConfig{.clusters = 2, .iterations = 4});
+  const auto result = kmeans.run(data.points, {},
+                                 std::vector<std::size_t>{0, 1});
+  const std::uint64_t n = data.points.size();
+  EXPECT_EQ(result.ops.dot_adds, n * 2 * 256 * 4);
+  EXPECT_EQ(result.ops.centroid_update_adds, n * 256 * 4);
+  EXPECT_EQ(result.ops.distance_evals, n * 2 * 4);
+}
+
+TEST(HvKMeans, ValidatesArguments) {
+  EXPECT_THROW(HvKMeans(HvKMeansConfig{.clusters = 1}),
+               std::invalid_argument);
+  EXPECT_THROW(HvKMeans(HvKMeansConfig{.clusters = 2, .iterations = 0}),
+               std::invalid_argument);
+
+  const HvKMeans kmeans(HvKMeansConfig{.clusters = 2, .iterations = 1});
+  util::Rng rng(8);
+  std::vector<hdc::HyperVector> one{hdc::HyperVector::random(64, rng)};
+  EXPECT_THROW(kmeans.run(one, {}, std::vector<std::size_t>{0, 0}),
+               std::invalid_argument);
+
+  std::vector<hdc::HyperVector> two{hdc::HyperVector::random(64, rng),
+                                    hdc::HyperVector::random(64, rng)};
+  EXPECT_THROW(kmeans.run(two, {}, std::vector<std::size_t>{0}),
+               std::invalid_argument);
+  EXPECT_THROW(kmeans.run(two, {}, std::vector<std::size_t>{0, 5}),
+               std::invalid_argument);
+  const std::vector<std::uint32_t> bad_weights{1};
+  EXPECT_THROW(kmeans.run(two, bad_weights, std::vector<std::size_t>{0, 1}),
+               std::invalid_argument);
+}
+
+TEST(LargestColorDifferenceSeeds, PicksMinAndMaxFirst) {
+  const std::vector<std::uint8_t> intensities{50, 10, 200, 120, 10, 200};
+  const auto seeds = largest_color_difference_seeds(intensities, 2);
+  ASSERT_EQ(seeds.size(), 2u);
+  EXPECT_EQ(intensities[seeds[0]], 200);  // max first
+  EXPECT_EQ(intensities[seeds[1]], 10);   // then min
+  EXPECT_EQ(seeds[0], 2u);  // first occurrence wins ties
+  EXPECT_EQ(seeds[1], 1u);
+}
+
+TEST(LargestColorDifferenceSeeds, ThirdSeedMaximizesMinGap) {
+  const std::vector<std::uint8_t> intensities{0, 255, 128, 100, 20};
+  const auto seeds = largest_color_difference_seeds(intensities, 3);
+  ASSERT_EQ(seeds.size(), 3u);
+  // 128 has min-gap 127 to {0, 255}; all others are closer to one end.
+  EXPECT_EQ(intensities[seeds[2]], 128);
+}
+
+TEST(LargestColorDifferenceSeeds, FlatImageFallsBackToDistinctIndices) {
+  const std::vector<std::uint8_t> intensities(10, 42);
+  const auto seeds = largest_color_difference_seeds(intensities, 3);
+  ASSERT_EQ(seeds.size(), 3u);
+  EXPECT_NE(seeds[0], seeds[1]);
+  EXPECT_NE(seeds[1], seeds[2]);
+  EXPECT_NE(seeds[0], seeds[2]);
+}
+
+TEST(LargestColorDifferenceSeeds, SeedsAreDistinct) {
+  const std::vector<std::uint8_t> intensities{5, 9, 9, 9, 250};
+  const auto seeds = largest_color_difference_seeds(intensities, 4);
+  for (std::size_t a = 0; a < seeds.size(); ++a) {
+    for (std::size_t b = a + 1; b < seeds.size(); ++b) {
+      EXPECT_NE(seeds[a], seeds[b]);
+    }
+  }
+}
+
+TEST(LargestColorDifferenceSeeds, ValidatesArguments) {
+  const std::vector<std::uint8_t> two{1, 2};
+  EXPECT_THROW(largest_color_difference_seeds(two, 1),
+               std::invalid_argument);
+  EXPECT_THROW(largest_color_difference_seeds(two, 3),
+               std::invalid_argument);
+}
+
+}  // namespace

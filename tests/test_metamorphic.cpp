@@ -1,0 +1,163 @@
+// Metamorphic tests: transformations of the input with predictable
+// effects on the output. These catch subtle encoding bugs that
+// fixed-example tests cannot.
+#include <gtest/gtest.h>
+
+#include "src/core/seghdc.hpp"
+#include "src/hdc/distances.hpp"
+#include "src/metrics/segmentation_metrics.hpp"
+
+namespace {
+
+using namespace seghdc;
+using namespace seghdc::core;
+
+/// Agreement between two binary partitions of the same pixels, under
+/// the better of the two label polarities.
+double partition_agreement(const img::LabelMap& a, const img::LabelMap& b) {
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.pixels().size(); ++i) {
+    same += a.pixels()[i] == b.pixels()[i] ? 1 : 0;
+  }
+  const double direct =
+      static_cast<double>(same) / static_cast<double>(a.pixels().size());
+  return std::max(direct, 1.0 - direct);
+}
+
+TEST(Metamorphic, ColorInversionPreservesClusters) {
+  // The level ladder realises hamming(v_a, v_b) ~ |a - b|, and
+  // |(255-a) - (255-b)| = |a - b|: inverting every pixel value must
+  // leave the PARTITION essentially unchanged (labels may swap).
+  img::ImageU8 image(48, 48, 1, 40);
+  for (std::size_t y = 10; y < 38; ++y) {
+    for (std::size_t x = 10; x < 38; ++x) {
+      image(x, y) = 190;
+    }
+  }
+  img::ImageU8 inverted(48, 48, 1);
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    inverted.pixels()[i] =
+        static_cast<std::uint8_t>(255 - image.pixels()[i]);
+  }
+  SegHdcConfig config;
+  config.dim = 2048;
+  config.beta = 6;
+  config.iterations = 6;
+  const auto original = SegHdc(config).segment(image);
+  const auto flipped = SegHdc(config).segment(inverted);
+  EXPECT_GT(partition_agreement(original.labels, flipped.labels), 0.98);
+}
+
+TEST(Metamorphic, UniformBrightnessShiftPreservesClusters) {
+  // Adding a constant to every pixel translates all color levels by the
+  // same amount; pairwise distances (hence the partition) survive.
+  img::ImageU8 image(48, 48, 1, 30);
+  for (std::size_t y = 12; y < 36; ++y) {
+    for (std::size_t x = 12; x < 36; ++x) {
+      image(x, y) = 170;
+    }
+  }
+  img::ImageU8 shifted(48, 48, 1);
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    shifted.pixels()[i] =
+        static_cast<std::uint8_t>(image.pixels()[i] + 60);
+  }
+  SegHdcConfig config;
+  config.dim = 2048;
+  config.beta = 6;
+  config.iterations = 6;
+  const auto original = SegHdc(config).segment(image);
+  const auto moved = SegHdc(config).segment(shifted);
+  EXPECT_GT(partition_agreement(original.labels, moved.labels), 0.98);
+}
+
+TEST(Metamorphic, HorizontalFlipMirrorsLabels) {
+  // Mirroring the image mirrors the label map when the column ladder is
+  // relabelled consistently — the partition must agree pixel-for-pixel
+  // after flipping back. Not exact (the column HV ladder is not
+  // palindromic) but position plays a minor role at alpha = 0.2, so
+  // agreement should be near-total on a color-separable image.
+  img::ImageU8 image(40, 40, 1, 20);
+  for (std::size_t y = 8; y < 32; ++y) {
+    for (std::size_t x = 4; x < 20; ++x) {  // off-center square
+      image(x, y) = 220;
+    }
+  }
+  img::ImageU8 mirrored(40, 40, 1);
+  for (std::size_t y = 0; y < 40; ++y) {
+    for (std::size_t x = 0; x < 40; ++x) {
+      mirrored(x, y) = image(39 - x, y);
+    }
+  }
+  SegHdcConfig config;
+  config.dim = 2048;
+  config.beta = 4;
+  config.iterations = 6;
+  const auto original = SegHdc(config).segment(image);
+  const auto flipped = SegHdc(config).segment(mirrored);
+  // Flip the mirrored labels back before comparing.
+  img::LabelMap unflipped(40, 40, 1, 0);
+  for (std::size_t y = 0; y < 40; ++y) {
+    for (std::size_t x = 0; x < 40; ++x) {
+      unflipped(x, y) = flipped.labels(39 - x, y);
+    }
+  }
+  EXPECT_GT(partition_agreement(original.labels, unflipped), 0.97);
+}
+
+TEST(Metamorphic, DuplicatingAnImageRegionKeepsItsLabels) {
+  // Pixels with identical (block, color) keys MUST get identical labels
+  // — the dedup invariant stated as a metamorphic property.
+  img::ImageU8 image(32, 32, 1, 50);
+  for (std::size_t y = 0; y < 8; ++y) {
+    for (std::size_t x = 0; x < 8; ++x) {
+      image(x, y) = 200;
+      image(x + 16, y + 16) = 200;  // same color, different block
+    }
+  }
+  SegHdcConfig config;
+  config.dim = 1024;
+  config.beta = 8;
+  config.iterations = 5;
+  const auto result = SegHdc(config).segment(image);
+  // Within each 8x8 block every same-color pixel shares a label.
+  for (std::size_t y = 0; y < 8; ++y) {
+    for (std::size_t x = 0; x < 8; ++x) {
+      EXPECT_EQ(result.labels(x, y), result.labels(0, 0));
+      EXPECT_EQ(result.labels(x + 16, y + 16), result.labels(16, 16));
+    }
+  }
+}
+
+TEST(Metamorphic, IncreasingNoiseNeverImprovesMuch) {
+  // Weak monotonicity: heavy salt noise must not *raise* IoU
+  // meaningfully over the clean image (sanity against metric bugs).
+  img::ImageU8 clean(48, 48, 1, 25);
+  img::ImageU8 truth(48, 48, 1, 0);
+  for (std::size_t y = 12; y < 36; ++y) {
+    for (std::size_t x = 12; x < 36; ++x) {
+      clean(x, y) = 210;
+      truth(x, y) = 255;
+    }
+  }
+  img::ImageU8 noisy = clean;
+  util::Rng rng(9);
+  for (std::size_t i = 0; i < noisy.size(); ++i) {
+    if (rng.next_double() < 0.15) {
+      noisy.pixels()[i] =
+          static_cast<std::uint8_t>(rng.next_below(256));
+    }
+  }
+  SegHdcConfig config;
+  config.dim = 1024;
+  config.beta = 4;
+  config.iterations = 6;
+  const auto clean_iou = metrics::best_foreground_iou(
+      SegHdc(config).segment(clean).labels, 2, truth).iou;
+  const auto noisy_iou = metrics::best_foreground_iou(
+      SegHdc(config).segment(noisy).labels, 2, truth).iou;
+  EXPECT_LE(noisy_iou, clean_iou + 0.02);
+  EXPECT_GT(noisy_iou, 0.5);  // but degradation is graceful
+}
+
+}  // namespace

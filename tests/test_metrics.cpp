@@ -1,0 +1,168 @@
+// Tests for the segmentation metrics, especially the optimal cluster ->
+// foreground matching that makes unsupervised outputs comparable.
+#include <gtest/gtest.h>
+
+#include "src/metrics/segmentation_metrics.hpp"
+
+namespace {
+
+using namespace seghdc;
+using namespace seghdc::metrics;
+
+img::ImageU8 mask_from(const std::vector<std::string>& rows) {
+  img::ImageU8 mask(rows[0].size(), rows.size(), 1, 0);
+  for (std::size_t y = 0; y < rows.size(); ++y) {
+    for (std::size_t x = 0; x < rows[y].size(); ++x) {
+      mask.at(x, y) = rows[y][x] == '#' ? 255 : 0;
+    }
+  }
+  return mask;
+}
+
+img::LabelMap labels_from(const std::vector<std::string>& rows) {
+  img::LabelMap labels(rows[0].size(), rows.size(), 1, 0);
+  for (std::size_t y = 0; y < rows.size(); ++y) {
+    for (std::size_t x = 0; x < rows[y].size(); ++x) {
+      labels.at(x, y) = static_cast<std::uint32_t>(rows[y][x] - '0');
+    }
+  }
+  return labels;
+}
+
+TEST(Confusion, CountsAllFourCells) {
+  const auto pred = mask_from({"##..", "##.."});
+  const auto truth = mask_from({"#.#.", "#.#."});
+  const auto counts = confusion(pred, truth);
+  EXPECT_EQ(counts.true_positive, 2u);
+  EXPECT_EQ(counts.false_positive, 2u);
+  EXPECT_EQ(counts.false_negative, 2u);
+  EXPECT_EQ(counts.true_negative, 2u);
+}
+
+TEST(Confusion, DerivedMetrics) {
+  ConfusionCounts counts;
+  counts.true_positive = 6;
+  counts.false_positive = 2;
+  counts.false_negative = 2;
+  counts.true_negative = 10;
+  EXPECT_NEAR(counts.iou(), 0.6, 1e-12);
+  EXPECT_NEAR(counts.dice(), 0.75, 1e-12);
+  EXPECT_NEAR(counts.pixel_accuracy(), 0.8, 1e-12);
+  EXPECT_NEAR(counts.precision(), 0.75, 1e-12);
+  EXPECT_NEAR(counts.recall(), 0.75, 1e-12);
+}
+
+TEST(Confusion, EmptyMasksScorePerfect) {
+  const auto empty = mask_from({"....", "...."});
+  EXPECT_DOUBLE_EQ(binary_iou(empty, empty), 1.0);
+  const auto counts = confusion(empty, empty);
+  EXPECT_DOUBLE_EQ(counts.dice(), 1.0);
+}
+
+TEST(Confusion, ShapeMismatchThrows) {
+  const img::ImageU8 a(3, 3, 1);
+  const img::ImageU8 b(4, 3, 1);
+  EXPECT_THROW(confusion(a, b), std::invalid_argument);
+}
+
+TEST(BinaryIou, PerfectAndDisjoint) {
+  const auto truth = mask_from({"##..", "##.."});
+  EXPECT_DOUBLE_EQ(binary_iou(truth, truth), 1.0);
+  const auto disjoint = mask_from({"..##", "..##"});
+  EXPECT_DOUBLE_EQ(binary_iou(disjoint, truth), 0.0);
+}
+
+TEST(BestForegroundIou, FindsCorrectPolarity) {
+  // Cluster 0 covers the ground-truth foreground: the matcher must pick
+  // cluster 0 as foreground even though 0 conventionally means bg.
+  const auto labels = labels_from({"0011", "0011"});
+  const auto truth = mask_from({"##..", "##.."});
+  const auto matched = best_foreground_iou(labels, 2, truth);
+  EXPECT_DOUBLE_EQ(matched.iou, 1.0);
+  EXPECT_EQ(matched.foreground_mask, 0b01u);
+  EXPECT_EQ(matched.mask, truth);
+}
+
+TEST(BestForegroundIou, InvariantToLabelPermutation) {
+  const auto truth = mask_from({"#..#", ".##."});
+  const auto labels_a = labels_from({"1001", "0110"});
+  const auto labels_b = labels_from({"0110", "1001"});
+  EXPECT_DOUBLE_EQ(best_foreground_iou(labels_a, 2, truth).iou,
+                   best_foreground_iou(labels_b, 2, truth).iou);
+}
+
+TEST(BestForegroundIou, ThreeClustersMergesTwoIntoForeground) {
+  // Foreground is split across clusters 1 and 2 (the MoNuSeg k=3 case);
+  // the matcher must take their union.
+  const auto labels = labels_from({"0012", "0012"});
+  const auto truth = mask_from({"..##", "..##"});
+  const auto matched = best_foreground_iou(labels, 3, truth);
+  EXPECT_DOUBLE_EQ(matched.iou, 1.0);
+  EXPECT_EQ(matched.foreground_mask, 0b110u);
+}
+
+TEST(BestForegroundIou, ImperfectClusterScoresPartially) {
+  const auto labels = labels_from({"1110", "0000"});
+  const auto truth = mask_from({"##..", "...."});
+  // Cluster 1 as fg: tp=2, fp=1, fn=0 -> IoU 2/3; complement is worse.
+  const auto matched = best_foreground_iou(labels, 2, truth);
+  EXPECT_NEAR(matched.iou, 2.0 / 3.0, 1e-12);
+}
+
+TEST(BestForegroundIou, AllBackgroundTruth) {
+  const auto labels = labels_from({"0101"});
+  const auto truth = mask_from({"...."});
+  // Empty foreground subset achieves IoU 1 by convention.
+  const auto matched = best_foreground_iou(labels, 2, truth);
+  EXPECT_DOUBLE_EQ(matched.iou, 1.0);
+}
+
+TEST(BestForegroundIou, ValidatesArguments) {
+  const auto labels = labels_from({"01"});
+  const auto truth = mask_from({".#"});
+  EXPECT_THROW(best_foreground_iou(labels, 1, truth),
+               std::invalid_argument);
+  EXPECT_THROW(best_foreground_iou(labels, 17, truth),
+               std::invalid_argument);
+  const auto big_truth = mask_from({".#.#"});
+  EXPECT_THROW(best_foreground_iou(labels, 2, big_truth),
+               std::invalid_argument);
+}
+
+TEST(BestForegroundIou, RejectsLabelsOutsideClusterCount) {
+  const auto labels = labels_from({"03"});
+  const auto truth = mask_from({".#"});
+  EXPECT_THROW(best_foreground_iou(labels, 2, truth),
+               std::invalid_argument);
+}
+
+TEST(BestForegroundIouAny, SmallLabelCountsMatchExact) {
+  const auto labels = labels_from({"0012", "0012"});
+  const auto truth = mask_from({"..##", "..##"});
+  EXPECT_DOUBLE_EQ(best_foreground_iou_any(labels, truth).iou,
+                   best_foreground_iou(labels, 3, truth).iou);
+}
+
+TEST(BestForegroundIouAny, HandlesManyLabels) {
+  // 20 labels: one per column pair, foreground = right half.
+  img::LabelMap labels(40, 4, 1, 0);
+  img::ImageU8 truth(40, 4, 1, 0);
+  for (std::size_t y = 0; y < 4; ++y) {
+    for (std::size_t x = 0; x < 40; ++x) {
+      labels.at(x, y) = static_cast<std::uint32_t>(x / 2);
+      truth.at(x, y) = x >= 20 ? 255 : 0;
+    }
+  }
+  const auto matched = best_foreground_iou_any(labels, truth);
+  // Labels partition cleanly into fg/bg halves: greedy achieves 1.0.
+  EXPECT_DOUBLE_EQ(matched.iou, 1.0);
+  EXPECT_EQ(matched.mask, truth);
+}
+
+TEST(Mean, BasicAndEmpty) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({0.5}), 0.5);
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+// Tests for binary morphology.
+#include <gtest/gtest.h>
+
+#include "src/imaging/morphology.hpp"
+
+namespace {
+
+using namespace seghdc::img;
+
+ImageU8 mask_from(const std::vector<std::string>& rows) {
+  ImageU8 mask(rows[0].size(), rows.size(), 1, 0);
+  for (std::size_t y = 0; y < rows.size(); ++y) {
+    for (std::size_t x = 0; x < rows[y].size(); ++x) {
+      mask.at(x, y) = rows[y][x] == '#' ? 255 : 0;
+    }
+  }
+  return mask;
+}
+
+std::size_t area(const ImageU8& mask) {
+  std::size_t count = 0;
+  for (const auto v : mask.pixels()) {
+    count += v != 0 ? 1 : 0;
+  }
+  return count;
+}
+
+TEST(Morphology, ErodeShrinksSquare) {
+  const auto mask = mask_from({
+      ".....",
+      ".###.",
+      ".###.",
+      ".###.",
+      ".....",
+  });
+  const auto eroded = erode3x3(mask);
+  EXPECT_EQ(area(eroded), 1u);
+  EXPECT_EQ(eroded.at(2, 2), 255);
+}
+
+TEST(Morphology, DilateGrowsPoint) {
+  const auto mask = mask_from({
+      ".....",
+      ".....",
+      "..#..",
+      ".....",
+      ".....",
+  });
+  const auto dilated = dilate3x3(mask);
+  EXPECT_EQ(area(dilated), 9u);
+  EXPECT_EQ(dilated.at(1, 1), 255);
+  EXPECT_EQ(dilated.at(3, 3), 255);
+  EXPECT_EQ(dilated.at(0, 0), 0);
+}
+
+TEST(Morphology, ErodeTreatsBorderAsBackground) {
+  const ImageU8 full(4, 4, 1, 255);
+  const auto eroded = erode3x3(full);
+  // Border pixels lose support from outside the image.
+  EXPECT_EQ(eroded.at(0, 0), 0);
+  EXPECT_EQ(eroded.at(1, 1), 255);
+}
+
+TEST(Morphology, OpenRemovesSpeckle) {
+  const auto mask = mask_from({
+      "#......",
+      ".......",
+      "..####.",
+      "..####.",
+      "..####.",
+      ".......",
+  });
+  const auto opened = open3x3(mask);
+  EXPECT_EQ(opened.at(0, 0), 0);       // speckle gone
+  EXPECT_EQ(opened.at(3, 3), 255);     // body interior survives
+}
+
+TEST(Morphology, CloseFillsPinhole) {
+  const auto mask = mask_from({
+      "#####",
+      "#####",
+      "##.##",
+      "#####",
+      "#####",
+  });
+  const auto closed = close3x3(mask);
+  EXPECT_EQ(closed.at(2, 2), 255);
+}
+
+TEST(Morphology, DilateThenErodeIdentityOnBigSquare) {
+  const auto mask = mask_from({
+      ".......",
+      ".#####.",
+      ".#####.",
+      ".#####.",
+      ".#####.",
+      ".#####.",
+      ".......",
+  });
+  EXPECT_EQ(close3x3(mask), mask);
+}
+
+TEST(Morphology, MultiChannelThrows) {
+  const ImageU8 rgb(3, 3, 3);
+  EXPECT_THROW(erode3x3(rgb), std::invalid_argument);
+  EXPECT_THROW(dilate3x3(rgb), std::invalid_argument);
+}
+
+}  // namespace

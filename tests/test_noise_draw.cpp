@@ -1,0 +1,206 @@
+// Tests for noise generation and blob rasterisation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/imaging/draw.hpp"
+#include "src/imaging/noise.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace seghdc::img;
+using seghdc::util::Rng;
+
+TEST(Noise, GaussianNoisePerturbsAroundMean) {
+  Rng rng(1);
+  ImageU8 image(64, 64, 1, 128);
+  add_gaussian_noise(image, 10.0, rng);
+  double sum = 0.0;
+  std::size_t changed = 0;
+  for (const auto v : image.pixels()) {
+    sum += v;
+    changed += v != 128 ? 1 : 0;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(image.size()), 128.0, 2.0);
+  EXPECT_GT(changed, image.size() / 2);
+}
+
+TEST(Noise, ZeroSigmaIsNoop) {
+  Rng rng(2);
+  ImageU8 image(8, 8, 1, 50);
+  add_gaussian_noise(image, 0.0, rng);
+  for (const auto v : image.pixels()) {
+    EXPECT_EQ(v, 50);
+  }
+}
+
+TEST(Noise, ShotNoiseScalesWithSignal) {
+  Rng rng(3);
+  ImageU8 dark(256, 16, 1, 10);
+  ImageU8 bright(256, 16, 1, 200);
+  add_shot_noise(dark, 1.0, rng);
+  add_shot_noise(bright, 1.0, rng);
+  auto variance = [](const ImageU8& image, double mean) {
+    double sum = 0.0;
+    for (const auto v : image.pixels()) {
+      sum += (v - mean) * (v - mean);
+    }
+    return sum / static_cast<double>(image.size());
+  };
+  EXPECT_LT(variance(dark, 10.0), variance(bright, 200.0));
+}
+
+TEST(Noise, ValueNoiseInUnitRange) {
+  Rng rng(4);
+  const auto noise = value_noise(64, 48, 16, 3, rng);
+  for (const auto v : noise.pixels()) {
+    EXPECT_GE(v, 0.0F);
+    EXPECT_LE(v, 1.0F);
+  }
+}
+
+TEST(Noise, ValueNoiseIsSmooth) {
+  Rng rng(5);
+  const auto noise = value_noise(64, 64, 32, 1, rng);
+  // Single-octave noise with period 32: neighbouring pixels differ by a
+  // small fraction of the range.
+  double max_step = 0.0;
+  for (std::size_t y = 0; y < 64; ++y) {
+    for (std::size_t x = 1; x < 64; ++x) {
+      max_step = std::max(
+          max_step, std::abs(static_cast<double>(noise(x, y)) -
+                             noise(x - 1, y)));
+    }
+  }
+  EXPECT_LT(max_step, 0.2);
+}
+
+TEST(Noise, ValueNoiseDeterministicPerSeed) {
+  Rng rng_a(6);
+  Rng rng_b(6);
+  EXPECT_EQ(value_noise(32, 32, 8, 2, rng_a),
+            value_noise(32, 32, 8, 2, rng_b));
+}
+
+TEST(Noise, ValueNoiseValidatesArguments) {
+  Rng rng(7);
+  EXPECT_THROW(value_noise(32, 32, 1, 2, rng), std::invalid_argument);
+  EXPECT_THROW(value_noise(32, 32, 8, 0, rng), std::invalid_argument);
+}
+
+TEST(BlobShape, CircleRadialFractionIsExact) {
+  BlobShape circle;
+  circle.center_x = 10.0;
+  circle.center_y = 10.0;
+  circle.radius_x = 5.0;
+  circle.radius_y = 5.0;
+  EXPECT_NEAR(circle.radial_fraction(10.0, 10.0), 0.0, 1e-12);
+  EXPECT_NEAR(circle.radial_fraction(15.0, 10.0), 1.0, 1e-12);
+  EXPECT_NEAR(circle.radial_fraction(10.0, 12.5), 0.5, 1e-12);
+  EXPECT_GT(circle.radial_fraction(20.0, 10.0), 1.0);
+}
+
+TEST(BlobShape, RotatedEllipseAxes) {
+  BlobShape ellipse;
+  ellipse.center_x = 0.0;
+  ellipse.center_y = 0.0;
+  ellipse.radius_x = 4.0;
+  ellipse.radius_y = 2.0;
+  ellipse.angle = 3.14159265358979323846 / 2.0;  // 90 degrees
+  // After rotation the long axis lies along y.
+  EXPECT_NEAR(ellipse.radial_fraction(0.0, 4.0), 1.0, 1e-9);
+  EXPECT_NEAR(ellipse.radial_fraction(2.0, 0.0), 1.0, 1e-9);
+}
+
+TEST(BlobShape, RandomRespectsParameters) {
+  Rng rng(8);
+  const auto shape = BlobShape::random(50, 60, 10.0, 0.3, 0.1, rng);
+  EXPECT_DOUBLE_EQ(shape.center_x, 50.0);
+  EXPECT_DOUBLE_EQ(shape.center_y, 60.0);
+  EXPECT_GE(shape.radius_x, 10.0 * 0.7);
+  EXPECT_LE(shape.radius_x, 10.0 * 1.3);
+  EXPECT_EQ(shape.harmonic_amplitudes.size(), 3u);
+}
+
+TEST(BlobShape, RandomValidatesArguments) {
+  Rng rng(9);
+  EXPECT_THROW(BlobShape::random(0, 0, -1.0, 0.2, 0.1, rng),
+               std::invalid_argument);
+  EXPECT_THROW(BlobShape::random(0, 0, 5.0, 1.0, 0.1, rng),
+               std::invalid_argument);
+}
+
+TEST(FillBlob, PaintsInteriorAndMask) {
+  ImageU8 image(30, 30, 1, 0);
+  ImageU8 mask(30, 30, 1, 0);
+  BlobShape circle;
+  circle.center_x = 15.0;
+  circle.center_y = 15.0;
+  circle.radius_x = 6.0;
+  circle.radius_y = 6.0;
+  fill_blob(image, &mask, circle, flat_shade(200, 0.0));
+
+  EXPECT_EQ(image.at(15, 15), 200);
+  EXPECT_EQ(mask.at(15, 15), 255);
+  EXPECT_EQ(image.at(0, 0), 0);
+  EXPECT_EQ(mask.at(0, 0), 0);
+
+  // Mask area ~ pi * r^2.
+  std::size_t area = 0;
+  for (const auto v : mask.pixels()) {
+    area += v != 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(area), 3.14159 * 36.0, 20.0);
+}
+
+TEST(FillBlob, ClipsAtImageBorder) {
+  ImageU8 image(20, 20, 1, 0);
+  BlobShape circle;
+  circle.center_x = 0.0;
+  circle.center_y = 0.0;
+  circle.radius_x = 8.0;
+  circle.radius_y = 8.0;
+  EXPECT_NO_THROW(fill_blob(image, nullptr, circle, flat_shade(99, 0.0)));
+  EXPECT_EQ(image.at(0, 0), 99);
+  EXPECT_EQ(image.at(19, 19), 0);
+}
+
+TEST(FillBlob, GradientShadeInterpolates) {
+  ImageU8 image(40, 40, 1, 0);
+  BlobShape circle;
+  circle.center_x = 20.0;
+  circle.center_y = 20.0;
+  circle.radius_x = 10.0;
+  circle.radius_y = 10.0;
+  fill_blob(image, nullptr, circle, gradient_shade(200, 100));
+  EXPECT_EQ(image.at(20, 20), 200);
+  const int rim_value = image.at(29, 20);  // fraction 0.9
+  EXPECT_NEAR(rim_value, 110, 6);
+}
+
+TEST(FillBlob, MaskShapeMismatchThrows) {
+  ImageU8 image(10, 10, 1, 0);
+  ImageU8 wrong(5, 5, 1, 0);
+  BlobShape circle;
+  circle.center_x = 5.0;
+  circle.center_y = 5.0;
+  circle.radius_x = 2.0;
+  circle.radius_y = 2.0;
+  EXPECT_THROW(fill_blob(image, &wrong, circle, flat_shade(1, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(OverlapsAny, DetectsProximity) {
+  Rng rng(10);
+  std::vector<BlobShape> existing;
+  existing.push_back(BlobShape::random(10, 10, 5.0, 0.0, 0.0, rng));
+  const auto near = BlobShape::random(18, 10, 5.0, 0.0, 0.0, rng);
+  const auto far = BlobShape::random(40, 40, 5.0, 0.0, 0.0, rng);
+  EXPECT_TRUE(overlaps_any(near, existing, 0.0));
+  EXPECT_FALSE(overlaps_any(far, existing, 0.0));
+  // A generous gap makes even the far one "overlap".
+  EXPECT_TRUE(overlaps_any(far, existing, 50.0));
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+// Tests for SGD with momentum (PyTorch convention, matching the
+// baseline's reference implementation).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/nn/optimizer.hpp"
+
+namespace {
+
+using seghdc::nn::SgdMomentum;
+
+TEST(SgdMomentum, PlainSgdStep) {
+  std::vector<float> params{1.0F, 2.0F};
+  std::vector<float> grads{0.5F, -1.0F};
+  SgdMomentum optimizer(0.1, 0.0);
+  optimizer.add_parameters(params, grads);
+  optimizer.step();
+  EXPECT_NEAR(params[0], 1.0F - 0.1F * 0.5F, 1e-6);
+  EXPECT_NEAR(params[1], 2.0F + 0.1F * 1.0F, 1e-6);
+}
+
+TEST(SgdMomentum, MomentumAccumulatesVelocity) {
+  std::vector<float> params{0.0F};
+  std::vector<float> grads{1.0F};
+  SgdMomentum optimizer(1.0, 0.5);
+  optimizer.add_parameters(params, grads);
+  // v1 = 1, p = -1; v2 = 0.5 + 1 = 1.5, p = -2.5; v3 = 2.25... wait:
+  // PyTorch: v <- mu*v + g; p <- p - lr*v.
+  optimizer.step();
+  EXPECT_NEAR(params[0], -1.0F, 1e-6);
+  optimizer.step();
+  EXPECT_NEAR(params[0], -2.5F, 1e-6);
+  optimizer.step();
+  EXPECT_NEAR(params[0], -4.25F, 1e-6);
+}
+
+TEST(SgdMomentum, MultipleParameterGroups) {
+  std::vector<float> a{1.0F};
+  std::vector<float> ga{1.0F};
+  std::vector<float> b{10.0F, 20.0F};
+  std::vector<float> gb{2.0F, -2.0F};
+  SgdMomentum optimizer(0.5, 0.0);
+  optimizer.add_parameters(a, ga);
+  optimizer.add_parameters(b, gb);
+  optimizer.step();
+  EXPECT_NEAR(a[0], 0.5F, 1e-6);
+  EXPECT_NEAR(b[0], 9.0F, 1e-6);
+  EXPECT_NEAR(b[1], 21.0F, 1e-6);
+}
+
+TEST(SgdMomentum, ZeroGradientLeavesParamsAfterVelocityDecays) {
+  std::vector<float> params{0.0F};
+  std::vector<float> grads{1.0F};
+  SgdMomentum optimizer(1.0, 0.5);
+  optimizer.add_parameters(params, grads);
+  optimizer.step();  // v = 1, p = -1
+  grads[0] = 0.0F;
+  optimizer.step();  // v = 0.5, p = -1.5
+  EXPECT_NEAR(params[0], -1.5F, 1e-6);
+  optimizer.step();  // v = 0.25, p = -1.75
+  EXPECT_NEAR(params[0], -1.75F, 1e-6);
+}
+
+TEST(SgdMomentum, ValidatesArguments) {
+  EXPECT_THROW(SgdMomentum(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(SgdMomentum(0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(SgdMomentum(0.1, -0.1), std::invalid_argument);
+
+  SgdMomentum optimizer(0.1, 0.9);
+  std::vector<float> params{1.0F, 2.0F};
+  std::vector<float> grads{1.0F};
+  EXPECT_THROW(optimizer.add_parameters(params, grads),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Tests for the thread pool: the K-Means assignment step and the conv
+// GEMM depend on parallel_for visiting every index exactly once.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "src/util/parallel.hpp"
+
+namespace {
+
+using namespace seghdc::util;
+
+TEST(Parallel, VisitsEveryIndexOnce) {
+  std::vector<std::atomic<int>> visits(1000);
+  parallel_for(0, visits.size(), [&](std::size_t i) {
+    visits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Parallel, NonZeroBegin) {
+  std::vector<std::atomic<int>> visits(100);
+  parallel_for(40, 100, [&](std::size_t i) {
+    visits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(visits[i].load(), 0);
+  }
+  for (std::size_t i = 40; i < 100; ++i) {
+    EXPECT_EQ(visits[i].load(), 1);
+  }
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+  int calls = 0;
+  parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  parallel_for(7, 3, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(Parallel, SingleElement) {
+  std::atomic<int> calls{0};
+  parallel_for(3, 4, [&](std::size_t i) {
+    EXPECT_EQ(i, 3u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(Parallel, SumMatchesSerial) {
+  const std::size_t n = 10000;
+  std::vector<long long> values(n);
+  std::iota(values.begin(), values.end(), 1);
+  std::atomic<long long> parallel_sum{0};
+  parallel_for(
+      0, n,
+      [&](std::size_t i) {
+        parallel_sum.fetch_add(values[i], std::memory_order_relaxed);
+      },
+      /*grain=*/16);
+  const long long serial_sum =
+      std::accumulate(values.begin(), values.end(), 0LL);
+  EXPECT_EQ(parallel_sum.load(), serial_sum);
+}
+
+TEST(Parallel, PropagatesBodyException) {
+  EXPECT_THROW(
+      parallel_for(0, 100,
+                   [&](std::size_t i) {
+                     if (i == 57) {
+                       throw std::runtime_error("body failure");
+                     }
+                   }),
+      std::runtime_error);
+}
+
+TEST(Parallel, LargeGrainStillCoversRange) {
+  std::vector<std::atomic<int>> visits(64);
+  parallel_for(
+      0, visits.size(),
+      [&](std::size_t i) { visits[i].fetch_add(1); },
+      /*grain=*/1000);
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ExplicitPoolSize) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 1000, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> visits(50, 0);
+  pool.parallel_for(0, visits.size(),
+                    [&](std::size_t i) { ++visits[i]; });
+  for (const int v : visits) {
+    EXPECT_EQ(v, 1);
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossLoops) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 256, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 256);
+  }
+}
+
+}  // namespace

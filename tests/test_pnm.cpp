@@ -1,0 +1,146 @@
+// Tests for PGM/PPM I/O: binary round-trips, ASCII parsing, and error
+// handling on malformed input.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "src/imaging/pnm.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace seghdc::img;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class PnmCleanup : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const auto& path : paths_) {
+      std::filesystem::remove(path);
+    }
+  }
+  std::string track(const std::string& path) {
+    paths_.push_back(path);
+    return path;
+  }
+  std::vector<std::string> paths_;
+};
+
+TEST_F(PnmCleanup, PgmRoundTrip) {
+  seghdc::util::Rng rng(1);
+  ImageU8 image(17, 9, 1);
+  for (auto& v : image.pixels()) {
+    v = static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  const auto path = track(temp_path("seghdc_test.pgm"));
+  write_pgm(image, path);
+  const auto loaded = read_pnm(path);
+  EXPECT_EQ(loaded, image);
+}
+
+TEST_F(PnmCleanup, PpmRoundTrip) {
+  seghdc::util::Rng rng(2);
+  ImageU8 image(5, 7, 3);
+  for (auto& v : image.pixels()) {
+    v = static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  const auto path = track(temp_path("seghdc_test.ppm"));
+  write_ppm(image, path);
+  const auto loaded = read_pnm(path);
+  EXPECT_EQ(loaded, image);
+}
+
+TEST_F(PnmCleanup, WritePnmDispatchesOnChannels) {
+  const ImageU8 gray(3, 3, 1, 128);
+  const ImageU8 rgb(3, 3, 3, 128);
+  const auto gray_path = track(temp_path("seghdc_auto.pgm"));
+  const auto rgb_path = track(temp_path("seghdc_auto.ppm"));
+  write_pnm(gray, gray_path);
+  write_pnm(rgb, rgb_path);
+  EXPECT_EQ(read_pnm(gray_path).channels(), 1u);
+  EXPECT_EQ(read_pnm(rgb_path).channels(), 3u);
+}
+
+TEST(Pnm, ChannelMismatchThrows) {
+  const ImageU8 rgb(2, 2, 3);
+  const ImageU8 gray(2, 2, 1);
+  EXPECT_THROW(write_pgm(rgb, temp_path("x.pgm")), std::invalid_argument);
+  EXPECT_THROW(write_ppm(gray, temp_path("x.ppm")), std::invalid_argument);
+}
+
+TEST_F(PnmCleanup, ReadsAsciiP2WithComments) {
+  const auto path = track(temp_path("seghdc_ascii.pgm"));
+  {
+    std::ofstream out(path);
+    out << "P2\n# a comment line\n3 2\n# another\n255\n"
+        << "0 128 255\n10 20 30\n";
+  }
+  const auto image = read_pnm(path);
+  EXPECT_EQ(image.width(), 3u);
+  EXPECT_EQ(image.height(), 2u);
+  EXPECT_EQ(image.channels(), 1u);
+  EXPECT_EQ(image.at(0, 0), 0);
+  EXPECT_EQ(image.at(1, 0), 128);
+  EXPECT_EQ(image.at(2, 0), 255);
+  EXPECT_EQ(image.at(2, 1), 30);
+}
+
+TEST_F(PnmCleanup, ReadsAsciiP3) {
+  const auto path = track(temp_path("seghdc_ascii.ppm"));
+  {
+    std::ofstream out(path);
+    out << "P3\n1 1\n255\n10 20 30\n";
+  }
+  const auto image = read_pnm(path);
+  EXPECT_EQ(image.channels(), 3u);
+  EXPECT_EQ(image.at(0, 0, 0), 10);
+  EXPECT_EQ(image.at(0, 0, 1), 20);
+  EXPECT_EQ(image.at(0, 0, 2), 30);
+}
+
+TEST_F(PnmCleanup, RejectsBadMagic) {
+  const auto path = track(temp_path("seghdc_bad_magic.pnm"));
+  {
+    std::ofstream out(path);
+    out << "P9\n2 2\n255\n";
+  }
+  EXPECT_THROW(read_pnm(path), std::runtime_error);
+}
+
+TEST_F(PnmCleanup, RejectsTruncatedBinary) {
+  const auto path = track(temp_path("seghdc_truncated.pgm"));
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "P5\n4 4\n255\n";
+    out << "ab";  // 2 of 16 bytes
+  }
+  EXPECT_THROW(read_pnm(path), std::runtime_error);
+}
+
+TEST_F(PnmCleanup, RejectsOversizedMaxval) {
+  const auto path = track(temp_path("seghdc_maxval.pgm"));
+  {
+    std::ofstream out(path);
+    out << "P2\n1 1\n65535\n1000\n";
+  }
+  EXPECT_THROW(read_pnm(path), std::runtime_error);
+}
+
+TEST_F(PnmCleanup, RejectsPixelValueAboveMaxval) {
+  const auto path = track(temp_path("seghdc_range.pgm"));
+  {
+    std::ofstream out(path);
+    out << "P2\n1 1\n100\n101\n";
+  }
+  EXPECT_THROW(read_pnm(path), std::runtime_error);
+}
+
+TEST(Pnm, MissingFileThrows) {
+  EXPECT_THROW(read_pnm("/definitely/not/here.pgm"), std::runtime_error);
+}
+
+}  // namespace

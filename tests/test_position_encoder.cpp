@@ -1,0 +1,248 @@
+// Property tests for the position encoder — the paper's central
+// construction. The key invariants:
+//   * Eq. 4: hamming(p(i,j), p(i+m0,j+n0)) == hamming(p(i,j),
+//     p(i+m1,j+n1)) whenever m0+n0 == m1+n1 (Manhattan equality),
+//   * the distance is exactly |m|*x_row + |n|*x_col,
+//   * Fig. 3(a): the uniform encoding VIOLATES this (diagonal collapse),
+//   * Eq. 6: the block variant satisfies the same law over blocks,
+//   * Lemma 1: row/column HVs are pseudo-orthogonal.
+#include <gtest/gtest.h>
+
+#include "src/core/position_encoder.hpp"
+#include "src/hdc/distances.hpp"
+
+namespace {
+
+using namespace seghdc;
+using namespace seghdc::core;
+
+PositionEncoder make(PositionEncoding encoding, std::size_t dim,
+                     std::size_t rows, std::size_t cols, double alpha = 1.0,
+                     std::size_t beta = 1,
+                     FlipUnitBasis basis = FlipUnitBasis::kRows,
+                     std::uint64_t seed = 11) {
+  util::Rng rng(seed);
+  return PositionEncoder(
+      PositionEncoderConfig{.dim = dim,
+                            .rows = rows,
+                            .cols = cols,
+                            .encoding = encoding,
+                            .alpha = alpha,
+                            .beta = beta,
+                            .flip_unit_basis = basis},
+      rng);
+}
+
+TEST(PositionEncoder, ManhattanDistanceIsExact) {
+  const auto encoder =
+      make(PositionEncoding::kManhattan, 4096, 8, 8);
+  const std::size_t xr = encoder.row_flip_unit();
+  const std::size_t xc = encoder.col_flip_unit();
+  ASSERT_GT(xr, 0u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      const auto d = hdc::hamming_distance(encoder.encode(0, 0),
+                                           encoder.encode(i, j));
+      EXPECT_EQ(d, i * xr + j * xc) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+// Paper Eq. 4 as a parameterized property: equal Manhattan offsets give
+// equal Hamming distances, from any anchor.
+struct Eq4Case {
+  std::size_t i, j;            // anchor
+  std::size_t m0, n0, m1, n1;  // two offsets with m0+n0 == m1+n1
+};
+
+class Eq4Test : public ::testing::TestWithParam<Eq4Case> {};
+
+TEST_P(Eq4Test, EqualManhattanOffsetsGiveEqualHamming) {
+  const auto param = GetParam();
+  ASSERT_EQ(param.m0 + param.n0, param.m1 + param.n1);
+  const auto encoder =
+      make(PositionEncoding::kDecayManhattan, 8192, 16, 16, 0.8);
+  const auto anchor = encoder.encode(param.i, param.j);
+  const auto d0 = hdc::hamming_distance(
+      anchor, encoder.encode(param.i + param.m0, param.j + param.n0));
+  const auto d1 = hdc::hamming_distance(
+      anchor, encoder.encode(param.i + param.m1, param.j + param.n1));
+  EXPECT_EQ(d0, d1);
+  EXPECT_GT(d0, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OffsetPairs, Eq4Test,
+    ::testing::Values(Eq4Case{0, 0, 1, 3, 2, 2},  //
+                      Eq4Case{0, 0, 0, 4, 4, 0},  //
+                      Eq4Case{2, 3, 1, 1, 2, 0},  //
+                      Eq4Case{5, 5, 3, 2, 1, 4},  //
+                      Eq4Case{1, 0, 5, 5, 10, 0},
+                      Eq4Case{7, 2, 2, 6, 8, 0}));
+
+TEST(PositionEncoder, UniformEncodingViolatesManhattan) {
+  // Fig. 3(a): rows and columns flip the same sites, so p(1,1) == p(0,0)
+  // -- the diagonal distance collapses to 0 when x_row == x_col.
+  const auto encoder = make(PositionEncoding::kUniform, 4096, 8, 8);
+  const auto diag = hdc::hamming_distance(encoder.encode(0, 0),
+                                          encoder.encode(1, 1));
+  EXPECT_EQ(diag, 0u);
+  // ...whereas the true Manhattan distance of (1,1) is 2 steps.
+  const auto off_axis = hdc::hamming_distance(encoder.encode(0, 0),
+                                              encoder.encode(0, 2));
+  EXPECT_GT(off_axis, 0u);
+}
+
+TEST(PositionEncoder, DecayShrinksFlipUnit) {
+  const auto full = make(PositionEncoding::kManhattan, 8192, 8, 8);
+  const auto half =
+      make(PositionEncoding::kDecayManhattan, 8192, 8, 8, 0.5);
+  EXPECT_LT(half.row_flip_unit(), full.row_flip_unit());
+  EXPECT_EQ(half.row_flip_unit(), full.row_flip_unit() / 2);
+}
+
+TEST(PositionEncoder, BlockVariantSharesHvsWithinBlock) {
+  const auto encoder = make(PositionEncoding::kBlockDecayManhattan, 4096,
+                            12, 12, 0.5, /*beta=*/3);
+  // All positions inside a 3x3 block encode identically (Fig. 3(d)).
+  const auto base = encoder.encode(0, 0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(hdc::hamming_distance(base, encoder.encode(i, j)), 0u);
+    }
+  }
+  // The next block is exactly one flip unit away per axis.
+  EXPECT_EQ(hdc::hamming_distance(base, encoder.encode(3, 0)),
+            encoder.row_flip_unit());
+  EXPECT_EQ(hdc::hamming_distance(base, encoder.encode(0, 3)),
+            encoder.col_flip_unit());
+  EXPECT_EQ(encoder.distinct_rows(), 4u);
+  EXPECT_EQ(encoder.distinct_cols(), 4u);
+}
+
+TEST(PositionEncoder, BlockManhattanEquality) {
+  // Paper Eq. 6: the Manhattan law holds over block indices.
+  const auto encoder = make(PositionEncoding::kBlockDecayManhattan, 8192,
+                            20, 20, 0.5, /*beta=*/2);
+  const auto anchor = encoder.encode(0, 0);
+  // Block offsets (2,1) and (1,2) blocks -> rows 4,2 / cols 2,4.
+  const auto d0 = hdc::hamming_distance(anchor, encoder.encode(4, 2));
+  const auto d1 = hdc::hamming_distance(anchor, encoder.encode(2, 4));
+  EXPECT_EQ(d0, d1);
+}
+
+TEST(PositionEncoder, RowAndColumnFlipsLandInDisjointHalves) {
+  // Rows flip only the first half, columns only the second (the fix of
+  // Fig. 3(b)); verify via XOR support.
+  const auto encoder = make(PositionEncoding::kManhattan, 1024, 8, 8);
+  const auto row_delta = encoder.row_hv(0) ^ encoder.row_hv(7);
+  const auto col_delta = encoder.col_hv(0) ^ encoder.col_hv(7);
+  for (std::size_t b = 512; b < 1024; ++b) {
+    EXPECT_FALSE(row_delta.get(b)) << "row flip leaked into second half";
+  }
+  for (std::size_t b = 0; b < 512; ++b) {
+    EXPECT_FALSE(col_delta.get(b)) << "col flip leaked into first half";
+  }
+}
+
+TEST(PositionEncoder, RandomEncodingIsPseudoOrthogonal) {
+  const auto encoder = make(PositionEncoding::kRandom, 8192, 6, 6);
+  // No distance structure: all distinct positions are ~d/2 apart.
+  const auto d01 = hdc::normalized_hamming(encoder.encode(0, 0),
+                                           encoder.encode(0, 1));
+  const auto d05 = hdc::normalized_hamming(encoder.encode(0, 0),
+                                           encoder.encode(5, 5));
+  EXPECT_NEAR(d01, 0.5, 0.05);
+  EXPECT_NEAR(d05, 0.5, 0.05);
+}
+
+TEST(PositionEncoder, Lemma1RowColumnPseudoOrthogonal) {
+  const auto encoder = make(PositionEncoding::kManhattan, 10000, 16, 16);
+  for (std::size_t i = 0; i < 16; i += 5) {
+    for (std::size_t j = 0; j < 16; j += 5) {
+      EXPECT_NEAR(
+          hdc::normalized_hamming(encoder.row_hv(i), encoder.col_hv(j)),
+          0.5, 0.05)
+          << "r" << i << " vs c" << j;
+    }
+  }
+}
+
+TEST(PositionEncoder, FlipUnitBasisChangesLadderSpan) {
+  const auto rows_basis =
+      make(PositionEncoding::kBlockDecayManhattan, 8192, 256, 256, 0.5,
+           /*beta=*/32, FlipUnitBasis::kRows);
+  const auto blocks_basis =
+      make(PositionEncoding::kBlockDecayManhattan, 8192, 256, 256, 0.5,
+           /*beta=*/32, FlipUnitBasis::kBlocks);
+  // 8 blocks: rows basis gives x = 8192*0.5/512 = 8; blocks basis
+  // x = 8192*0.5/16 = 256.
+  EXPECT_EQ(rows_basis.row_flip_unit(), 8u);
+  EXPECT_EQ(blocks_basis.row_flip_unit(), 256u);
+}
+
+TEST(PositionEncoder, FlipUnitClampedToOneBit) {
+  // Eq. 5 floors to 0 at small dims; the encoder must keep one bit per
+  // step instead of collapsing the ladder.
+  const auto encoder = make(PositionEncoding::kBlockDecayManhattan, 512,
+                            256, 256, 0.2, /*beta=*/26);
+  EXPECT_EQ(encoder.row_flip_unit(), 1u);
+  EXPECT_GT(hdc::hamming_distance(encoder.encode(0, 0),
+                                  encoder.encode(255, 255)),
+            0u);
+}
+
+TEST(PositionEncoder, NonSquareGeometry) {
+  const auto encoder = make(PositionEncoding::kManhattan, 4096, 4, 16);
+  EXPECT_EQ(encoder.distinct_rows(), 4u);
+  EXPECT_EQ(encoder.distinct_cols(), 16u);
+  EXPECT_GT(encoder.row_flip_unit(), encoder.col_flip_unit());
+}
+
+TEST(PositionEncoder, DeterministicGivenSeed) {
+  const auto a = make(PositionEncoding::kManhattan, 512, 4, 4, 1.0, 1,
+                      FlipUnitBasis::kRows, 99);
+  const auto b = make(PositionEncoding::kManhattan, 512, 4, 4, 1.0, 1,
+                      FlipUnitBasis::kRows, 99);
+  EXPECT_EQ(a.encode(2, 3), b.encode(2, 3));
+}
+
+TEST(PositionEncoder, ValidatesConfig) {
+  util::Rng rng(1);
+  EXPECT_THROW(PositionEncoder(PositionEncoderConfig{.dim = 1, .rows = 4,
+                                                     .cols = 4},
+                               rng),
+               std::invalid_argument);
+  EXPECT_THROW(PositionEncoder(PositionEncoderConfig{.dim = 64, .rows = 0,
+                                                     .cols = 4},
+                               rng),
+               std::invalid_argument);
+  EXPECT_THROW(
+      PositionEncoder(
+          PositionEncoderConfig{.dim = 64, .rows = 4, .cols = 4,
+                                .alpha = 1.5},
+          rng),
+      std::invalid_argument);
+  EXPECT_THROW(
+      PositionEncoder(
+          PositionEncoderConfig{.dim = 64, .rows = 4, .cols = 4,
+                                .beta = 0},
+          rng),
+      std::invalid_argument);
+  // More blocks than fit the half-region even at one bit per step.
+  EXPECT_THROW(
+      PositionEncoder(
+          PositionEncoderConfig{
+              .dim = 64, .rows = 200, .cols = 4,
+              .encoding = PositionEncoding::kManhattan},
+          rng),
+      std::invalid_argument);
+}
+
+TEST(PositionEncoder, AccessorsBoundsChecked) {
+  const auto encoder = make(PositionEncoding::kManhattan, 512, 4, 6);
+  EXPECT_THROW(encoder.row_hv(4), std::invalid_argument);
+  EXPECT_THROW(encoder.col_hv(6), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+// Tests for mask post-processing.
+#include <gtest/gtest.h>
+
+#include "src/imaging/postprocess.hpp"
+
+namespace {
+
+using namespace seghdc::img;
+
+ImageU8 mask_from(const std::vector<std::string>& rows) {
+  ImageU8 mask(rows[0].size(), rows.size(), 1, 0);
+  for (std::size_t y = 0; y < rows.size(); ++y) {
+    for (std::size_t x = 0; x < rows[y].size(); ++x) {
+      mask.at(x, y) = rows[y][x] == '#' ? 255 : 0;
+    }
+  }
+  return mask;
+}
+
+std::size_t area(const ImageU8& mask) {
+  std::size_t count = 0;
+  for (const auto v : mask.pixels()) {
+    count += v != 0 ? 1 : 0;
+  }
+  return count;
+}
+
+TEST(RemoveSmallComponents, DropsBelowThresholdOnly) {
+  const auto mask = mask_from({
+      "#....###",
+      ".....###",
+      "##...###",
+      "##......",
+  });
+  const auto cleaned = remove_small_components(mask, 4);
+  EXPECT_EQ(cleaned.at(0, 0), 0);   // area 1 removed
+  EXPECT_EQ(cleaned.at(0, 2), 255); // area 4 kept
+  EXPECT_EQ(cleaned.at(5, 0), 255); // area 9 kept
+  EXPECT_EQ(area(cleaned), 13u);
+}
+
+TEST(RemoveSmallComponents, ThresholdZeroKeepsEverything) {
+  const auto mask = mask_from({"#.#", "..."});
+  EXPECT_EQ(remove_small_components(mask, 0), mask);
+}
+
+TEST(FillHoles, FillsEnclosedBackground) {
+  const auto mask = mask_from({
+      "#####",
+      "#...#",
+      "#.#.#",
+      "#...#",
+      "#####",
+  });
+  const auto filled = fill_holes(mask);
+  EXPECT_EQ(area(filled), 25u);  // completely solid
+}
+
+TEST(FillHoles, LeavesBorderConnectedBackground) {
+  const auto mask = mask_from({
+      "###..",
+      "#.#..",
+      "###..",
+  });
+  const auto filled = fill_holes(mask);
+  EXPECT_EQ(filled.at(1, 1), 255);  // enclosed hole filled
+  EXPECT_EQ(filled.at(4, 1), 0);    // open background untouched
+}
+
+TEST(FillHoles, NoHolesIsIdentity) {
+  const auto mask = mask_from({
+      ".....",
+      ".###.",
+      ".###.",
+      ".....",
+  });
+  EXPECT_EQ(fill_holes(mask), mask);
+}
+
+TEST(LargestComponent, KeepsOnlyTheBiggest) {
+  const auto mask = mask_from({
+      "##..#",
+      "##..#",
+      ".....",
+      "#....",
+  });
+  const auto kept = largest_component(mask);
+  EXPECT_EQ(area(kept), 4u);
+  EXPECT_EQ(kept.at(0, 0), 255);
+  EXPECT_EQ(kept.at(4, 0), 0);
+  EXPECT_EQ(kept.at(0, 3), 0);
+}
+
+TEST(LargestComponent, EmptyMaskStaysEmpty) {
+  const ImageU8 empty(4, 4, 1, 0);
+  EXPECT_EQ(area(largest_component(empty)), 0u);
+}
+
+TEST(CleanMask, RemovesSpeckleFillsHolesKeepsBody) {
+  const auto mask = mask_from({
+      "#..........",
+      "...#####...",
+      "...#####...",
+      "...##.##...",
+      "...#####...",
+      "...#####...",
+      "..........#",
+  });
+  const auto cleaned = clean_mask(mask, 6);
+  EXPECT_EQ(cleaned.at(0, 0), 0);    // speckle
+  EXPECT_EQ(cleaned.at(10, 6), 0);   // speckle
+  EXPECT_EQ(cleaned.at(5, 3), 255);  // hole filled
+  EXPECT_GE(area(cleaned), 9u);      // body survives (eroded by opening)
+}
+
+TEST(Postprocess, MultiChannelThrows) {
+  const ImageU8 rgb(4, 4, 3);
+  EXPECT_THROW(remove_small_components(rgb, 1), std::invalid_argument);
+  EXPECT_THROW(fill_holes(rgb), std::invalid_argument);
+  EXPECT_THROW(largest_component(rgb), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,73 @@
+// Tests for the CHW tensor underlying the NN runtime.
+#include <gtest/gtest.h>
+
+#include "src/nn/tensor.hpp"
+
+namespace {
+
+using seghdc::nn::Tensor;
+
+TEST(Tensor, ShapeAndFill) {
+  Tensor t(2, 3, 4, 1.5F);
+  EXPECT_EQ(t.channels(), 2u);
+  EXPECT_EQ(t.height(), 3u);
+  EXPECT_EQ(t.width(), 4u);
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(t.plane(), 12u);
+  for (const auto v : t.values()) {
+    EXPECT_EQ(v, 1.5F);
+  }
+}
+
+TEST(Tensor, DefaultIsEmpty) {
+  const Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Tensor, ZeroDimensionThrows) {
+  EXPECT_THROW(Tensor(0, 2, 2), std::invalid_argument);
+  EXPECT_THROW(Tensor(2, 0, 2), std::invalid_argument);
+  EXPECT_THROW(Tensor(2, 2, 0), std::invalid_argument);
+}
+
+TEST(Tensor, ChwLayout) {
+  Tensor t(2, 3, 4);
+  t(1, 2, 3) = 7.0F;
+  // index = (c*H + y)*W + x = (1*3 + 2)*4 + 3 = 23.
+  EXPECT_EQ(t.values()[23], 7.0F);
+  t(0, 0, 1) = 3.0F;
+  EXPECT_EQ(t.values()[1], 3.0F);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t(1, 2, 2);
+  EXPECT_THROW(t.at(1, 0, 0), std::invalid_argument);
+  EXPECT_THROW(t.at(0, 2, 0), std::invalid_argument);
+  EXPECT_THROW(t.at(0, 0, 2), std::invalid_argument);
+  EXPECT_NO_THROW(t.at(0, 1, 1));
+}
+
+TEST(Tensor, ZeroResetsValues) {
+  Tensor t(1, 2, 2, 9.0F);
+  t.zero();
+  for (const auto v : t.values()) {
+    EXPECT_EQ(v, 0.0F);
+  }
+}
+
+TEST(Tensor, SameShape) {
+  const Tensor a(2, 3, 4);
+  const Tensor b(2, 3, 4, 1.0F);
+  const Tensor c(2, 4, 3);
+  EXPECT_TRUE(a.same_shape(b));
+  EXPECT_FALSE(a.same_shape(c));
+}
+
+TEST(Tensor, DataPointerIsContiguous) {
+  Tensor t(1, 1, 4);
+  t.data()[2] = 5.0F;
+  EXPECT_EQ(t(0, 0, 2), 5.0F);
+}
+
+}  // namespace
