@@ -2,12 +2,16 @@
 // pipeline stages — the op-level costs underlying the Table II model.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <vector>
+
 #include "src/core/color_encoder.hpp"
 #include "src/core/position_encoder.hpp"
 #include "src/core/seghdc.hpp"
 #include "src/datasets/dsb2018.hpp"
 #include "src/hdc/accumulator.hpp"
 #include "src/hdc/hypervector.hpp"
+#include "src/hdc/kernels.hpp"
 #include "src/util/rng.hpp"
 
 namespace {
@@ -39,6 +43,100 @@ void BM_HvHamming(benchmark::State& state) {
                           static_cast<std::int64_t>(dim));
 }
 BENCHMARK(BM_HvHamming)->Arg(800)->Arg(2000)->Arg(10000);
+
+// Definitional per-bit baseline: one bit extraction and compare per
+// dimension. The production path was already word-parallel
+// (HyperVector::hamming); this loop exists to quantify what
+// word-parallelism is worth, not as the previous implementation.
+void BM_HammingPerBitReference(benchmark::State& state) {
+  util::Rng rng(2);
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto a = hdc::HyperVector::random(dim, rng);
+  const auto b = hdc::HyperVector::random(dim, rng);
+  const auto aw = a.words();
+  const auto bw = b.words();
+  for (auto _ : state) {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      count += ((aw[i / 64] ^ bw[i / 64]) >> (i % 64)) & 1;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_HammingPerBitReference)->Arg(800)->Arg(2000)->Arg(10000);
+
+// Fused XOR+popcount over contiguous HvBlock rows — the production
+// clustering path. Same inputs and item accounting as the reference
+// above, so the items/s ratio is the kernel speedup.
+void BM_HammingFusedKernel(benchmark::State& state) {
+  util::Rng rng(2);
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  std::vector<hdc::HyperVector> hvs{hdc::HyperVector::random(dim, rng),
+                                    hdc::HyperVector::random(dim, rng)};
+  const auto block = hdc::HvBlock::from_hvs(hvs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hdc::kernels::hamming_words(block.row(0), block.row(1)));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_HammingFusedKernel)->Arg(800)->Arg(2000)->Arg(10000);
+
+// Cosine distance against an integer centroid, per-bit reference: test
+// every bit, sum the count under it when set. Reads the counts span
+// directly (like the fused kernel does) so the ratio isolates the
+// bit-at-a-time iteration, not call overhead.
+void BM_CosinePerBitReference(benchmark::State& state) {
+  util::Rng rng(3);
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  hdc::Accumulator acc(dim);
+  for (int i = 0; i < 32; ++i) {
+    acc.add(hdc::HyperVector::random(dim, rng));
+  }
+  const auto probe = hdc::HyperVector::random(dim, rng);
+  const auto counts = acc.counts();
+  const auto words = probe.words();
+  const double point_norm =
+      std::sqrt(static_cast<double>(probe.popcount()));
+  const double centroid_norm = acc.norm();
+  for (auto _ : state) {
+    std::int64_t dot = 0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      if ((words[i / 64] >> (i % 64)) & 1) {
+        dot += counts[i];
+      }
+    }
+    benchmark::DoNotOptimize(
+        1.0 - static_cast<double>(dot) / (point_norm * centroid_norm));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_CosinePerBitReference)->Arg(800)->Arg(2000)->Arg(10000);
+
+// Fused word-span cosine kernel — the assignment-step inner loop.
+void BM_CosineFusedKernel(benchmark::State& state) {
+  util::Rng rng(3);
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  hdc::Accumulator acc(dim);
+  for (int i = 0; i < 32; ++i) {
+    acc.add(hdc::HyperVector::random(dim, rng));
+  }
+  const auto probe = hdc::HyperVector::random(dim, rng);
+  const double point_norm =
+      std::sqrt(static_cast<double>(probe.popcount()));
+  const double centroid_norm = acc.norm();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdc::kernels::cosine_distance_words(
+        acc.counts(), centroid_norm, probe.words(), point_norm));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_CosineFusedKernel)->Arg(800)->Arg(2000)->Arg(10000);
 
 void BM_AccumulatorDot(benchmark::State& state) {
   util::Rng rng(3);

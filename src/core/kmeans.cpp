@@ -20,23 +20,37 @@ HvKMeans::HvKMeans(const HvKMeansConfig& config) : config_(config) {
 HvKMeansResult HvKMeans::run(std::span<const hdc::HyperVector> points,
                              std::span<const std::uint32_t> weights,
                              std::span<const std::size_t> seed_points) const {
+  // from_hvs validates uniform dimensions; the block overload validates
+  // the rest (an empty span packs to an empty block, which it rejects).
+  return run(hdc::HvBlock::from_hvs(points), weights, seed_points);
+}
+
+HvKMeansResult HvKMeans::run(const hdc::HvBlock& points,
+                             std::span<const std::uint32_t> weights,
+                             std::span<const std::size_t> seed_points) const {
   util::expects(!points.empty(), "HvKMeans::run needs at least one point");
-  util::expects(points.size() >= config_.clusters,
+  util::expects(points.count() >= config_.clusters,
                 "HvKMeans::run needs at least as many points as clusters");
-  util::expects(weights.empty() || weights.size() == points.size(),
+  util::expects(weights.empty() || weights.size() == points.count(),
                 "HvKMeans::run weights must be empty or match points");
   util::expects(seed_points.size() == config_.clusters,
                 "HvKMeans::run needs exactly `clusters` seed points");
-  const std::size_t dim = points[0].dim();
-  for (const auto& p : points) {
-    util::expects(p.dim() == dim, "HvKMeans::run points must share one dim");
+  // The distance kernels index centroid counts by set-bit position, so a
+  // stray bit above dim would read out of bounds; enforce the padding
+  // invariant once up front (one word test per row).
+  if (points.dim() % 64 != 0) {
+    for (std::size_t i = 0; i < points.count(); ++i) {
+      util::expects(hdc::kernels::padding_is_zero(points.row(i), points.dim()),
+                    "HvKMeans::run block rows must have zero padding bits");
+    }
   }
 
   const auto weight_of = [&](std::size_t i) -> std::uint32_t {
     return weights.empty() ? 1u : weights[i];
   };
 
-  const std::size_t n = points.size();
+  const std::size_t n = points.count();
+  const std::size_t dim = points.dim();
   const std::size_t k = config_.clusters;
 
   HvKMeansResult result;
@@ -48,52 +62,64 @@ HvKMeansResult HvKMeans::run(std::span<const hdc::HyperVector> points,
   // defines a direction, not a mass).
   for (std::size_t c = 0; c < k; ++c) {
     util::expects(seed_points[c] < n, "HvKMeans seed index in range");
-    result.centroids[c].add(points[seed_points[c]], 1);
+    result.centroids[c].add(points.row(seed_points[c]), 1);
   }
 
   // Cached per-point norms (sqrt popcount) for the cosine distance.
   std::vector<double> point_norm(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    point_norm[i] =
-        std::sqrt(static_cast<double>(points[i].popcount()));
-  }
+  util::parallel_for(
+      0, n,
+      [&](std::size_t i) {
+        point_norm[i] = std::sqrt(static_cast<double>(points.popcount(i)));
+      },
+      /*grain=*/256);
   result.ops.popcount_bits += static_cast<std::uint64_t>(n) * dim;
 
   std::vector<double> distance_to_own(n, 0.0);
-  // Majority-binarized centroids for the Hamming variant (rebuilt per
-  // iteration).
-  std::vector<hdc::HyperVector> binary_centroids;
+  // Majority-binarized centroids for the Hamming variant; every row is
+  // fully overwritten at the top of each iteration.
+  hdc::HvBlock binary_centroids;
+  if (config_.distance == ClusterDistance::kHamming) {
+    binary_centroids = hdc::HvBlock(dim, k);
+  }
+  // Per-iteration snapshots of the centroid state, so the parallel
+  // assignment reads plain arrays instead of calling into Accumulator
+  // or re-resolving block rows per (point, centroid) pair.
+  std::vector<std::span<const std::int64_t>> centroid_counts(k);
+  std::vector<double> centroid_norm(k);
+  std::vector<std::span<const std::uint64_t>> binary_centroid_rows(k);
 
   for (std::size_t iter = 0; iter < config_.iterations; ++iter) {
     if (config_.distance == ClusterDistance::kHamming) {
-      binary_centroids.clear();
-      binary_centroids.reserve(k);
-      for (const auto& centroid : result.centroids) {
-        binary_centroids.push_back(centroid.to_majority());
+      for (std::size_t c = 0; c < k; ++c) {
+        const auto majority = result.centroids[c].to_majority();
+        const auto src = majority.words();
+        const auto dst = binary_centroids.row(c);
+        std::copy(src.begin(), src.end(), dst.begin());
+        binary_centroid_rows[c] = dst;
       }
     }
-    // --- Assignment step (data parallel). ---
+    for (std::size_t c = 0; c < k; ++c) {
+      centroid_counts[c] = result.centroids[c].counts();
+      centroid_norm[c] = result.centroids[c].norm();
+    }
+    // --- Assignment step (data parallel over block rows; fused
+    // word-span kernels, no per-point HyperVector temporaries). ---
     std::atomic<std::uint64_t> changed{0};
     util::parallel_for(
         0, n,
         [&](std::size_t i) {
+          const auto point = points.row(i);
           double best = std::numeric_limits<double>::infinity();
           std::uint32_t best_cluster = 0;
           for (std::size_t c = 0; c < k; ++c) {
-            double dist = 0.0;
-            if (config_.distance == ClusterDistance::kCosine) {
-              const double norm_z = result.centroids[c].norm();
-              if (norm_z == 0.0 || point_norm[i] == 0.0) {
-                dist = 1.0;
-              } else {
-                dist = 1.0 - static_cast<double>(
-                                 result.centroids[c].dot(points[i])) /
-                                 (point_norm[i] * norm_z);
-              }
-            } else {
-              dist = static_cast<double>(hdc::HyperVector::hamming(
-                  binary_centroids[c], points[i]));
-            }
+            const double dist =
+                config_.distance == ClusterDistance::kCosine
+                    ? hdc::kernels::cosine_distance_words(
+                          centroid_counts[c], centroid_norm[c], point,
+                          point_norm[i])
+                    : static_cast<double>(hdc::kernels::hamming_words(
+                          binary_centroid_rows[c], point));
             if (dist < best) {
               best = dist;
               best_cluster = static_cast<std::uint32_t>(c);
@@ -117,7 +143,7 @@ HvKMeansResult HvKMeans::run(std::span<const hdc::HyperVector> points,
               std::uint64_t{0});
     for (std::size_t i = 0; i < n; ++i) {
       const std::uint32_t c = result.assignment[i];
-      result.centroids[c].add(points[i], weight_of(i));
+      result.centroids[c].add(points.row(i), weight_of(i));
       result.cluster_weights[c] += weight_of(i);
     }
     result.ops.centroid_update_adds += static_cast<std::uint64_t>(n) * dim;
@@ -144,7 +170,7 @@ HvKMeansResult HvKMeans::run(std::span<const hdc::HyperVector> points,
       // centroid exactly would need a subtract; reseeding is rare and
       // the next iteration rebuilds all centroids anyway, so only the
       // destination is patched here.
-      result.centroids[c].add(points[farthest], weight_of(farthest));
+      result.centroids[c].add(points.row(farthest), weight_of(farthest));
       result.cluster_weights[c] += weight_of(farthest);
       result.cluster_weights[old_cluster] -= weight_of(farthest);
       ++result.reseeds;

@@ -22,6 +22,7 @@
 #include "src/core/op_counts.hpp"
 #include "src/hdc/accumulator.hpp"
 #include "src/hdc/hypervector.hpp"
+#include "src/hdc/kernels.hpp"
 
 namespace seghdc::core {
 
@@ -61,7 +62,15 @@ class HvKMeans {
   /// to initialise the centroids and must contain exactly `clusters`
   /// distinct indices — the caller implements the paper's
   /// "largest color difference" selection (see SegHdc::segment).
+  /// Convenience overload: packs into an HvBlock and delegates.
   HvKMeansResult run(std::span<const hdc::HyperVector> points,
+                     std::span<const std::uint32_t> weights,
+                     std::span<const std::size_t> seed_points) const;
+
+  /// The primary entry point: clusters the rows of a packed `HvBlock`.
+  /// The assignment step streams the fused word-span kernels over block
+  /// rows in parallel — no per-point HyperVector is ever materialised.
+  HvKMeansResult run(const hdc::HvBlock& points,
                      std::span<const std::uint32_t> weights,
                      std::span<const std::size_t> seed_points) const;
 

@@ -15,7 +15,10 @@
 
 namespace seghdc::core {
 
-/// Stateless binder with op accounting.
+/// Stateless binder with op accounting. This is the REFERENCE binder
+/// (one HyperVector per call) used by tests and ablations; the pipeline
+/// itself binds straight into HvBlock rows via kernels::xor_words (see
+/// SegHdc::encode) and accounts the same bind_xor_bits there.
 class PixelProducer {
  public:
   /// pixel = position XOR color. Dimensions must match.

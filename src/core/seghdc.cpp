@@ -2,14 +2,15 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <limits>
 #include <unordered_map>
+#include <vector>
 
 #include "src/util/parallel.hpp"
 
 #include "src/core/color_encoder.hpp"
 #include "src/core/kmeans.hpp"
-#include "src/core/pixel_producer.hpp"
 #include "src/core/position_encoder.hpp"
 #include "src/hdc/fault.hpp"
 #include "src/imaging/color.hpp"
@@ -93,7 +94,6 @@ EncodedImage SegHdc::encode(const img::ImageU8& image) const {
       .gamma = config_.gamma,
   };
   const ColorEncoder color_encoder(color_config, rng);
-  const PixelProducer producer;
 
   EncodedImage encoded;
   encoded.width = image.width();
@@ -152,15 +152,18 @@ EncodedImage SegHdc::encode(const img::ImageU8& image) const {
     }
   }
 
-  // --- Pass 2: encode each unique point and tally weights. Position
-  // HVs repeat across every color in a block and color HVs repeat
-  // across blocks, so both are memoised; the per-point work is then one
-  // word-parallel XOR. ---
-  encoded.unique_hvs.reserve(refs.size());
+  // --- Pass 2a: memoise the position and color HVs. Position HVs
+  // repeat across every color in a block and color HVs repeat across
+  // blocks, so each distinct HV is built exactly once; the per-point
+  // work left over is one word-parallel XOR. ---
   encoded.weights.assign(refs.size(), 0);
   encoded.intensities.resize(refs.size());
   std::unordered_map<std::uint64_t, hdc::HyperVector> position_cache;
   std::unordered_map<std::uint32_t, hdc::HyperVector> color_cache;
+  // Per-unique-point views into the caches (node-based maps: value
+  // addresses are stable across rehashing).
+  std::vector<const hdc::HyperVector*> position_of(refs.size());
+  std::vector<const hdc::HyperVector*> color_of(refs.size());
   for (std::size_t u = 0; u < refs.size(); ++u) {
     const auto& ref = refs[u];
     const std::uint64_t position_key =
@@ -174,6 +177,7 @@ EncodedImage SegHdc::encode(const img::ImageU8& image) const {
                             position_encoder.encode(ref.y, ref.x))
                    .first;
     }
+    position_of[u] = &pos_it->second;
     const std::uint32_t color_key =
         (static_cast<std::uint32_t>(ref.color[0]) << 16) |
         (static_cast<std::uint32_t>(ref.color[1]) << 8) | ref.color[2];
@@ -186,8 +190,7 @@ EncodedImage SegHdc::encode(const img::ImageU8& image) const {
                            ref.color.data(), image.channels())))
               .first;
     }
-    encoded.unique_hvs.push_back(
-        producer.produce(pos_it->second, color_it->second));
+    color_of[u] = &color_it->second;
     encoded.intensities[u] =
         image.channels() == 1
             ? ref.color[0]
@@ -197,16 +200,31 @@ EncodedImage SegHdc::encode(const img::ImageU8& image) const {
     ++encoded.weights[u];
   }
 
+  // --- Pass 2b: bind position x color straight into the packed block,
+  // data-parallel over unique points. No per-point HyperVector is
+  // allocated; each row is one fused XOR over cached word spans. ---
+  encoded.unique_hvs = hdc::HvBlock(config_.dim, refs.size());
+  util::parallel_for(
+      0, refs.size(),
+      [&](std::size_t u) {
+        hdc::kernels::xor_words(encoded.unique_hvs.row(u),
+                                position_of[u]->words(),
+                                color_of[u]->words());
+      },
+      /*grain=*/64);
+  encoded.ops.bind_xor_bits +=
+      static_cast<std::uint64_t>(refs.size()) * config_.dim;
+
   // Fault injection: corrupt the encoded pixel HVs at the configured
   // bit-error rate (models storing them in an approximate memory).
   if (config_.bit_error_rate > 0.0) {
     util::Rng fault_rng(config_.seed ^ 0xFA017ULL);
-    for (auto& hv : encoded.unique_hvs) {
-      hdc::inject_bit_flips(hv, config_.bit_error_rate, fault_rng);
+    for (std::size_t u = 0; u < encoded.unique_hvs.count(); ++u) {
+      hdc::inject_bit_flips(encoded.unique_hvs.row(u), config_.dim,
+                            config_.bit_error_rate, fault_rng);
     }
   }
 
-  encoded.ops = producer.ops();
   return encoded;
 }
 
@@ -253,13 +271,22 @@ SegmentationResult SegHdc::segment(const img::ImageU8& image) const {
   // Optional confidence margins from the final centroids.
   if (config_.compute_margins) {
     std::vector<float> unique_margin(encoded.unique_hvs.size(), 0.0F);
+    std::vector<double> centroid_norm(clustering.centroids.size());
+    for (std::size_t c = 0; c < clustering.centroids.size(); ++c) {
+      centroid_norm[c] = clustering.centroids[c].norm();
+    }
     util::parallel_for(
         0, encoded.unique_hvs.size(),
         [&](std::size_t u) {
+          const auto point = encoded.unique_hvs.row(u);
+          const double point_norm = std::sqrt(
+              static_cast<double>(encoded.unique_hvs.popcount(u)));
           double best = std::numeric_limits<double>::infinity();
           double second = std::numeric_limits<double>::infinity();
-          for (const auto& centroid : clustering.centroids) {
-            const double d = centroid.cosine_distance(encoded.unique_hvs[u]);
+          for (std::size_t c = 0; c < clustering.centroids.size(); ++c) {
+            const double d = hdc::kernels::cosine_distance_words(
+                clustering.centroids[c].counts(), centroid_norm[c], point,
+                point_norm);
             if (d < best) {
               second = best;
               best = d;

@@ -19,15 +19,17 @@
 
 #include "src/core/config.hpp"
 #include "src/core/op_counts.hpp"
-#include "src/hdc/hypervector.hpp"
+#include "src/hdc/kernels.hpp"
 #include "src/imaging/image.hpp"
 
 namespace seghdc::core {
 
 /// The encoded form of an image: one HV per *unique* (position block,
-/// color) pair plus the pixel -> unique-point mapping.
+/// color) pair plus the pixel -> unique-point mapping. The HVs live in
+/// one contiguous structure-of-arrays block (row u = unique point u) so
+/// the clusterer streams them with the word-span kernels.
 struct EncodedImage {
-  std::vector<hdc::HyperVector> unique_hvs;
+  hdc::HvBlock unique_hvs;
   std::vector<std::uint32_t> weights;          ///< pixels per unique point
   std::vector<std::uint32_t> pixel_to_unique;  ///< row-major, size = pixels
   std::vector<std::uint8_t> intensities;       ///< per unique point (luma)

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/hdc/kernels.hpp"
 #include "src/util/contracts.hpp"
 
 namespace seghdc::hdc {
@@ -17,12 +18,21 @@ void Accumulator::clear() {
 void Accumulator::add(const HyperVector& hv, std::uint32_t weight) {
   util::expects(hv.dim() == counts_.size(),
                 "Accumulator::add dimension mismatch");
+  add(hv.words(), weight);
+}
+
+void Accumulator::add(std::span<const std::uint64_t> packed_bits,
+                      std::uint32_t weight) {
+  util::expects(packed_bits.size() == kernels::words_for_dim(counts_.size()),
+                "Accumulator::add packed word count mismatch");
+  util::expects(kernels::padding_is_zero(packed_bits, counts_.size()),
+                "Accumulator::add padding bits must be zero");
   const auto w = static_cast<std::int64_t>(weight);
-  hv.for_each_set_bit([&](std::size_t i) {
-    const std::int64_t before = counts_[i];
-    counts_[i] = before + w;
+  kernels::for_each_set_bit_words(packed_bits, [&](std::size_t i) {
+    std::int64_t& count = counts_[i];
     // Maintain sum of squares incrementally: (x+w)^2 - x^2 = 2xw + w^2.
-    sum_squares_ += 2 * before * w + w * w;
+    sum_squares_ += 2 * count * w + w * w;
+    count += w;
   });
   total_weight_ += weight;
 }
@@ -36,9 +46,15 @@ std::int64_t Accumulator::at(std::size_t index) const {
 std::int64_t Accumulator::dot(const HyperVector& hv) const {
   util::expects(hv.dim() == counts_.size(),
                 "Accumulator::dot dimension mismatch");
-  std::int64_t sum = 0;
-  hv.for_each_set_bit([&](std::size_t i) { sum += counts_[i]; });
-  return sum;
+  return dot(hv.words());
+}
+
+std::int64_t Accumulator::dot(std::span<const std::uint64_t> packed_bits) const {
+  util::expects(packed_bits.size() == kernels::words_for_dim(counts_.size()),
+                "Accumulator::dot packed word count mismatch");
+  util::expects(kernels::padding_is_zero(packed_bits, counts_.size()),
+                "Accumulator::dot padding bits must be zero");
+  return kernels::dot_counts_words(counts_, packed_bits);
 }
 
 double Accumulator::norm() const {
@@ -48,13 +64,9 @@ double Accumulator::norm() const {
 double Accumulator::cosine_distance(const HyperVector& hv) const {
   util::expects(hv.dim() == counts_.size(),
                 "Accumulator::cosine_distance dimension mismatch");
-  const double norm_z = norm();
-  const double norm_y = std::sqrt(static_cast<double>(hv.popcount()));
-  if (norm_z == 0.0 || norm_y == 0.0) {
-    return 1.0;
-  }
-  const double cosine = static_cast<double>(dot(hv)) / (norm_y * norm_z);
-  return 1.0 - cosine;
+  return kernels::cosine_distance_words(
+      counts_, norm(), hv.words(),
+      std::sqrt(static_cast<double>(hv.popcount())));
 }
 
 HyperVector Accumulator::to_majority() const {

@@ -31,6 +31,11 @@ class Accumulator {
   /// deduplicated K-Means exactly equivalent to the per-pixel version.
   void add(const HyperVector& hv, std::uint32_t weight = 1);
 
+  /// Same, over pre-packed words (e.g. an `HvBlock` row): exactly
+  /// ceil(dim/64) words, padding bits zero.
+  void add(std::span<const std::uint64_t> packed_bits,
+           std::uint32_t weight = 1);
+
   /// Sum of the weights added since the last clear().
   std::uint64_t total_weight() const { return total_weight_; }
 
@@ -41,6 +46,9 @@ class Accumulator {
 
   /// Dot product with a binary HV: sum of counts at the HV's set bits.
   std::int64_t dot(const HyperVector& hv) const;
+
+  /// Same, over pre-packed words with zero padding.
+  std::int64_t dot(std::span<const std::uint64_t> packed_bits) const;
 
   /// Euclidean norm of the accumulator (sqrt of sum of squares).
   double norm() const;

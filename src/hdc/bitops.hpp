@@ -1,0 +1,43 @@
+// Shared packed-bit primitives: the word-count helper, the padding
+// invariant predicate, and THE set-bit walk. This header exists so that
+// HyperVector and the kernel layer (src/hdc/kernels.hpp) use one
+// implementation of the countr_zero iteration — a future SIMD/blocked
+// rewrite happens here once and every caller inherits it.
+#ifndef SEGHDC_HDC_BITOPS_HPP
+#define SEGHDC_HDC_BITOPS_HPP
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace seghdc::hdc::kernels {
+
+/// Words needed to hold `dim` packed bits.
+constexpr std::size_t words_for_dim(std::size_t dim) {
+  return (dim + 63) / 64;
+}
+
+/// True when every bit above `dim` in the last word of `words` is zero —
+/// the padding invariant all kernels rely on.
+constexpr bool padding_is_zero(std::span<const std::uint64_t> words,
+                               std::size_t dim) {
+  const std::size_t tail = dim % 64;
+  return tail == 0 || words.empty() || (words.back() >> tail) == 0;
+}
+
+/// Invokes `fn(index)` for every set bit of `words` in ascending order.
+template <typename Fn>
+void for_each_set_bit_words(std::span<const std::uint64_t> words, Fn&& fn) {
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    std::uint64_t word = words[w];
+    while (word != 0) {
+      fn(w * 64 + static_cast<std::size_t>(std::countr_zero(word)));
+      word &= word - 1;
+    }
+  }
+}
+
+}  // namespace seghdc::hdc::kernels
+
+#endif  // SEGHDC_HDC_BITOPS_HPP

@@ -2,42 +2,63 @@
 
 #include <cmath>
 
+#include "src/hdc/kernels.hpp"
 #include "src/util/contracts.hpp"
 
 namespace seghdc::hdc {
 
-std::size_t inject_bit_flips(HyperVector& hv, double rate,
-                             util::Rng& rng) {
+namespace {
+
+/// Core sampler: invokes `flip(i)` for each bit the error model flips.
+/// Dense regime tests every bit; sparse regime draws geometric gaps
+/// between flips (inverse-CDF sampling), O(expected flips).
+template <typename FlipFn>
+std::size_t sample_flips(std::size_t dim, double rate, util::Rng& rng,
+                         FlipFn&& flip) {
   util::expects(rate >= 0.0 && rate <= 1.0,
                 "inject_bit_flips rate must be in [0, 1]");
-  if (rate == 0.0 || hv.dim() == 0) {
+  if (rate == 0.0 || dim == 0) {
     return 0;
   }
   std::size_t flipped = 0;
   if (rate >= 0.5) {
-    // Dense regime: test every bit directly.
-    for (std::size_t i = 0; i < hv.dim(); ++i) {
+    for (std::size_t i = 0; i < dim; ++i) {
       if (rng.next_double() < rate) {
-        hv.flip(i);
+        flip(i);
         ++flipped;
       }
     }
     return flipped;
   }
-  // Sparse regime: geometric skips between flips (inverse-CDF sampling
-  // of the gap distribution), O(expected flips).
   const double log_keep = std::log1p(-rate);
   double position = 0.0;
   for (;;) {
     const double u = rng.next_double();
     // Gap to the next flipped bit.
     position += std::floor(std::log1p(-u) / log_keep) + 1.0;
-    if (position > static_cast<double>(hv.dim())) {
+    if (position > static_cast<double>(dim)) {
       return flipped;
     }
-    hv.flip(static_cast<std::size_t>(position) - 1);
+    flip(static_cast<std::size_t>(position) - 1);
     ++flipped;
   }
+}
+
+}  // namespace
+
+std::size_t inject_bit_flips(HyperVector& hv, double rate,
+                             util::Rng& rng) {
+  return sample_flips(hv.dim(), rate, rng,
+                      [&](std::size_t i) { hv.flip(i); });
+}
+
+std::size_t inject_bit_flips(std::span<std::uint64_t> packed_bits,
+                             std::size_t dim, double rate, util::Rng& rng) {
+  util::expects(packed_bits.size() == kernels::words_for_dim(dim),
+                "inject_bit_flips packed word count must match dim");
+  return sample_flips(dim, rate, rng, [&](std::size_t i) {
+    packed_bits[i / 64] ^= std::uint64_t{1} << (i % 64);
+  });
 }
 
 }  // namespace seghdc::hdc

@@ -11,6 +11,8 @@
 #define SEGHDC_HDC_FAULT_HPP
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 
 #include "src/hdc/hypervector.hpp"
 #include "src/util/rng.hpp"
@@ -19,9 +21,16 @@ namespace seghdc::hdc {
 
 /// Flips each bit of `hv` independently with probability `rate`
 /// (in [0, 1]). Returns the number of bits actually flipped.
-/// Implementation draws the flip count from the exact binomial via
-/// per-word mask sampling, so the cost is O(d/64 + flips).
+/// Sparse rates (< 0.5) sample geometric gaps between flips
+/// (inverse-CDF), costing O(flips) RNG draws; dense rates fall back to
+/// one Bernoulli draw per bit, O(d).
 std::size_t inject_bit_flips(HyperVector& hv, double rate, util::Rng& rng);
+
+/// Same error model over `dim` packed bits (e.g. an `HvBlock` row);
+/// consumes the identical RNG stream, so the two overloads produce
+/// bit-identical corruption for the same input.
+std::size_t inject_bit_flips(std::span<std::uint64_t> packed_bits,
+                             std::size_t dim, double rate, util::Rng& rng);
 
 }  // namespace seghdc::hdc
 

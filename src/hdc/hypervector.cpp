@@ -18,6 +18,18 @@ HyperVector HyperVector::random(std::size_t dim, util::Rng& rng) {
   return hv;
 }
 
+HyperVector HyperVector::from_words(std::size_t dim,
+                                    std::span<const std::uint64_t> words) {
+  util::expects(words.size() == words_for(dim),
+                "HyperVector::from_words word count must match dim");
+  HyperVector hv(dim);
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    hv.words_[w] = words[w];
+  }
+  hv.clear_padding();
+  return hv;
+}
+
 void HyperVector::clear_padding() {
   const std::size_t tail = dim_ % 64;
   if (tail != 0 && !words_.empty()) {

@@ -10,12 +10,13 @@
 #ifndef SEGHDC_HDC_HYPERVECTOR_HPP
 #define SEGHDC_HDC_HYPERVECTOR_HPP
 
-#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "src/hdc/bitops.hpp"
 #include "src/util/rng.hpp"
 
 namespace seghdc::hdc {
@@ -34,6 +35,11 @@ class HyperVector {
   /// pseudo-orthogonal (normalized Hamming distance ~ 0.5) with
   /// overwhelming probability at high dimension.
   static HyperVector random(std::size_t dim, util::Rng& rng);
+
+  /// HV built from pre-packed words (e.g. an HvBlock row). `words` must
+  /// hold exactly ceil(dim/64) entries; padding bits are cleared.
+  static HyperVector from_words(std::size_t dim,
+                                std::span<const std::uint64_t> words);
 
   std::size_t dim() const { return dim_; }
   bool empty() const { return dim_ == 0; }
@@ -73,19 +79,11 @@ class HyperVector {
   /// Copy of bits [begin, end) as a new (end-begin)-dimensional HV.
   HyperVector slice(std::size_t begin, std::size_t end) const;
 
-  /// Invokes `fn(index)` for every set bit in ascending order. This is the
-  /// hot loop of the cosine-distance computation against integer
-  /// centroids, so it iterates words and uses countr_zero.
+  /// Invokes `fn(index)` for every set bit in ascending order, via the
+  /// shared word walk in src/hdc/bitops.hpp.
   template <typename Fn>
   void for_each_set_bit(Fn&& fn) const {
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-      std::uint64_t word = words_[w];
-      while (word != 0) {
-        const int bit = std::countr_zero(word);
-        fn(w * 64 + static_cast<std::size_t>(bit));
-        word &= word - 1;
-      }
-    }
+    kernels::for_each_set_bit_words(words_, std::forward<Fn>(fn));
   }
 
   /// Raw word storage (little-endian bit order within each word). The

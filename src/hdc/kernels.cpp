@@ -1,0 +1,103 @@
+#include "src/hdc/kernels.hpp"
+
+#include <bit>
+
+#include "src/util/contracts.hpp"
+
+namespace seghdc::hdc {
+
+namespace kernels {
+
+std::size_t popcount_words(std::span<const std::uint64_t> words) {
+  std::size_t count = 0;
+  for (const auto word : words) {
+    count += static_cast<std::size_t>(std::popcount(word));
+  }
+  return count;
+}
+
+std::size_t hamming_words(std::span<const std::uint64_t> a,
+                          std::span<const std::uint64_t> b) {
+  util::expects(a.size() == b.size(),
+                "hamming_words requires equal word counts");
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    count += static_cast<std::size_t>(std::popcount(a[w] ^ b[w]));
+  }
+  return count;
+}
+
+void xor_words(std::span<std::uint64_t> dst,
+               std::span<const std::uint64_t> a,
+               std::span<const std::uint64_t> b) {
+  util::expects(dst.size() == a.size() && a.size() == b.size(),
+                "xor_words requires equal word counts");
+  for (std::size_t w = 0; w < dst.size(); ++w) {
+    dst[w] = a[w] ^ b[w];
+  }
+}
+
+std::int64_t dot_counts_words(std::span<const std::int64_t> counts,
+                              std::span<const std::uint64_t> words) {
+  std::int64_t sum = 0;
+  for_each_set_bit_words(words, [&](std::size_t i) { sum += counts[i]; });
+  return sum;
+}
+
+double cosine_distance_words(std::span<const std::int64_t> counts,
+                             double centroid_norm,
+                             std::span<const std::uint64_t> words,
+                             double point_norm) {
+  if (centroid_norm == 0.0 || point_norm == 0.0) {
+    return 1.0;
+  }
+  const auto dot = static_cast<double>(dot_counts_words(counts, words));
+  return 1.0 - dot / (point_norm * centroid_norm);
+}
+
+}  // namespace kernels
+
+HvBlock::HvBlock(std::size_t dim, std::size_t count)
+    : dim_(dim),
+      words_per_hv_(kernels::words_for_dim(dim)),
+      count_(count),
+      storage_(words_per_hv_ * count, 0) {}
+
+HvBlock HvBlock::from_hvs(std::span<const HyperVector> hvs) {
+  if (hvs.empty()) {
+    return HvBlock{};
+  }
+  HvBlock block(hvs[0].dim(), hvs.size());
+  for (std::size_t i = 0; i < hvs.size(); ++i) {
+    util::expects(hvs[i].dim() == block.dim_,
+                  "HvBlock::from_hvs requires uniform dimensions");
+    const auto src = hvs[i].words();
+    const auto dst = block.row(i);
+    for (std::size_t w = 0; w < src.size(); ++w) {
+      dst[w] = src[w];
+    }
+  }
+  return block;
+}
+
+std::span<std::uint64_t> HvBlock::row(std::size_t i) {
+  util::expects(i < count_, "HvBlock::row index within block");
+  return std::span<std::uint64_t>(storage_.data() + i * words_per_hv_,
+                                  words_per_hv_);
+}
+
+std::span<const std::uint64_t> HvBlock::row(std::size_t i) const {
+  util::expects(i < count_, "HvBlock::row index within block");
+  return std::span<const std::uint64_t>(storage_.data() + i * words_per_hv_,
+                                        words_per_hv_);
+}
+
+HyperVector HvBlock::to_hypervector(std::size_t i) const {
+  return HyperVector::from_words(dim_, row(i));
+}
+
+std::size_t HvBlock::popcount(std::size_t i) const {
+  return kernels::popcount_words(row(i));
+}
+
+}  // namespace seghdc::hdc

@@ -1,0 +1,113 @@
+// Word-parallel kernel layer for the SegHDC hot path.
+//
+// The pipeline's inner loops — XOR binding during encoding, Hamming and
+// cosine distances during clustering — all reduce to passes over packed
+// 64-bit words. This header provides (1) free kernels operating on raw
+// `uint64_t` word spans, fused where it pays (XOR+popcount Hamming never
+// materialises the XOR), and (2) `HvBlock`, a structure-of-arrays
+// container holding many packed HVs contiguously so those kernels stream
+// through memory instead of chasing one heap allocation per
+// `HyperVector`. `SegHdc::encode` writes pixel HVs straight into an
+// `HvBlock`, and `HvKMeans` runs its assignment step over block rows;
+// per-point `HyperVector` temporaries never appear in either inner loop.
+//
+// Invariants mirror `HyperVector`: bits are little-endian within each
+// word and the padding bits of a row's last word are zero. Kernels rely
+// on that invariant exactly like `HyperVector::popcount` does.
+#ifndef SEGHDC_HDC_KERNELS_HPP
+#define SEGHDC_HDC_KERNELS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/hdc/bitops.hpp"
+#include "src/hdc/hypervector.hpp"
+
+namespace seghdc::hdc {
+
+namespace kernels {
+
+// words_for_dim, padding_is_zero, and for_each_set_bit_words live in
+// src/hdc/bitops.hpp (shared with HyperVector) and are re-exported by
+// this namespace.
+
+/// Number of set bits across `words`.
+std::size_t popcount_words(std::span<const std::uint64_t> words);
+
+/// Fused XOR+popcount Hamming distance: popcount(a ^ b) computed one
+/// word at a time, no intermediate vector. Requires equal sizes.
+std::size_t hamming_words(std::span<const std::uint64_t> a,
+                          std::span<const std::uint64_t> b);
+
+/// dst = a ^ b (the HDC binding operator). Requires equal sizes.
+void xor_words(std::span<std::uint64_t> dst,
+               std::span<const std::uint64_t> a,
+               std::span<const std::uint64_t> b);
+
+/// Dot product of an integer centroid against packed bits: the sum of
+/// `counts[i]` over every set bit i of `words`. `counts` must cover the
+/// bit span (counts.size() >= 64 * words.size() - padding).
+std::int64_t dot_counts_words(std::span<const std::int64_t> counts,
+                              std::span<const std::uint64_t> words);
+
+/// Cosine distance (paper Eq. 7) between a packed binary point and an
+/// integer centroid, with both norms precomputed by the caller (the
+/// clusterer caches them): 1 - dot / (point_norm * centroid_norm).
+/// Returns 1.0 when either norm is zero, matching
+/// `Accumulator::cosine_distance`.
+double cosine_distance_words(std::span<const std::int64_t> counts,
+                             double centroid_norm,
+                             std::span<const std::uint64_t> words,
+                             double point_norm);
+
+}  // namespace kernels
+
+/// Structure-of-arrays block of `count` packed binary HVs sharing one
+/// dimensionality. Row i occupies words [i*words_per_hv, (i+1)*words_per_hv)
+/// of one contiguous allocation; rows are what the kernels above consume.
+class HvBlock {
+ public:
+  HvBlock() = default;
+
+  /// `count` all-zero rows of dimension `dim`.
+  HvBlock(std::size_t dim, std::size_t count);
+
+  /// Packs existing HyperVectors (all of equal dimension) into a block.
+  static HvBlock from_hvs(std::span<const HyperVector> hvs);
+
+  std::size_t dim() const { return dim_; }
+  /// Number of HVs in the block.
+  std::size_t count() const { return count_; }
+  /// Alias for count(), so the block drops into container-style call
+  /// sites (`encoded.unique_hvs.size()`).
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  std::size_t words_per_hv() const { return words_per_hv_; }
+
+  /// Packed words of HV `i`. Padding bits of the last word are zero as
+  /// long as writers preserve the invariant (xor_words of clean inputs
+  /// does, as does copying from a HyperVector).
+  std::span<std::uint64_t> row(std::size_t i);
+  std::span<const std::uint64_t> row(std::size_t i) const;
+
+  /// Copies row `i` out as a standalone HyperVector.
+  HyperVector to_hypervector(std::size_t i) const;
+
+  /// Number of set bits in row `i`.
+  std::size_t popcount(std::size_t i) const;
+
+  /// The whole storage (count * words_per_hv words).
+  std::span<const std::uint64_t> words() const { return storage_; }
+
+ private:
+  std::size_t dim_ = 0;
+  std::size_t words_per_hv_ = 0;
+  std::size_t count_ = 0;
+  std::vector<std::uint64_t> storage_;
+};
+
+}  // namespace seghdc::hdc
+
+#endif  // SEGHDC_HDC_KERNELS_HPP

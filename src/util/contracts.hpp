@@ -11,17 +11,21 @@ namespace seghdc::util {
 
 /// Precondition check: throws std::invalid_argument when `condition` is false.
 /// `what` should name the violated requirement from the caller's perspective.
-inline void expects(bool condition, const std::string& what) {
+/// Takes const char* so the passing path costs one branch — no message
+/// string is materialised unless the check fires (these run in per-bit
+/// and per-row hot loops).
+inline void expects(bool condition, const char* what) {
   if (!condition) {
-    throw std::invalid_argument("precondition violated: " + what);
+    throw std::invalid_argument(std::string("precondition violated: ") +
+                                what);
   }
 }
 
 /// Postcondition / internal-invariant check: throws std::logic_error.
 /// A failure indicates a bug inside this library, not caller misuse.
-inline void ensures(bool condition, const std::string& what) {
+inline void ensures(bool condition, const char* what) {
   if (!condition) {
-    throw std::logic_error("invariant violated: " + what);
+    throw std::logic_error(std::string("invariant violated: ") + what);
   }
 }
 

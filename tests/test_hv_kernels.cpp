@@ -1,0 +1,240 @@
+// Property tests for the word-parallel kernel layer (src/hdc/kernels):
+// the fused HvBlock kernels must agree EXACTLY with the HyperVector /
+// Accumulator reference path on random inputs, including dimensions
+// that are not multiples of 64 (padding-bit handling is the classic
+// failure mode of packed-bit rewrites).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/core/kmeans.hpp"
+#include "src/hdc/accumulator.hpp"
+#include "src/hdc/fault.hpp"
+#include "src/hdc/hypervector.hpp"
+#include "src/hdc/kernels.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace seghdc;
+using namespace seghdc::hdc;
+
+// Dimensions straddling word boundaries: exact multiples, one-off, and
+// sub-word sizes.
+const std::vector<std::size_t> kDims{8, 63, 64, 65, 100, 127, 128,
+                                     193, 512, 1000, 1024, 2049};
+
+TEST(HvKernels, PopcountMatchesReference) {
+  util::Rng rng(11);
+  for (const auto dim : kDims) {
+    const auto hv = HyperVector::random(dim, rng);
+    EXPECT_EQ(kernels::popcount_words(hv.words()), hv.popcount())
+        << "dim " << dim;
+  }
+}
+
+TEST(HvKernels, FusedHammingMatchesReference) {
+  util::Rng rng(12);
+  for (const auto dim : kDims) {
+    const auto a = HyperVector::random(dim, rng);
+    const auto b = HyperVector::random(dim, rng);
+    EXPECT_EQ(kernels::hamming_words(a.words(), b.words()),
+              HyperVector::hamming(a, b))
+        << "dim " << dim;
+    // And against the definition: bitwise comparison.
+    std::size_t per_bit = 0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      per_bit += a.get(i) != b.get(i) ? 1 : 0;
+    }
+    EXPECT_EQ(kernels::hamming_words(a.words(), b.words()), per_bit)
+        << "dim " << dim;
+  }
+}
+
+TEST(HvKernels, XorMatchesOperator) {
+  util::Rng rng(13);
+  for (const auto dim : kDims) {
+    const auto a = HyperVector::random(dim, rng);
+    const auto b = HyperVector::random(dim, rng);
+    std::vector<std::uint64_t> dst(kernels::words_for_dim(dim), ~0ULL);
+    kernels::xor_words(dst, a.words(), b.words());
+    const auto expected = a ^ b;
+    EXPECT_EQ(HyperVector::from_words(dim, dst), expected) << "dim " << dim;
+  }
+}
+
+TEST(HvKernels, DotCountsMatchesAccumulatorReference) {
+  util::Rng rng(14);
+  for (const auto dim : kDims) {
+    Accumulator acc(dim);
+    for (int i = 0; i < 7; ++i) {
+      acc.add(HyperVector::random(dim, rng),
+              static_cast<std::uint32_t>(1 + rng.next_below(5)));
+    }
+    const auto probe = HyperVector::random(dim, rng);
+    // Per-bit reference straight from the definition.
+    std::int64_t expected = 0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      if (probe.get(i)) {
+        expected += acc.at(i);
+      }
+    }
+    EXPECT_EQ(kernels::dot_counts_words(acc.counts(), probe.words()),
+              expected)
+        << "dim " << dim;
+    EXPECT_EQ(acc.dot(probe), expected) << "dim " << dim;
+    EXPECT_EQ(acc.dot(probe.words()), expected) << "dim " << dim;
+  }
+}
+
+TEST(HvKernels, CosineDistanceMatchesAccumulatorReference) {
+  util::Rng rng(15);
+  for (const auto dim : kDims) {
+    Accumulator acc(dim);
+    for (int i = 0; i < 5; ++i) {
+      acc.add(HyperVector::random(dim, rng));
+    }
+    const auto probe = HyperVector::random(dim, rng);
+    const double point_norm =
+        std::sqrt(static_cast<double>(probe.popcount()));
+    EXPECT_DOUBLE_EQ(
+        kernels::cosine_distance_words(acc.counts(), acc.norm(),
+                                       probe.words(), point_norm),
+        acc.cosine_distance(probe))
+        << "dim " << dim;
+  }
+}
+
+TEST(HvKernels, CosineDistanceZeroNormConvention) {
+  // Either norm zero -> maximally distant (1.0), matching Accumulator.
+  const std::size_t dim = 100;
+  Accumulator empty(dim);
+  util::Rng rng(16);
+  const auto probe = HyperVector::random(dim, rng);
+  const HyperVector zeros(dim);
+  EXPECT_DOUBLE_EQ(
+      kernels::cosine_distance_words(
+          empty.counts(), empty.norm(), probe.words(),
+          std::sqrt(static_cast<double>(probe.popcount()))),
+      1.0);
+  Accumulator filled(dim);
+  filled.add(probe);
+  EXPECT_DOUBLE_EQ(kernels::cosine_distance_words(
+                       filled.counts(), filled.norm(), zeros.words(), 0.0),
+                   1.0);
+}
+
+TEST(HvKernels, AccumulatorSpanAddTracksNormExactly) {
+  // The span overload must keep the incremental sum-of-squares (norm)
+  // bookkeeping identical to the HyperVector path.
+  util::Rng rng(18);
+  for (const auto dim : kDims) {
+    Accumulator via_hv(dim);
+    Accumulator via_span(dim);
+    for (int i = 0; i < 6; ++i) {
+      const auto hv = HyperVector::random(dim, rng);
+      const auto weight = static_cast<std::uint32_t>(1 + rng.next_below(4));
+      via_hv.add(hv, weight);
+      via_span.add(hv.words(), weight);
+    }
+    EXPECT_EQ(via_hv.total_weight(), via_span.total_weight());
+    EXPECT_DOUBLE_EQ(via_hv.norm(), via_span.norm()) << "dim " << dim;
+    for (std::size_t i = 0; i < dim; ++i) {
+      ASSERT_EQ(via_hv.at(i), via_span.at(i));
+    }
+  }
+}
+
+TEST(HvKernels, AccumulatorSpanRejectsDirtyPadding) {
+  // The span API enforces the zero-padding invariant instead of only
+  // documenting it: a stray bit above `dim` would index past counts_.
+  Accumulator acc(60);
+  std::vector<std::uint64_t> dirty{std::uint64_t{1} << 63};
+  EXPECT_THROW(acc.add(std::span<const std::uint64_t>(dirty), 1),
+               std::invalid_argument);
+  EXPECT_THROW(acc.dot(std::span<const std::uint64_t>(dirty)),
+               std::invalid_argument);
+  std::vector<std::uint64_t> clean{std::uint64_t{1} << 59};
+  acc.add(std::span<const std::uint64_t>(clean), 2);
+  EXPECT_EQ(acc.at(59), 2);
+  EXPECT_EQ(acc.dot(std::span<const std::uint64_t>(clean)), 2);
+}
+
+TEST(HvBlock, FromHvsRoundTrips) {
+  util::Rng rng(19);
+  for (const auto dim : kDims) {
+    std::vector<HyperVector> hvs;
+    for (int i = 0; i < 9; ++i) {
+      hvs.push_back(HyperVector::random(dim, rng));
+    }
+    const auto block = HvBlock::from_hvs(hvs);
+    ASSERT_EQ(block.count(), hvs.size());
+    ASSERT_EQ(block.dim(), dim);
+    for (std::size_t i = 0; i < hvs.size(); ++i) {
+      EXPECT_EQ(block.to_hypervector(i), hvs[i]) << "dim " << dim;
+      EXPECT_EQ(block.popcount(i), hvs[i].popcount());
+    }
+  }
+}
+
+TEST(HvBlock, RowsAreContiguousAndPaddingClean) {
+  const std::size_t dim = 100;  // 2 words, 28 padding bits
+  util::Rng rng(20);
+  std::vector<HyperVector> hvs;
+  for (int i = 0; i < 4; ++i) {
+    hvs.push_back(HyperVector::random(dim, rng));
+  }
+  const auto block = HvBlock::from_hvs(hvs);
+  EXPECT_EQ(block.words_per_hv(), 2u);
+  EXPECT_EQ(block.words().size(), 8u);
+  for (std::size_t i = 0; i < block.count(); ++i) {
+    const auto row = block.row(i);
+    // Row i is a view into the shared storage at offset i*words_per_hv.
+    EXPECT_EQ(row.data(), block.words().data() + i * block.words_per_hv());
+    // Padding bits above `dim` are zero.
+    EXPECT_EQ(row[1] >> (dim % 64), 0u);
+  }
+}
+
+TEST(HvKernels, FaultInjectionSpanMatchesHyperVectorOverload) {
+  for (const auto dim : kDims) {
+    util::Rng rng_hv(21);
+    util::Rng rng_span(21);
+    util::Rng source(static_cast<std::uint64_t>(dim) * 7 + 1);
+    auto hv = HyperVector::random(dim, source);
+    auto block = HvBlock::from_hvs(std::vector<HyperVector>{hv});
+    const auto flips_hv = inject_bit_flips(hv, 0.07, rng_hv);
+    const auto flips_span =
+        inject_bit_flips(block.row(0), dim, 0.07, rng_span);
+    EXPECT_EQ(flips_hv, flips_span) << "dim " << dim;
+    EXPECT_EQ(block.to_hypervector(0), hv) << "dim " << dim;
+  }
+}
+
+TEST(HvKernels, KMeansBlockOverloadMatchesSpanOverload) {
+  // The packed-block clusterer is the production path; the HyperVector
+  // overload is the reference. Identical inputs -> identical outputs.
+  util::Rng rng(22);
+  const std::size_t dim = 322;  // deliberately not a multiple of 64
+  std::vector<HyperVector> points;
+  const auto anchor_a = HyperVector::random(dim, rng);
+  const auto anchor_b = HyperVector::random(dim, rng);
+  for (int i = 0; i < 30; ++i) {
+    auto p = (i % 2 == 0) ? anchor_a : anchor_b;
+    for (int f = 0; f < 5; ++f) {
+      p.flip(rng.next_below(dim));
+    }
+    points.push_back(p);
+  }
+  const core::HvKMeans kmeans(
+      core::HvKMeansConfig{.clusters = 2, .iterations = 6});
+  const std::vector<std::size_t> seeds{0, 1};
+  const auto via_span = kmeans.run(points, {}, seeds);
+  const auto via_block = kmeans.run(HvBlock::from_hvs(points), {}, seeds);
+  EXPECT_EQ(via_span.assignment, via_block.assignment);
+  EXPECT_EQ(via_span.cluster_weights, via_block.cluster_weights);
+  EXPECT_EQ(via_span.iterations_run, via_block.iterations_run);
+}
+
+}  // namespace

@@ -4,13 +4,26 @@
 // of these fail after a change, every published number changes too.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "src/core/seghdc.hpp"
 #include "src/hdc/hypervector.hpp"
+#include "src/metrics/segmentation_metrics.hpp"
 #include "src/util/rng.hpp"
 
 namespace {
 
 using namespace seghdc;
+
+/// FNV-1a over the raw label values, row-major — byte-order independent.
+std::uint64_t label_map_hash(const img::LabelMap& labels) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const auto label : labels.pixels()) {
+    hash ^= static_cast<std::uint64_t>(label);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
 
 TEST(Regression, RngGoldenSequence) {
   util::Rng rng(42);
@@ -80,6 +93,36 @@ TEST(Regression, EncodeGoldenUniqueCount) {
   // Keys: 32 background (all but the pure-fg blocks) + 16 foreground
   // (pure + mixed) = 48 unique (block, color) pairs.
   EXPECT_EQ(encoded.unique_hvs.size(), 48u);
+}
+
+TEST(Regression, SegmentGoldenLabelHashOnTwoToneCard) {
+  // Guard for kernel rewrites: the full pipeline on the synthetic
+  // two-tone test card at a fixed seed must keep producing the exact
+  // same label map (hash) and a perfect foreground match (IoU floor).
+  // If the hash changes, the numeric behaviour of encode/cluster
+  // changed — rerecord only after confirming the change is intended.
+  const std::size_t size = 64;
+  img::ImageU8 image(size, size, 1, 20);
+  img::ImageU8 mask(size, size, 1, 0);
+  for (std::size_t y = size / 4; y < 3 * size / 4; ++y) {
+    for (std::size_t x = size / 4; x < 3 * size / 4; ++x) {
+      image(x, y) = 220;
+      mask(x, y) = 255;
+    }
+  }
+  core::SegHdcConfig config;
+  config.dim = 1024;
+  config.beta = 8;
+  config.clusters = 2;
+  config.iterations = 5;
+  config.seed = 42;
+  const auto result = core::SegHdc(config).segment(image);
+  const auto iou =
+      metrics::best_foreground_iou(result.labels, 2, mask).iou;
+  EXPECT_GE(iou, 0.99);
+  static constexpr std::uint64_t kGoldenLabelHash = 18083703337168858917ULL;
+  EXPECT_EQ(label_map_hash(result.labels), kGoldenLabelHash)
+      << "label-map hash drifted; pipeline output changed";
 }
 
 TEST(Regression, SameSeedSameLabelsAcrossProcessRuns) {

@@ -109,10 +109,10 @@ TEST(SegHdc, EncodeMappingIsConsistent) {
   for (const auto u : encoded.pixel_to_unique) {
     EXPECT_LT(u, encoded.unique_hvs.size());
   }
-  // All unique HVs have the configured dimensionality.
-  for (const auto& hv : encoded.unique_hvs) {
-    EXPECT_EQ(hv.dim(), small_config().dim);
-  }
+  // All unique HVs share the configured dimensionality (one SoA block).
+  EXPECT_EQ(encoded.unique_hvs.dim(), small_config().dim);
+  EXPECT_EQ(encoded.unique_hvs.words_per_hv(),
+            (small_config().dim + 63) / 64);
 }
 
 TEST(SegHdc, PixelsInSameBlockWithSameColorShareUniquePoint) {
