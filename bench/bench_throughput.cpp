@@ -1,0 +1,209 @@
+// Many-image serving throughput: images/sec for the SegHDC pipeline
+// through the session API, swept over thread counts.
+//
+//   ./bench_throughput [--images 16] [--width 128] [--height 96]
+//                      [--dim 1000] [--beta 8] [--clusters 2]
+//                      [--iterations 6] [--quantize 2] [--seed 42]
+//                      [--threads 1,2,4,8] [--repeats 3] [--csv]
+//
+// Three configurations are timed over the same DSB2018-like batch:
+//
+//   legacy    — a fresh one-shot session per image (the stateless
+//               SegHdc::segment cost: encoder state rebuilt every call),
+//               single-threaded
+//   session   — one SegHdcSession, sequential segment() loop on one
+//               thread (encoder state reused; the serving baseline)
+//   many@T    — SegHdcSession::segment_many sharding the batch across a
+//               T-thread pool, for each T in --threads
+//
+// Every configuration's combined label-map hash is checked against the
+// sequential session loop; any divergence is a hard failure (exit 1) —
+// the speedup table of a wrong result is worthless. Speedups are
+// reported relative to the `session` row; images/sec is the headline
+// serving metric. On a 1-core host the many@T rows legitimately show ~1x.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "src/core/session.hpp"
+#include "src/datasets/dsb2018.hpp"
+#include "src/metrics/segmentation_metrics.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/parallel.hpp"
+#include "src/util/stopwatch.hpp"
+
+namespace {
+
+using namespace seghdc;
+
+std::uint64_t batch_hash(const std::vector<core::SegmentationResult>& results) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const auto& result : results) {
+    hash = metrics::label_map_hash(result.labels, hash);
+  }
+  return hash;
+}
+
+std::vector<std::size_t> parse_thread_list(const std::string& spec) {
+  std::vector<std::size_t> threads;
+  std::size_t value = 0;
+  bool in_number = false;
+  for (const char c : spec) {
+    if (c >= '0' && c <= '9') {
+      value = value * 10 + static_cast<std::size_t>(c - '0');
+      in_number = true;
+    } else {
+      if (in_number && value > 0) {
+        threads.push_back(value);
+      }
+      value = 0;
+      in_number = false;
+    }
+  }
+  if (in_number && value > 0) {
+    threads.push_back(value);
+  }
+  return threads;
+}
+
+struct Row {
+  std::string name;
+  double seconds = 0.0;
+  std::uint64_t hash = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const util::Cli cli(argc, argv);
+  const auto image_count =
+      static_cast<std::size_t>(cli.get_int("images", 16));
+  const auto repeats = static_cast<std::size_t>(cli.get_int("repeats", 3));
+  const bool csv = cli.get_flag("csv");
+
+  data::Dsb2018Config dataset_config;
+  dataset_config.width = static_cast<std::size_t>(cli.get_int("width", 128));
+  dataset_config.height =
+      static_cast<std::size_t>(cli.get_int("height", 96));
+  const data::Dsb2018Generator dataset(dataset_config);
+  std::vector<img::ImageU8> images;
+  images.reserve(image_count);
+  for (std::size_t i = 0; i < image_count; ++i) {
+    images.push_back(dataset.generate(i).image);
+  }
+
+  core::SegHdcConfig config;
+  config.dim = static_cast<std::size_t>(cli.get_int("dim", 1000));
+  config.beta = static_cast<std::size_t>(cli.get_int("beta", 8));
+  config.clusters = static_cast<std::size_t>(cli.get_int("clusters", 2));
+  config.iterations =
+      static_cast<std::size_t>(cli.get_int("iterations", 6));
+  config.color_quantization_shift =
+      static_cast<std::size_t>(cli.get_int("quantize", 2));
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+
+  const auto thread_list =
+      parse_thread_list(cli.get("threads", "1,2,4,8"));
+
+  std::printf("bench_throughput: %zu images %zux%zux3, dim=%zu, "
+              "iterations=%zu, best of %zu repeats\n",
+              images.size(), dataset_config.width, dataset_config.height,
+              config.dim, config.iterations, repeats);
+
+  // Best-of-N wall time for one batch pass through `run`.
+  const auto time_batch = [&](const auto& run) {
+    Row row;
+    for (std::size_t r = 0; r < repeats; ++r) {
+      const util::Stopwatch watch;
+      const auto results = run();
+      const double seconds = watch.seconds();
+      row.hash = batch_hash(results);
+      row.seconds = r == 0 ? seconds : std::min(row.seconds, seconds);
+    }
+    return row;
+  };
+
+  std::vector<Row> rows;
+
+  {
+    util::ThreadPool one(1);
+    auto row = time_batch([&] {
+      std::vector<core::SegmentationResult> results;
+      results.reserve(images.size());
+      for (const auto& image : images) {
+        // Fresh session per image: the legacy SegHdc::segment cost
+        // (encoder item memories rebuilt for every call).
+        const core::SegHdcSession session(config,
+                                          core::SegHdcSession::Options{&one});
+        results.push_back(session.segment(image));
+      }
+      return results;
+    });
+    row.name = "legacy(rebuild)";
+    rows.push_back(row);
+  }
+
+  {
+    util::ThreadPool one(1);
+    const core::SegHdcSession session(config,
+                                      core::SegHdcSession::Options{&one});
+    auto row = time_batch([&] {
+      std::vector<core::SegmentationResult> results;
+      results.reserve(images.size());
+      for (const auto& image : images) {
+        results.push_back(session.segment(image));
+      }
+      return results;
+    });
+    row.name = "session(seq)";
+    rows.push_back(row);
+  }
+  const double baseline_seconds = rows.back().seconds;
+  const std::uint64_t expected_hash = rows.back().hash;
+
+  for (const std::size_t threads : thread_list) {
+    util::ThreadPool pool(threads);
+    const core::SegHdcSession session(config,
+                                      core::SegHdcSession::Options{&pool});
+    auto row = time_batch([&] { return session.segment_many(images); });
+    row.name = "many@" + std::to_string(threads);
+    rows.push_back(row);
+  }
+
+  bool hashes_match = true;
+  if (csv) {
+    std::printf("mode,seconds,images_per_sec,speedup_vs_session,hash\n");
+  } else {
+    std::printf("%-16s %10s %12s %9s  %s\n", "mode", "seconds",
+                "images/sec", "speedup", "label hash");
+  }
+  for (const auto& row : rows) {
+    const double ips = static_cast<double>(images.size()) / row.seconds;
+    const double speedup = baseline_seconds / row.seconds;
+    if (csv) {
+      std::printf("%s,%.4f,%.2f,%.2f,%016llx\n", row.name.c_str(),
+                  row.seconds, ips, speedup,
+                  static_cast<unsigned long long>(row.hash));
+    } else {
+      std::printf("%-16s %10.4f %12.2f %8.2fx  %016llx%s\n",
+                  row.name.c_str(), row.seconds, ips, speedup,
+                  static_cast<unsigned long long>(row.hash),
+                  row.hash == expected_hash ? "" : "  MISMATCH");
+    }
+    hashes_match = hashes_match && row.hash == expected_hash;
+  }
+
+  if (!hashes_match) {
+    std::fprintf(stderr,
+                 "FAIL: label hashes diverge across configurations\n");
+    return 1;
+  }
+  std::printf("all label hashes identical across modes and thread counts\n");
+  return 0;
+} catch (const std::exception& error) {
+  std::fprintf(stderr, "bench_throughput failed: %s\n", error.what());
+  return 1;
+}

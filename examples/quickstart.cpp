@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <exception>
 
-#include "src/core/seghdc.hpp"
+#include "src/core/session.hpp"
 #include "src/datasets/dsb2018.hpp"
 #include "src/imaging/pnm.hpp"
 #include "src/metrics/segmentation_metrics.hpp"
@@ -37,10 +37,12 @@ int main(int argc, char** argv) try {
   config.beta = dataset.profile().suggested_beta;        // 26
   config.clusters = dataset.profile().suggested_clusters;  // 2
 
-  // 3. Segment.
-  const seghdc::core::SegHdc seghdc(config);
+  // 3. Segment. A session reuses the encoder state across calls (and
+  // batches via segment_many); for one image it costs the same as the
+  // stateless SegHdc and returns identical results.
+  const seghdc::core::SegHdcSession session(config);
   const seghdc::core::SegmentationResult result =
-      seghdc.segment(sample.image);
+      session.segment(sample.image);
 
   // 4. Evaluate against the ground truth.
   const seghdc::metrics::MatchedIou matched =

@@ -12,7 +12,7 @@
 #include <exception>
 #include <vector>
 
-#include "src/core/seghdc.hpp"
+#include "src/core/session.hpp"
 #include "src/imaging/color.hpp"
 #include "src/imaging/pnm.hpp"
 #include "src/imaging/postprocess.hpp"
@@ -91,8 +91,8 @@ int main(int argc, char** argv) try {
   config.color_quantization_shift =
       static_cast<std::size_t>(cli.get_int("quantize", 2));
 
-  const core::SegHdc seghdc(config);
-  const auto result = seghdc.segment(image);
+  const core::SegHdcSession session(config);
+  const auto result = session.segment(image);
   std::printf("segmented in %.2f s (%zu unique points, %zu clusters)\n",
               result.timings.total_seconds, result.unique_points,
               result.clusters);

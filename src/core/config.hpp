@@ -72,6 +72,13 @@ enum class ClusterDistance {
 };
 
 /// Full SegHDC pipeline configuration.
+///
+/// A config (plus the image) fully determines the segmentation output:
+/// the seed drives every random draw, and all parallel paths (the
+/// encoder bind pass, the K-Means assignment and update steps,
+/// SegHdcSession::segment_many sharding) are schedule-independent. The
+/// same config therefore yields the same label map through SegHdc,
+/// SegHdcSession, and segment_many at any thread count.
 struct SegHdcConfig {
   std::size_t dim = 10000;
   double alpha = 0.2;

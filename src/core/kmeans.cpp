@@ -52,6 +52,8 @@ HvKMeansResult HvKMeans::run(const hdc::HvBlock& points,
   const std::size_t n = points.count();
   const std::size_t dim = points.dim();
   const std::size_t k = config_.clusters;
+  util::ThreadPool& pool =
+      config_.pool != nullptr ? *config_.pool : util::ThreadPool::shared();
 
   HvKMeansResult result;
   result.assignment.assign(n, 0);
@@ -67,13 +69,33 @@ HvKMeansResult HvKMeans::run(const hdc::HvBlock& points,
 
   // Cached per-point norms (sqrt popcount) for the cosine distance.
   std::vector<double> point_norm(n);
-  util::parallel_for(
+  pool.parallel_for(
       0, n,
       [&](std::size_t i) {
         point_norm[i] = std::sqrt(static_cast<double>(points.popcount(i)));
       },
       /*grain=*/256);
   result.ops.popcount_bits += static_cast<std::uint64_t>(n) * dim;
+
+  // Update-step partials: one bank of k accumulators per chunk, so the
+  // per-cluster accumulation runs without any shared mutable state and
+  // the reduction walks the chunks in fixed order. Allocated once here
+  // and cleared per iteration. Chunk count depends only on the pool, not
+  // on the data; one chunk degrades to the plain sequential loop.
+  const std::size_t update_chunks =
+      util::SerialScope::active()
+          ? 1
+          : std::min<std::size_t>({n, pool.thread_count(), 16});
+  std::vector<std::vector<hdc::Accumulator>> partial_centroids;
+  std::vector<std::vector<std::uint64_t>> partial_weights;
+  if (update_chunks > 1) {
+    partial_centroids.resize(update_chunks);
+    partial_weights.resize(update_chunks);
+    for (std::size_t chunk = 0; chunk < update_chunks; ++chunk) {
+      partial_centroids[chunk].assign(k, hdc::Accumulator(dim));
+      partial_weights[chunk].assign(k, 0);
+    }
+  }
 
   std::vector<double> distance_to_own(n, 0.0);
   // Majority-binarized centroids for the Hamming variant; every row is
@@ -106,7 +128,7 @@ HvKMeansResult HvKMeans::run(const hdc::HvBlock& points,
     // --- Assignment step (data parallel over block rows; fused
     // word-span kernels, no per-point HyperVector temporaries). ---
     std::atomic<std::uint64_t> changed{0};
-    util::parallel_for(
+    pool.parallel_for(
         0, n,
         [&](std::size_t i) {
           const auto point = points.row(i);
@@ -135,16 +157,49 @@ HvKMeansResult HvKMeans::run(const hdc::HvBlock& points,
     result.ops.dot_adds += static_cast<std::uint64_t>(n) * k * dim;
     result.ops.distance_evals += static_cast<std::uint64_t>(n) * k;
 
-    // --- Update step: rebuild weighted centroid sums. ---
+    // --- Update step: rebuild weighted centroid sums. Each chunk
+    // accumulates its contiguous slice of points into its own bank of
+    // partial centroids; the banks are then merged in chunk order.
+    // Integer adds commute exactly, so the reduced centroids (and every
+    // label derived from them) match the sequential loop bit for bit at
+    // any thread count. ---
     for (auto& centroid : result.centroids) {
       centroid.clear();
     }
     std::fill(result.cluster_weights.begin(), result.cluster_weights.end(),
               std::uint64_t{0});
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::uint32_t c = result.assignment[i];
-      result.centroids[c].add(points.row(i), weight_of(i));
-      result.cluster_weights[c] += weight_of(i);
+    if (update_chunks <= 1) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t c = result.assignment[i];
+        result.centroids[c].add(points.row(i), weight_of(i));
+        result.cluster_weights[c] += weight_of(i);
+      }
+    } else {
+      pool.parallel_for(
+          0, update_chunks,
+          [&](std::size_t chunk) {
+            auto& centroids = partial_centroids[chunk];
+            auto& chunk_weights = partial_weights[chunk];
+            for (auto& centroid : centroids) {
+              centroid.clear();
+            }
+            std::fill(chunk_weights.begin(), chunk_weights.end(),
+                      std::uint64_t{0});
+            const std::size_t lo = chunk * n / update_chunks;
+            const std::size_t hi = (chunk + 1) * n / update_chunks;
+            for (std::size_t i = lo; i < hi; ++i) {
+              const std::uint32_t c = result.assignment[i];
+              centroids[c].add(points.row(i), weight_of(i));
+              chunk_weights[c] += weight_of(i);
+            }
+          },
+          /*grain=*/1);
+      for (std::size_t chunk = 0; chunk < update_chunks; ++chunk) {
+        for (std::size_t c = 0; c < k; ++c) {
+          result.centroids[c].merge(partial_centroids[chunk][c]);
+          result.cluster_weights[c] += partial_weights[chunk][c];
+        }
+      }
     }
     result.ops.centroid_update_adds += static_cast<std::uint64_t>(n) * dim;
 

@@ -7,10 +7,13 @@
 // with the largest color difference rather than random picks. The
 // iteration count is a fixed budget (default 10).
 //
-// This implementation adds two engineering features with identical
+// This implementation adds engineering features with identical
 // semantics: (1) points carry integer multiplicities, so deduplicated
 // pixel sets cluster exactly like the full pixel set; (2) the assignment
-// step runs data-parallel.
+// step runs data-parallel; (3) the update step accumulates per-chunk
+// partial centroids in parallel and reduces them in fixed order —
+// integer sums are order-independent, so assignments and centroids are
+// bit-identical for every thread count.
 #ifndef SEGHDC_CORE_KMEANS_HPP
 #define SEGHDC_CORE_KMEANS_HPP
 
@@ -23,6 +26,7 @@
 #include "src/hdc/accumulator.hpp"
 #include "src/hdc/hypervector.hpp"
 #include "src/hdc/kernels.hpp"
+#include "src/util/parallel.hpp"
 
 namespace seghdc::core {
 
@@ -35,6 +39,11 @@ struct HvKMeansConfig {
   /// flag the clusterer banks that saving automatically). The result is
   /// identical to running the full budget.
   bool stop_on_convergence = false;
+  /// Thread pool for the assignment and update steps (nullptr = the
+  /// process-wide shared pool). Results are bit-identical for every pool
+  /// size: the assignment writes per-point slots and the update reduces
+  /// integer partial sums, which are order-independent.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct HvKMeansResult {

@@ -1,21 +1,7 @@
 #include "src/core/seghdc.hpp"
 
-#include <algorithm>
-#include <array>
-#include <cmath>
-#include <limits>
-#include <unordered_map>
-#include <vector>
-
-#include "src/util/parallel.hpp"
-
-#include "src/core/color_encoder.hpp"
-#include "src/core/kmeans.hpp"
-#include "src/core/position_encoder.hpp"
-#include "src/hdc/fault.hpp"
-#include "src/imaging/color.hpp"
+#include "src/core/session.hpp"
 #include "src/util/contracts.hpp"
-#include "src/util/stopwatch.hpp"
 
 namespace seghdc::core {
 
@@ -52,265 +38,18 @@ SegHdc::SegHdc(const SegHdcConfig& config) : config_(config) {
   config_.validate();
 }
 
-namespace {
-
-/// Packs (row block, column block, color triple) into a dedup key.
-/// Layout: [block_row:16][block_col:16][c0:8][c1:8][c2:8] = 56 bits.
-std::uint64_t make_key(std::size_t block_row, std::size_t block_col,
-                       const std::array<std::uint8_t, 3>& color) {
-  return (static_cast<std::uint64_t>(block_row) << 40) |
-         (static_cast<std::uint64_t>(block_col) << 24) |
-         (static_cast<std::uint64_t>(color[0]) << 16) |
-         (static_cast<std::uint64_t>(color[1]) << 8) |
-         static_cast<std::uint64_t>(color[2]);
-}
-
-}  // namespace
+// The stateless API is a thin wrapper over a one-shot session: the
+// pipeline implementation lives in SegHdcSession (src/core/session.cpp),
+// which additionally caches encoder state across calls. A fresh session
+// per call reproduces the historical rebuild-every-time behaviour (and
+// output) exactly.
 
 EncodedImage SegHdc::encode(const img::ImageU8& image) const {
-  util::expects(image.channels() == 1 || image.channels() == 3,
-                "SegHdc supports 1- or 3-channel images");
-  util::expects(image.width() > 0 && image.height() > 0,
-                "SegHdc needs a non-empty image");
-  // Key packing supports 2^16 blocks per axis.
-  util::expects(image.width() < 65536 && image.height() < 65536,
-                "SegHdc supports images up to 65535x65535");
-
-  util::Rng rng(config_.seed);
-  const PositionEncoderConfig pos_config{
-      .dim = config_.dim,
-      .rows = image.height(),
-      .cols = image.width(),
-      .encoding = config_.position_encoding,
-      .alpha = config_.alpha,
-      .beta = config_.beta,
-      .flip_unit_basis = config_.flip_unit_basis,
-  };
-  const PositionEncoder position_encoder(pos_config, rng);
-  const ColorEncoderConfig color_config{
-      .dim = config_.dim,
-      .channels = image.channels(),
-      .encoding = config_.color_encoding,
-      .gamma = config_.gamma,
-  };
-  const ColorEncoder color_encoder(color_config, rng);
-
-  EncodedImage encoded;
-  encoded.width = image.width();
-  encoded.height = image.height();
-  encoded.pixel_to_unique.resize(image.pixel_count());
-
-  // --- Pass 1: dedup keys. When deduplication is disabled every pixel
-  // becomes its own "unique" point (identical semantics, full cost). ---
-  std::unordered_map<std::uint64_t, std::uint32_t> key_to_unique;
-  struct UniqueRef {
-    std::size_t x, y;  ///< representative pixel
-    std::array<std::uint8_t, 3> color;
-  };
-  std::vector<UniqueRef> refs;
-  if (config_.deduplicate) {
-    key_to_unique.reserve(image.pixel_count() / 4 + 16);
-  }
-
-  // Quantisation: map v to the midpoint of its bucket so encoded colors
-  // stay centred in the original range.
-  const std::size_t shift = config_.color_quantization_shift;
-  const auto quantize = [shift](std::uint8_t v) -> std::uint8_t {
-    if (shift == 0) {
-      return v;
-    }
-    const std::uint8_t bucket = static_cast<std::uint8_t>(v >> shift);
-    const std::uint32_t mid = (static_cast<std::uint32_t>(bucket) << shift) +
-                              ((1u << shift) >> 1);
-    return static_cast<std::uint8_t>(std::min<std::uint32_t>(mid, 255));
-  };
-
-  for (std::size_t y = 0; y < image.height(); ++y) {
-    for (std::size_t x = 0; x < image.width(); ++x) {
-      std::array<std::uint8_t, 3> color{0, 0, 0};
-      for (std::size_t c = 0; c < image.channels(); ++c) {
-        color[c] = quantize(image(x, y, c));
-      }
-      const std::size_t pixel_index = y * image.width() + x;
-      if (!config_.deduplicate) {
-        encoded.pixel_to_unique[pixel_index] =
-            static_cast<std::uint32_t>(refs.size());
-        refs.push_back(UniqueRef{x, y, color});
-        continue;
-      }
-      // kRandom position HVs differ per block index as well, so the same
-      // key function applies to every encoding variant.
-      const std::uint64_t key = make_key(position_encoder.row_block(y),
-                                         position_encoder.col_block(x),
-                                         color);
-      const auto [it, inserted] = key_to_unique.try_emplace(
-          key, static_cast<std::uint32_t>(refs.size()));
-      if (inserted) {
-        refs.push_back(UniqueRef{x, y, color});
-      }
-      encoded.pixel_to_unique[pixel_index] = it->second;
-    }
-  }
-
-  // --- Pass 2a: memoise the position and color HVs. Position HVs
-  // repeat across every color in a block and color HVs repeat across
-  // blocks, so each distinct HV is built exactly once; the per-point
-  // work left over is one word-parallel XOR. ---
-  encoded.weights.assign(refs.size(), 0);
-  encoded.intensities.resize(refs.size());
-  std::unordered_map<std::uint64_t, hdc::HyperVector> position_cache;
-  std::unordered_map<std::uint32_t, hdc::HyperVector> color_cache;
-  // Per-unique-point views into the caches (node-based maps: value
-  // addresses are stable across rehashing).
-  std::vector<const hdc::HyperVector*> position_of(refs.size());
-  std::vector<const hdc::HyperVector*> color_of(refs.size());
-  for (std::size_t u = 0; u < refs.size(); ++u) {
-    const auto& ref = refs[u];
-    const std::uint64_t position_key =
-        (static_cast<std::uint64_t>(position_encoder.row_block(ref.y))
-         << 20) |
-        position_encoder.col_block(ref.x);
-    auto pos_it = position_cache.find(position_key);
-    if (pos_it == position_cache.end()) {
-      pos_it = position_cache
-                   .emplace(position_key,
-                            position_encoder.encode(ref.y, ref.x))
-                   .first;
-    }
-    position_of[u] = &pos_it->second;
-    const std::uint32_t color_key =
-        (static_cast<std::uint32_t>(ref.color[0]) << 16) |
-        (static_cast<std::uint32_t>(ref.color[1]) << 8) | ref.color[2];
-    auto color_it = color_cache.find(color_key);
-    if (color_it == color_cache.end()) {
-      color_it =
-          color_cache
-              .emplace(color_key,
-                       color_encoder.encode(std::span<const std::uint8_t>(
-                           ref.color.data(), image.channels())))
-              .first;
-    }
-    color_of[u] = &color_it->second;
-    encoded.intensities[u] =
-        image.channels() == 1
-            ? ref.color[0]
-            : img::luma(ref.color[0], ref.color[1], ref.color[2]);
-  }
-  for (const auto u : encoded.pixel_to_unique) {
-    ++encoded.weights[u];
-  }
-
-  // --- Pass 2b: bind position x color straight into the packed block,
-  // data-parallel over unique points. No per-point HyperVector is
-  // allocated; each row is one fused XOR over cached word spans. ---
-  encoded.unique_hvs = hdc::HvBlock(config_.dim, refs.size());
-  util::parallel_for(
-      0, refs.size(),
-      [&](std::size_t u) {
-        hdc::kernels::xor_words(encoded.unique_hvs.row(u),
-                                position_of[u]->words(),
-                                color_of[u]->words());
-      },
-      /*grain=*/64);
-  encoded.ops.bind_xor_bits +=
-      static_cast<std::uint64_t>(refs.size()) * config_.dim;
-
-  // Fault injection: corrupt the encoded pixel HVs at the configured
-  // bit-error rate (models storing them in an approximate memory).
-  if (config_.bit_error_rate > 0.0) {
-    util::Rng fault_rng(config_.seed ^ 0xFA017ULL);
-    for (std::size_t u = 0; u < encoded.unique_hvs.count(); ++u) {
-      hdc::inject_bit_flips(encoded.unique_hvs.row(u), config_.dim,
-                            config_.bit_error_rate, fault_rng);
-    }
-  }
-
-  return encoded;
+  return SegHdcSession(config_).encode(image);
 }
 
 SegmentationResult SegHdc::segment(const img::ImageU8& image) const {
-  const util::Stopwatch total_watch;
-  util::Stopwatch phase_watch;
-
-  EncodedImage encoded = encode(image);
-
-  SegmentationResult result;
-  result.timings.encode_seconds = phase_watch.seconds();
-  result.clusters = config_.clusters;
-  result.unique_points = encoded.unique_hvs.size();
-
-  // Initial centroids: pixels with the largest color difference
-  // (Section III-④).
-  const auto seeds = largest_color_difference_seeds(
-      encoded.intensities, config_.clusters);
-
-  phase_watch.reset();
-  const HvKMeans kmeans(HvKMeansConfig{
-      .clusters = config_.clusters,
-      .iterations = config_.iterations,
-      .distance = config_.cluster_distance,
-      .stop_on_convergence = config_.stop_on_convergence,
-  });
-  const HvKMeansResult clustering =
-      kmeans.run(encoded.unique_hvs, encoded.weights, seeds);
-  result.timings.cluster_seconds = phase_watch.seconds();
-
-  // --- Label map + per-cluster pixel counts. ---
-  result.labels = img::LabelMap(image.width(), image.height(), 1, 0);
-  result.cluster_pixel_counts.assign(config_.clusters, 0);
-  for (std::size_t y = 0; y < image.height(); ++y) {
-    for (std::size_t x = 0; x < image.width(); ++x) {
-      const std::uint32_t unique =
-          encoded.pixel_to_unique[y * image.width() + x];
-      const std::uint32_t label = clustering.assignment[unique];
-      result.labels(x, y) = label;
-      ++result.cluster_pixel_counts[label];
-    }
-  }
-
-  // Optional confidence margins from the final centroids.
-  if (config_.compute_margins) {
-    std::vector<float> unique_margin(encoded.unique_hvs.size(), 0.0F);
-    std::vector<double> centroid_norm(clustering.centroids.size());
-    for (std::size_t c = 0; c < clustering.centroids.size(); ++c) {
-      centroid_norm[c] = clustering.centroids[c].norm();
-    }
-    util::parallel_for(
-        0, encoded.unique_hvs.size(),
-        [&](std::size_t u) {
-          const auto point = encoded.unique_hvs.row(u);
-          const double point_norm = std::sqrt(
-              static_cast<double>(encoded.unique_hvs.popcount(u)));
-          double best = std::numeric_limits<double>::infinity();
-          double second = std::numeric_limits<double>::infinity();
-          for (std::size_t c = 0; c < clustering.centroids.size(); ++c) {
-            const double d = hdc::kernels::cosine_distance_words(
-                clustering.centroids[c].counts(), centroid_norm[c], point,
-                point_norm);
-            if (d < best) {
-              second = best;
-              best = d;
-            } else if (d < second) {
-              second = d;
-            }
-          }
-          unique_margin[u] = static_cast<float>(second - best);
-        },
-        /*grain=*/64);
-    result.margins = img::ImageF32(image.width(), image.height(), 1);
-    for (std::size_t p = 0; p < encoded.pixel_to_unique.size(); ++p) {
-      result.margins.pixels()[p] =
-          unique_margin[encoded.pixel_to_unique[p]];
-    }
-  }
-
-  result.iterations_run = clustering.iterations_run;
-  result.ops = encoded.ops + clustering.ops;
-  result.paper_equivalent_ops = analytic_seghdc_ops(
-      image.pixel_count(), config_.dim, config_.clusters,
-      config_.iterations);
-  result.timings.total_seconds = total_watch.seconds();
-  return result;
+  return SegHdcSession(config_).segment(image);
 }
 
 }  // namespace seghdc::core

@@ -5,6 +5,12 @@
 //   const SegmentationResult result = seghdc.segment(image);
 //   // result.labels(x, y) in [0, config.clusters)
 //
+// SegHdc is stateless: every call rebuilds the encoder item memories.
+// For many-image workloads use SegHdcSession (src/core/session.hpp),
+// which caches that state per image geometry and batches via
+// segment_many; SegHdc is a thin wrapper over a one-shot session and
+// produces bitwise-identical results.
+//
 // The pipeline deduplicates pixels that provably share a pixel HV —
 // identical (position block, color triple) — and clusters the unique set
 // with multiplicities; this is semantically identical to per-pixel

@@ -1,0 +1,469 @@
+#include "src/core/session.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/color_encoder.hpp"
+#include "src/core/kmeans.hpp"
+#include "src/core/position_encoder.hpp"
+#include "src/hdc/fault.hpp"
+#include "src/imaging/color.hpp"
+#include "src/util/contracts.hpp"
+#include "src/util/stopwatch.hpp"
+
+namespace seghdc::core {
+
+namespace {
+
+/// Packs (row block, column block, color triple) into a dedup key.
+/// Layout: [block_row:16][block_col:16][c0:8][c1:8][c2:8] = 56 bits.
+std::uint64_t make_key(std::size_t block_row, std::size_t block_col,
+                       const std::array<std::uint8_t, 3>& color) {
+  return (static_cast<std::uint64_t>(block_row) << 40) |
+         (static_cast<std::uint64_t>(block_col) << 24) |
+         (static_cast<std::uint64_t>(color[0]) << 16) |
+         (static_cast<std::uint64_t>(color[1]) << 8) |
+         static_cast<std::uint64_t>(color[2]);
+}
+
+void validate_image(const img::ImageU8& image) {
+  util::expects(image.channels() == 1 || image.channels() == 3,
+                "SegHdc supports 1- or 3-channel images");
+  util::expects(image.width() > 0 && image.height() > 0,
+                "SegHdc needs a non-empty image");
+  // Key packing supports 2^16 blocks per axis.
+  util::expects(image.width() < 65536 && image.height() < 65536,
+                "SegHdc supports images up to 65535x65535");
+}
+
+/// Geometry cache key: height/width < 2^16 (validated), channels in
+/// {1, 3}.
+std::uint64_t geometry_key(const img::ImageU8& image) {
+  return (static_cast<std::uint64_t>(image.height()) << 24) |
+         (static_cast<std::uint64_t>(image.width()) << 8) |
+         static_cast<std::uint64_t>(image.channels());
+}
+
+}  // namespace
+
+/// The immutable encoder state for one image geometry: the position and
+/// color item memories. Construction order matters — the position
+/// encoder consumes the seeded RNG stream first, then the color encoder,
+/// exactly as the stateless `SegHdc::segment` path always has, so the
+/// cached state reproduces its outputs bit for bit.
+struct SegHdcSession::EncoderState {
+  PositionEncoder position;
+  ColorEncoder color;
+
+  EncoderState(const SegHdcConfig& config, const img::ImageU8& image,
+               util::Rng& rng)
+      : position(
+            PositionEncoderConfig{
+                .dim = config.dim,
+                .rows = image.height(),
+                .cols = image.width(),
+                .encoding = config.position_encoding,
+                .alpha = config.alpha,
+                .beta = config.beta,
+                .flip_unit_basis = config.flip_unit_basis,
+            },
+            rng),
+        color(
+            ColorEncoderConfig{
+                .dim = config.dim,
+                .channels = image.channels(),
+                .encoding = config.color_encoding,
+                .gamma = config.gamma,
+            },
+            rng) {}
+};
+
+/// Reusable per-worker arena for encode: the dedup map, the unique-point
+/// refs, and the memoised position/color HVs. The HV caches are keyed by
+/// encoder state and survive across images of the same geometry (their
+/// values are pure functions of the state), so a worker streaming
+/// similar frames stops re-deriving the same HVs; the per-image
+/// containers are cleared (capacity retained) between calls.
+struct SegHdcSession::EncodeScratch {
+  struct UniqueRef {
+    std::size_t x, y;  ///< representative pixel
+    std::array<std::uint8_t, 3> color;
+  };
+
+  std::unordered_map<std::uint64_t, std::uint32_t> key_to_unique;
+  std::vector<UniqueRef> refs;
+  // Node-based maps: value addresses are stable across rehashing, so the
+  // per-point views below may point into them.
+  std::unordered_map<std::uint64_t, hdc::HyperVector> position_cache;
+  std::unordered_map<std::uint32_t, hdc::HyperVector> color_cache;
+  std::vector<const hdc::HyperVector*> position_of;
+  std::vector<const hdc::HyperVector*> color_of;
+  const EncoderState* cached_state = nullptr;
+
+  void begin_image(const EncoderState& state, std::size_t dim) {
+    key_to_unique.clear();
+    refs.clear();
+    if (cached_state != &state) {
+      position_cache.clear();
+      color_cache.clear();
+      cached_state = &state;
+    }
+    // Backstop for adversarial color churn (high-entropy RGB streams):
+    // cap the cross-image cache by payload bytes, not entries, so the
+    // bound holds on edge devices at any dim. ~8 MB of packed words per
+    // worker, floored/ceilinged so small dims don't drown in node
+    // overhead and large dims keep a useful working set.
+    const std::size_t word_budget = (8u << 20) / sizeof(std::uint64_t);
+    const std::size_t entry_cap = std::clamp<std::size_t>(
+        word_budget / hdc::kernels::words_for_dim(dim), 1024, 1u << 16);
+    if (color_cache.size() >= entry_cap) {
+      color_cache.clear();
+    }
+  }
+};
+
+SegHdcSession::SegHdcSession(const SegHdcConfig& config,
+                             const Options& options)
+    : config_(config), pool_(options.pool) {
+  config_.validate();
+}
+
+SegHdcSession::~SegHdcSession() = default;
+
+util::ThreadPool& SegHdcSession::pool() const {
+  return pool_ != nullptr ? *pool_ : util::ThreadPool::shared();
+}
+
+std::size_t SegHdcSession::encoder_states_built() const {
+  const std::lock_guard<std::mutex> lock(states_mutex_);
+  return states_.size();
+}
+
+const SegHdcSession::EncoderState& SegHdcSession::state_for(
+    const img::ImageU8& image) const {
+  const std::uint64_t key = geometry_key(image);
+  {
+    const std::lock_guard<std::mutex> lock(states_mutex_);
+    const auto it = states_.find(key);
+    if (it != states_.end()) {
+      return *it->second;
+    }
+  }
+  // Build outside the lock so distinct geometries construct in parallel;
+  // a same-geometry race is resolved by try_emplace (one winner, the
+  // loser's identical state is discarded).
+  util::Rng rng(config_.seed);
+  auto built = std::make_unique<EncoderState>(config_, image, rng);
+  const std::lock_guard<std::mutex> lock(states_mutex_);
+  const auto [it, inserted] = states_.try_emplace(key, std::move(built));
+  return *it->second;
+}
+
+EncodedImage SegHdcSession::encode(const img::ImageU8& image) const {
+  validate_image(image);
+  std::unique_lock<std::mutex> lock(scratch_mutex_, std::try_to_lock);
+  if (lock.owns_lock()) {
+    return encode_impl(image, state_for(image), shared_scratch());
+  }
+  EncodeScratch scratch;
+  return encode_impl(image, state_for(image), scratch);
+}
+
+/// The session-owned scratch used by single-image segment()/encode()
+/// calls, so a plain `for (image : stream) session.segment(image)` loop
+/// keeps its memoised position/color HVs warm between frames. Callers
+/// must hold scratch_mutex_; concurrent callers that lose the try_lock
+/// fall back to a private scratch (identical output, cold caches).
+SegHdcSession::EncodeScratch& SegHdcSession::shared_scratch() const {
+  if (!shared_scratch_) {
+    shared_scratch_ = std::make_unique<EncodeScratch>();
+  }
+  return *shared_scratch_;
+}
+
+EncodedImage SegHdcSession::encode_impl(const img::ImageU8& image,
+                                        const EncoderState& state,
+                                        EncodeScratch& scratch) const {
+  const PositionEncoder& position_encoder = state.position;
+  const ColorEncoder& color_encoder = state.color;
+  scratch.begin_image(state, config_.dim);
+
+  EncodedImage encoded;
+  encoded.width = image.width();
+  encoded.height = image.height();
+  encoded.pixel_to_unique.resize(image.pixel_count());
+
+  // --- Pass 1: dedup keys. When deduplication is disabled every pixel
+  // becomes its own "unique" point (identical semantics, full cost). ---
+  auto& key_to_unique = scratch.key_to_unique;
+  auto& refs = scratch.refs;
+  if (config_.deduplicate) {
+    key_to_unique.reserve(image.pixel_count() / 4 + 16);
+  }
+
+  // Quantisation: map v to the midpoint of its bucket so encoded colors
+  // stay centred in the original range.
+  const std::size_t shift = config_.color_quantization_shift;
+  const auto quantize = [shift](std::uint8_t v) -> std::uint8_t {
+    if (shift == 0) {
+      return v;
+    }
+    const std::uint8_t bucket = static_cast<std::uint8_t>(v >> shift);
+    const std::uint32_t mid = (static_cast<std::uint32_t>(bucket) << shift) +
+                              ((1u << shift) >> 1);
+    return static_cast<std::uint8_t>(std::min<std::uint32_t>(mid, 255));
+  };
+
+  for (std::size_t y = 0; y < image.height(); ++y) {
+    for (std::size_t x = 0; x < image.width(); ++x) {
+      std::array<std::uint8_t, 3> color{0, 0, 0};
+      for (std::size_t c = 0; c < image.channels(); ++c) {
+        color[c] = quantize(image(x, y, c));
+      }
+      const std::size_t pixel_index = y * image.width() + x;
+      if (!config_.deduplicate) {
+        encoded.pixel_to_unique[pixel_index] =
+            static_cast<std::uint32_t>(refs.size());
+        refs.push_back(EncodeScratch::UniqueRef{x, y, color});
+        continue;
+      }
+      // kRandom position HVs differ per block index as well, so the same
+      // key function applies to every encoding variant.
+      const std::uint64_t key = make_key(position_encoder.row_block(y),
+                                         position_encoder.col_block(x),
+                                         color);
+      const auto [it, inserted] = key_to_unique.try_emplace(
+          key, static_cast<std::uint32_t>(refs.size()));
+      if (inserted) {
+        refs.push_back(EncodeScratch::UniqueRef{x, y, color});
+      }
+      encoded.pixel_to_unique[pixel_index] = it->second;
+    }
+  }
+
+  // --- Pass 2a: memoise the position and color HVs. Position HVs
+  // repeat across every color in a block and color HVs repeat across
+  // blocks, so each distinct HV is built exactly once per session
+  // geometry; the per-point work left over is one word-parallel XOR. ---
+  encoded.weights.assign(refs.size(), 0);
+  encoded.intensities.resize(refs.size());
+  auto& position_cache = scratch.position_cache;
+  auto& color_cache = scratch.color_cache;
+  auto& position_of = scratch.position_of;
+  auto& color_of = scratch.color_of;
+  position_of.assign(refs.size(), nullptr);
+  color_of.assign(refs.size(), nullptr);
+  for (std::size_t u = 0; u < refs.size(); ++u) {
+    const auto& ref = refs[u];
+    const std::uint64_t position_key =
+        (static_cast<std::uint64_t>(position_encoder.row_block(ref.y))
+         << 20) |
+        position_encoder.col_block(ref.x);
+    auto pos_it = position_cache.find(position_key);
+    if (pos_it == position_cache.end()) {
+      pos_it = position_cache
+                   .emplace(position_key,
+                            position_encoder.encode(ref.y, ref.x))
+                   .first;
+    }
+    position_of[u] = &pos_it->second;
+    const std::uint32_t color_key =
+        (static_cast<std::uint32_t>(ref.color[0]) << 16) |
+        (static_cast<std::uint32_t>(ref.color[1]) << 8) | ref.color[2];
+    auto color_it = color_cache.find(color_key);
+    if (color_it == color_cache.end()) {
+      color_it =
+          color_cache
+              .emplace(color_key,
+                       color_encoder.encode(std::span<const std::uint8_t>(
+                           ref.color.data(), image.channels())))
+              .first;
+    }
+    color_of[u] = &color_it->second;
+    encoded.intensities[u] =
+        image.channels() == 1
+            ? ref.color[0]
+            : img::luma(ref.color[0], ref.color[1], ref.color[2]);
+  }
+  for (const auto u : encoded.pixel_to_unique) {
+    ++encoded.weights[u];
+  }
+
+  // --- Pass 2b: bind position x color straight into the packed block,
+  // data-parallel over unique points. No per-point HyperVector is
+  // allocated; each row is one fused XOR over cached word spans. ---
+  encoded.unique_hvs = hdc::HvBlock(config_.dim, refs.size());
+  pool().parallel_for(
+      0, refs.size(),
+      [&](std::size_t u) {
+        hdc::kernels::xor_words(encoded.unique_hvs.row(u),
+                                position_of[u]->words(),
+                                color_of[u]->words());
+      },
+      /*grain=*/64);
+  encoded.ops.bind_xor_bits +=
+      static_cast<std::uint64_t>(refs.size()) * config_.dim;
+
+  // Fault injection: corrupt the encoded pixel HVs at the configured
+  // bit-error rate (models storing them in an approximate memory).
+  if (config_.bit_error_rate > 0.0) {
+    util::Rng fault_rng(config_.seed ^ 0xFA017ULL);
+    for (std::size_t u = 0; u < encoded.unique_hvs.count(); ++u) {
+      hdc::inject_bit_flips(encoded.unique_hvs.row(u), config_.dim,
+                            config_.bit_error_rate, fault_rng);
+    }
+  }
+
+  return encoded;
+}
+
+SegmentationResult SegHdcSession::segment(const img::ImageU8& image) const {
+  validate_image(image);
+  std::unique_lock<std::mutex> lock(scratch_mutex_, std::try_to_lock);
+  if (lock.owns_lock()) {
+    return segment_impl(image, shared_scratch());
+  }
+  EncodeScratch scratch;
+  return segment_impl(image, scratch);
+}
+
+SegmentationResult SegHdcSession::segment_impl(const img::ImageU8& image,
+                                               EncodeScratch& scratch) const {
+  const util::Stopwatch total_watch;
+  util::Stopwatch phase_watch;
+
+  EncodedImage encoded = encode_impl(image, state_for(image), scratch);
+
+  SegmentationResult result;
+  result.timings.encode_seconds = phase_watch.seconds();
+  result.clusters = config_.clusters;
+  result.unique_points = encoded.unique_hvs.size();
+
+  // Initial centroids: pixels with the largest color difference
+  // (Section III-④).
+  const auto seeds = largest_color_difference_seeds(
+      encoded.intensities, config_.clusters);
+
+  phase_watch.reset();
+  const HvKMeans kmeans(HvKMeansConfig{
+      .clusters = config_.clusters,
+      .iterations = config_.iterations,
+      .distance = config_.cluster_distance,
+      .stop_on_convergence = config_.stop_on_convergence,
+      .pool = pool_,
+  });
+  const HvKMeansResult clustering =
+      kmeans.run(encoded.unique_hvs, encoded.weights, seeds);
+  result.timings.cluster_seconds = phase_watch.seconds();
+
+  // --- Label map + per-cluster pixel counts. ---
+  result.labels = img::LabelMap(image.width(), image.height(), 1, 0);
+  result.cluster_pixel_counts.assign(config_.clusters, 0);
+  for (std::size_t y = 0; y < image.height(); ++y) {
+    for (std::size_t x = 0; x < image.width(); ++x) {
+      const std::uint32_t unique =
+          encoded.pixel_to_unique[y * image.width() + x];
+      const std::uint32_t label = clustering.assignment[unique];
+      result.labels(x, y) = label;
+      ++result.cluster_pixel_counts[label];
+    }
+  }
+
+  result.ops = encoded.ops + clustering.ops;
+
+  // Optional confidence margins from the final centroids. Everything in
+  // this block — norms, distances, and their op counts — exists only
+  // when margins are requested; with compute_margins off the pipeline
+  // performs (and reports) zero margin work and result.margins stays
+  // empty.
+  if (config_.compute_margins) {
+    std::vector<float> unique_margin(encoded.unique_hvs.size(), 0.0F);
+    std::vector<double> centroid_norm(clustering.centroids.size());
+    for (std::size_t c = 0; c < clustering.centroids.size(); ++c) {
+      centroid_norm[c] = clustering.centroids[c].norm();
+    }
+    pool().parallel_for(
+        0, encoded.unique_hvs.size(),
+        [&](std::size_t u) {
+          const auto point = encoded.unique_hvs.row(u);
+          const double point_norm = std::sqrt(
+              static_cast<double>(encoded.unique_hvs.popcount(u)));
+          double best = std::numeric_limits<double>::infinity();
+          double second = std::numeric_limits<double>::infinity();
+          for (std::size_t c = 0; c < clustering.centroids.size(); ++c) {
+            const double d = hdc::kernels::cosine_distance_words(
+                clustering.centroids[c].counts(), centroid_norm[c], point,
+                point_norm);
+            if (d < best) {
+              second = best;
+              best = d;
+            } else if (d < second) {
+              second = d;
+            }
+          }
+          unique_margin[u] = static_cast<float>(second - best);
+        },
+        /*grain=*/64);
+    result.margins = img::ImageF32(image.width(), image.height(), 1);
+    for (std::size_t p = 0; p < encoded.pixel_to_unique.size(); ++p) {
+      result.margins.pixels()[p] =
+          unique_margin[encoded.pixel_to_unique[p]];
+    }
+    const auto unique = static_cast<std::uint64_t>(encoded.unique_hvs.size());
+    result.ops.popcount_bits += unique * config_.dim;
+    result.ops.dot_adds += unique * config_.clusters * config_.dim;
+    result.ops.distance_evals += unique * config_.clusters;
+  }
+
+  result.iterations_run = clustering.iterations_run;
+  result.paper_equivalent_ops = analytic_seghdc_ops(
+      image.pixel_count(), config_.dim, config_.clusters,
+      config_.iterations);
+  result.timings.total_seconds = total_watch.seconds();
+  return result;
+}
+
+std::vector<SegmentationResult> SegHdcSession::segment_many(
+    std::span<const img::ImageU8> images) const {
+  std::vector<SegmentationResult> results(images.size());
+  if (images.empty()) {
+    return results;
+  }
+  // Validate everything and build the encoder state for every distinct
+  // geometry up front, so the parallel section below only ever reads the
+  // state cache.
+  for (const auto& image : images) {
+    validate_image(image);
+    state_for(image);
+  }
+
+  util::ThreadPool& workers_pool = pool();
+  const std::size_t workers =
+      std::min(images.size(), workers_pool.thread_count());
+  std::atomic<std::size_t> next{0};
+  workers_pool.parallel_for(
+      0, workers,
+      [&](std::size_t) {
+        // One scratch arena per worker; image-level sharding is the
+        // parallelism, so the per-image inner loops run serially on this
+        // worker instead of re-entering the pool.
+        EncodeScratch scratch;
+        const util::SerialScope serial;
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= images.size()) {
+            return;
+          }
+          results[i] = segment_impl(images[i], scratch);
+        }
+      },
+      /*grain=*/1);
+  return results;
+}
+
+}  // namespace seghdc::core

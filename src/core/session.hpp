@@ -1,0 +1,114 @@
+// SegHdcSession: the reusable, many-image serving form of the SegHDC
+// pipeline (paper Fig. 2).
+//
+// `SegHdc::segment()` is stateless and therefore rebuilds the position
+// and color item memories on every call — fine for one image, wasteful
+// for traffic. A session builds that immutable encoder state once per
+// image geometry (height, width, channels) and reuses it across calls:
+//
+//   SegHdcSession session(config);
+//   for (const auto& image : stream) {
+//     const auto result = session.segment(image);   // encoders reused
+//   }
+//
+// or, for batches, `segment_many` shards the images across the thread
+// pool with one scratch arena per worker:
+//
+//   const auto results = session.segment_many(images);
+//
+// Guarantees:
+//   - `segment` is bitwise-identical to `SegHdc::segment` for the same
+//     config and image (same label maps, margins, op counts).
+//   - `segment_many` returns exactly what a sequential `segment` loop
+//     returns, for every pool size (per-image work is deterministic and
+//     images never share mutable state).
+//   - const methods are safe to call concurrently; the encoder-state
+//     cache is internally synchronised.
+#ifndef SEGHDC_CORE_SESSION_HPP
+#define SEGHDC_CORE_SESSION_HPP
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/config.hpp"
+#include "src/core/seghdc.hpp"
+#include "src/imaging/image.hpp"
+#include "src/util/parallel.hpp"
+
+namespace seghdc::core {
+
+class SegHdcSession {
+ public:
+  struct Options {
+    /// Pool for every parallel loop the session issues (image sharding
+    /// in `segment_many`, encode bind pass, clustering). nullptr = the
+    /// process-wide shared pool. Outputs are identical for every pool.
+    util::ThreadPool* pool = nullptr;
+  };
+
+  /// Validates `config` (throws std::invalid_argument on bad values).
+  explicit SegHdcSession(const SegHdcConfig& config)
+      : SegHdcSession(config, Options{}) {}
+  SegHdcSession(const SegHdcConfig& config, const Options& options);
+
+  ~SegHdcSession();
+  SegHdcSession(const SegHdcSession&) = delete;
+  SegHdcSession& operator=(const SegHdcSession&) = delete;
+
+  const SegHdcConfig& config() const { return config_; }
+
+  /// Encodes every pixel of `image` (1 or 3 channels) into pixel HVs,
+  /// reusing the cached encoder state for the image's geometry.
+  EncodedImage encode(const img::ImageU8& image) const;
+
+  /// Full pipeline: encode + cluster + label map. Bitwise-identical to
+  /// `SegHdc::segment` with the same config.
+  SegmentationResult segment(const img::ImageU8& image) const;
+
+  /// Segments a batch: images are sharded across the pool, one worker
+  /// per pool thread, each with its own scratch arena; the per-image
+  /// inner loops run serially on their worker. results[i] is exactly
+  /// `segment(images[i])` for every pool size.
+  std::vector<SegmentationResult> segment_many(
+      std::span<const img::ImageU8> images) const;
+
+  /// Number of distinct (height, width, channels) encoder states built
+  /// so far — observability for tests and serving dashboards.
+  std::size_t encoder_states_built() const;
+
+ private:
+  struct EncoderState;
+  struct EncodeScratch;
+
+  /// Returns the encoder state for the image's geometry, building and
+  /// caching it on first use (thread-safe; concurrent same-geometry
+  /// builds resolve to one winner).
+  const EncoderState& state_for(const img::ImageU8& image) const;
+
+  EncodedImage encode_impl(const img::ImageU8& image,
+                           const EncoderState& state,
+                           EncodeScratch& scratch) const;
+  SegmentationResult segment_impl(const img::ImageU8& image,
+                                  EncodeScratch& scratch) const;
+
+  EncodeScratch& shared_scratch() const;
+  util::ThreadPool& pool() const;
+
+  SegHdcConfig config_;
+  util::ThreadPool* pool_ = nullptr;
+  mutable std::mutex states_mutex_;
+  mutable std::unordered_map<std::uint64_t, std::unique_ptr<EncoderState>>
+      states_;
+  // Warm scratch for single-image segment()/encode() streams; guarded by
+  // scratch_mutex_ (losers of the try_lock use a cold private scratch).
+  mutable std::mutex scratch_mutex_;
+  mutable std::unique_ptr<EncodeScratch> shared_scratch_;
+};
+
+}  // namespace seghdc::core
+
+#endif  // SEGHDC_CORE_SESSION_HPP

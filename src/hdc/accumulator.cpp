@@ -37,6 +37,22 @@ void Accumulator::add(std::span<const std::uint64_t> packed_bits,
   total_weight_ += weight;
 }
 
+void Accumulator::merge(const Accumulator& other) {
+  util::expects(other.counts_.size() == counts_.size(),
+                "Accumulator::merge dimension mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::int64_t b = other.counts_[i];
+    if (b == 0) {
+      continue;
+    }
+    // (x+b)^2 - x^2 = 2xb + b^2 keeps sum_squares_ exact under merging,
+    // so norm() is independent of how adds were grouped into partials.
+    sum_squares_ += 2 * counts_[i] * b + b * b;
+    counts_[i] += b;
+  }
+  total_weight_ += other.total_weight_;
+}
+
 std::int64_t Accumulator::at(std::size_t index) const {
   util::expects(index < counts_.size(),
                 "Accumulator::at index within dimension");

@@ -36,6 +36,13 @@ class Accumulator {
   void add(std::span<const std::uint64_t> packed_bits,
            std::uint32_t weight = 1);
 
+  /// Component-wise sum with another accumulator of the same dimension:
+  /// counts, total weight, and the incremental norm all merge exactly.
+  /// Integer sums are order-independent, which is what lets the K-Means
+  /// update step accumulate into per-thread partials and reduce them in
+  /// any grouping with bit-identical results.
+  void merge(const Accumulator& other);
+
   /// Sum of the weights added since the last clear().
   std::uint64_t total_weight() const { return total_weight_; }
 

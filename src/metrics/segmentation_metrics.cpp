@@ -235,4 +235,14 @@ double mean(const std::vector<double>& values) {
   return sum / static_cast<double>(values.size());
 }
 
+std::uint64_t label_map_hash(const img::LabelMap& labels,
+                             std::uint64_t seed) {
+  std::uint64_t hash = seed;
+  for (const auto label : labels.pixels()) {
+    hash ^= static_cast<std::uint64_t>(label);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
 }  // namespace seghdc::metrics

@@ -42,11 +42,6 @@ void ThreadPool::worker_loop() {
       queue_.pop_back();
     }
     task.fn();
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      --in_flight_;
-    }
-    done_.notify_all();
   }
 }
 
@@ -61,7 +56,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   const std::size_t min_grain = std::max<std::size_t>(1, grain);
   const std::size_t chunks = std::min(
       (count + min_grain - 1) / min_grain, std::max<std::size_t>(threads, 1));
-  if (chunks <= 1 || workers_.empty()) {
+  if (chunks <= 1 || workers_.empty() || SerialScope::active()) {
     for (std::size_t i = begin; i < end; ++i) {
       body(i);
     }
@@ -94,21 +89,49 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     }
   };
 
+  // Per-invocation completion counter: every helper task decrements it
+  // when its drain returns, so this call only waits on its own work even
+  // when other parallel_for invocations share the queue.
   const std::size_t helpers = std::min(chunks - 1, workers_.size());
+  std::atomic<std::size_t> pending{helpers};
+  auto helper = [&] {
+    drain();
+    if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Take the lock before notifying so the waiter cannot check the
+      // counter and then sleep through this notification.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      done_.notify_all();
+    }
+  };
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t i = 0; i < helpers; ++i) {
-      queue_.push_back(Task{drain});
+      queue_.push_back(Task{helper});
     }
-    in_flight_ += helpers;
   }
   wake_.notify_all();
 
   drain();  // calling thread participates
 
+  // Help-wait: helper tasks that no worker has picked up yet (all workers
+  // busy, e.g. inside an enclosing parallel_for) are executed right here,
+  // which is what makes nested loops deadlock-free.
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    done_.wait(lock, [this] { return in_flight_ == 0; });
+    while (pending.load(std::memory_order_acquire) != 0) {
+      if (!queue_.empty()) {
+        Task task = std::move(queue_.back());
+        queue_.pop_back();
+        lock.unlock();
+        task.fn();
+        lock.lock();
+        continue;
+      }
+      done_.wait(lock, [&] {
+        return pending.load(std::memory_order_acquire) == 0 ||
+               !queue_.empty();
+      });
+    }
   }
   if (first_error) {
     std::rethrow_exception(first_error);

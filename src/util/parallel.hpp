@@ -1,5 +1,11 @@
 // Process-wide thread pool with a simple parallel_for. Used by the K-Means
-// assignment step and the conv GEMM, where per-item work is independent.
+// assignment/update steps, the SegHDC encoder bind pass, the conv GEMM,
+// and SegHdcSession::segment_many, where per-item work is independent.
+//
+// Nesting: a parallel_for body may itself call parallel_for (on the same
+// pool or the shared one). A caller waiting for its own chunks to finish
+// helps execute queued tasks instead of blocking, so nested loops cannot
+// deadlock the pool; at worst they run on the calling thread.
 #ifndef SEGHDC_UTIL_PARALLEL_HPP
 #define SEGHDC_UTIL_PARALLEL_HPP
 
@@ -11,6 +17,30 @@
 #include <vector>
 
 namespace seghdc::util {
+
+/// RAII guard: while one is alive on the current thread, every
+/// parallel_for issued from that thread runs inline (sequentially)
+/// instead of fanning out. Used by coarse-grained parallelism (e.g. one
+/// image per worker in SegHdcSession::segment_many) to stop the
+/// fine-grained loops underneath from oversubscribing the pool. Results
+/// are unchanged — parallel_for callers must already be
+/// schedule-independent.
+class SerialScope {
+ public:
+  SerialScope() { ++depth(); }
+  ~SerialScope() { --depth(); }
+
+  SerialScope(const SerialScope&) = delete;
+  SerialScope& operator=(const SerialScope&) = delete;
+
+  static bool active() { return depth() > 0; }
+
+ private:
+  static int& depth() {
+    thread_local int count = 0;
+    return count;
+  }
+};
 
 /// Fixed-size worker pool. Construct once, submit blocking parallel loops.
 /// All exceptions thrown by the body are captured and the first one is
@@ -49,7 +79,6 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable done_;
-  std::size_t in_flight_ = 0;
   bool stopping_ = false;
 };
 

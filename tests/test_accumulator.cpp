@@ -180,4 +180,44 @@ TEST(Accumulator, DimensionMismatchThrows) {
   EXPECT_THROW(acc.at(10), std::invalid_argument);
 }
 
+TEST(Accumulator, MergeEqualsSequentialAdds) {
+  // merge() is the reduction step of the parallel K-Means update: two
+  // partials merged must equal the one accumulator that saw every add,
+  // including the incrementally-maintained norm.
+  Rng rng(21);
+  const std::size_t dim = 384;
+  Accumulator all(dim);
+  Accumulator left(dim);
+  Accumulator right(dim);
+  for (std::uint32_t i = 0; i < 24; ++i) {
+    const auto hv = HyperVector::random(dim, rng);
+    const std::uint32_t weight = 1 + i % 7;
+    all.add(hv, weight);
+    (i % 2 == 0 ? left : right).add(hv, weight);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.total_weight(), all.total_weight());
+  for (std::size_t i = 0; i < dim; ++i) {
+    ASSERT_EQ(left.at(i), all.at(i)) << "component " << i;
+  }
+  EXPECT_DOUBLE_EQ(left.norm(), all.norm());
+}
+
+TEST(Accumulator, MergeWithEmptyIsIdentity) {
+  Rng rng(22);
+  Accumulator acc(128);
+  acc.add(HyperVector::random(128, rng), 3);
+  const double norm_before = acc.norm();
+  const Accumulator empty(128);
+  acc.merge(empty);
+  EXPECT_DOUBLE_EQ(acc.norm(), norm_before);
+  EXPECT_EQ(acc.total_weight(), 3u);
+}
+
+TEST(Accumulator, MergeDimensionMismatchThrows) {
+  Accumulator a(10);
+  const Accumulator b(11);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
 }  // namespace

@@ -1,8 +1,13 @@
 // Tests for the hypervector K-Means clusterer (paper Section III-④).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/core/kmeans.hpp"
+#include "src/hdc/accumulator.hpp"
 #include "src/hdc/hypervector.hpp"
+#include "src/hdc/kernels.hpp"
+#include "src/util/parallel.hpp"
 #include "src/util/rng.hpp"
 
 namespace {
@@ -143,6 +148,121 @@ TEST(HvKMeans, DeterministicAcrossRuns) {
   const auto a = kmeans.run(data.points, {}, std::vector<std::size_t>{0, 1});
   const auto b = kmeans.run(data.points, {}, std::vector<std::size_t>{0, 1});
   EXPECT_EQ(a.assignment, b.assignment);
+}
+
+// --- Parallel update step (per-chunk partial accumulators). ---
+
+/// Full-result comparison: everything a caller can observe must match.
+void expect_kmeans_results_identical(const HvKMeansResult& a,
+                                     const HvKMeansResult& b) {
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.cluster_weights, b.cluster_weights);
+  EXPECT_EQ(a.iterations_run, b.iterations_run);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.reseeds, b.reseeds);
+  ASSERT_EQ(a.centroids.size(), b.centroids.size());
+  for (std::size_t c = 0; c < a.centroids.size(); ++c) {
+    EXPECT_TRUE(std::ranges::equal(a.centroids[c].counts(),
+                                   b.centroids[c].counts()))
+        << "centroid " << c;
+    EXPECT_EQ(a.centroids[c].total_weight(), b.centroids[c].total_weight());
+    EXPECT_DOUBLE_EQ(a.centroids[c].norm(), b.centroids[c].norm());
+  }
+}
+
+TEST(HvKMeans, ParallelUpdateMatchesSequentialReference) {
+  // The parallel update (chunked partial accumulators, merged in chunk
+  // order) must leave exactly the centroids a sequential re-accumulation
+  // of the final assignment produces. Weighted points included so the
+  // partials exercise weight handling.
+  const auto data = make_two_clusters(40, 1024, 11);
+  std::vector<std::uint32_t> weights(data.points.size(), 1);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 1 + static_cast<std::uint32_t>(i % 5);
+  }
+  util::ThreadPool pool(8);
+  HvKMeansConfig config{.clusters = 2, .iterations = 6};
+  config.pool = &pool;
+  const auto result = HvKMeans(config).run(data.points, weights,
+                                           std::vector<std::size_t>{0, 1});
+  ASSERT_EQ(result.reseeds, 0u)
+      << "reference recomputation assumes no reseed patch";
+
+  const std::size_t dim = data.points[0].dim();
+  std::vector<seghdc::hdc::Accumulator> reference(
+      2, seghdc::hdc::Accumulator(dim));
+  std::vector<std::uint64_t> reference_weights(2, 0);
+  for (std::size_t i = 0; i < data.points.size(); ++i) {
+    reference[result.assignment[i]].add(data.points[i], weights[i]);
+    reference_weights[result.assignment[i]] += weights[i];
+  }
+  EXPECT_EQ(result.cluster_weights, reference_weights);
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_TRUE(std::ranges::equal(result.centroids[c].counts(),
+                                   reference[c].counts()))
+        << "centroid " << c;
+    EXPECT_DOUBLE_EQ(result.centroids[c].norm(), reference[c].norm());
+  }
+}
+
+TEST(HvKMeans, DeterministicAcrossThreadCounts) {
+  const auto data = make_two_clusters(30, 768, 12);
+  std::vector<std::uint32_t> weights(data.points.size(), 1);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 1 + static_cast<std::uint32_t>((i * 7) % 4);
+  }
+  HvKMeansConfig config{.clusters = 2, .iterations = 5};
+  util::ThreadPool reference_pool(1);
+  config.pool = &reference_pool;
+  const auto reference = HvKMeans(config).run(
+      data.points, weights, std::vector<std::size_t>{0, 1});
+  for (const std::size_t threads : {2u, 8u}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    util::ThreadPool pool(threads);
+    config.pool = &pool;
+    const auto result = HvKMeans(config).run(
+        data.points, weights, std::vector<std::size_t>{0, 1});
+    expect_kmeans_results_identical(reference, result);
+  }
+}
+
+TEST(HvKMeans, ReseedPathDeterministicAcrossThreadCounts) {
+  // Seed 2 duplicates seed 0's point, so every point ties between
+  // centroids 0 and 2, the tie-break (lowest index) starves cluster 2,
+  // and the empty-cluster repair must fire. The reseed choice (farthest
+  // point, lowest index) and the patched centroids must not depend on
+  // the thread count.
+  auto data = make_two_clusters(20, 1024, 5);
+  data.points[2] = data.points[0];
+  HvKMeansConfig config{.clusters = 3, .iterations = 8};
+  util::ThreadPool reference_pool(1);
+  config.pool = &reference_pool;
+  const auto reference = HvKMeans(config).run(
+      data.points, {}, std::vector<std::size_t>{0, 1, 2});
+  EXPECT_GT(reference.reseeds, 0u)
+      << "test data no longer exercises the reseed path";
+  for (const std::size_t threads : {2u, 8u}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    util::ThreadPool pool(threads);
+    config.pool = &pool;
+    const auto result = HvKMeans(config).run(
+        data.points, {}, std::vector<std::size_t>{0, 1, 2});
+    expect_kmeans_results_identical(reference, result);
+  }
+}
+
+TEST(HvKMeans, ExplicitPoolMatchesSharedPool) {
+  const auto data = make_two_clusters(15, 512, 13);
+  const HvKMeans shared_pool_kmeans(
+      HvKMeansConfig{.clusters = 2, .iterations = 5});
+  const auto expected = shared_pool_kmeans.run(
+      data.points, {}, std::vector<std::size_t>{0, 1});
+  util::ThreadPool pool(4);
+  HvKMeansConfig config{.clusters = 2, .iterations = 5};
+  config.pool = &pool;
+  const auto actual = HvKMeans(config).run(data.points, {},
+                                           std::vector<std::size_t>{0, 1});
+  expect_kmeans_results_identical(expected, actual);
 }
 
 TEST(HvKMeans, OpsAccounting) {

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "src/util/parallel.hpp"
@@ -114,6 +115,63 @@ TEST(ThreadPoolTest, ReusableAcrossLoops) {
     pool.parallel_for(0, 256, [&](std::size_t) { count.fetch_add(1); });
     EXPECT_EQ(count.load(), 256);
   }
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  // Every worker can be busy with an outer chunk while inner loops queue
+  // more tasks; waiters must help drain instead of deadlocking.
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallel_for(
+      0, 8,
+      [&](std::size_t) {
+        pool.parallel_for(
+            0, 100, [&](std::size_t) { count.fetch_add(1); },
+            /*grain=*/1);
+      },
+      /*grain=*/1);
+  EXPECT_EQ(count.load(), 800);
+}
+
+TEST(ThreadPoolTest, DeeplyNestedMixedPools) {
+  ThreadPool outer(3);
+  std::atomic<int> count{0};
+  outer.parallel_for(0, 4, [&](std::size_t) {
+    parallel_for(0, 4, [&](std::size_t) {  // shared pool, nested
+      outer.parallel_for(0, 16, [&](std::size_t) { count.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(count.load(), 4 * 4 * 16);
+}
+
+TEST(SerialScopeTest, RunsBodyInlineOnCallingThread) {
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> off_thread{0};
+  {
+    const SerialScope serial;
+    EXPECT_TRUE(SerialScope::active());
+    pool.parallel_for(0, 200, [&](std::size_t) {
+      if (std::this_thread::get_id() != caller) {
+        off_thread.fetch_add(1);
+      }
+    });
+  }
+  EXPECT_FALSE(SerialScope::active());
+  EXPECT_EQ(off_thread.load(), 0);
+}
+
+TEST(SerialScopeTest, IsPerThread) {
+  // A scope on the calling thread must not serialise the pool's workers.
+  ThreadPool pool(4);
+  const SerialScope serial;
+  std::atomic<int> count{0};
+  std::thread other([&] {
+    EXPECT_FALSE(SerialScope::active());
+    pool.parallel_for(0, 100, [&](std::size_t) { count.fetch_add(1); });
+  });
+  other.join();
+  EXPECT_EQ(count.load(), 100);
 }
 
 }  // namespace

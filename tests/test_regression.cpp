@@ -14,16 +14,7 @@
 namespace {
 
 using namespace seghdc;
-
-/// FNV-1a over the raw label values, row-major — byte-order independent.
-std::uint64_t label_map_hash(const img::LabelMap& labels) {
-  std::uint64_t hash = 14695981039346656037ULL;
-  for (const auto label : labels.pixels()) {
-    hash ^= static_cast<std::uint64_t>(label);
-    hash *= 1099511628211ULL;
-  }
-  return hash;
-}
+using metrics::label_map_hash;
 
 TEST(Regression, RngGoldenSequence) {
   util::Rng rng(42);
