@@ -1,8 +1,23 @@
 // google-benchmark micro benches for the HDC substrate and the SegHDC
 // pipeline stages — the op-level costs underlying the Table II model.
+//
+//   ./bench_micro_hdc [--backend scalar|harley-seal|avx2|neon|auto]
+//                     [google-benchmark flags...]
+//
+// On top of the dispatched-path benches below, a per-backend sweep
+// (BM_HammingBackend/<name>, BM_CosinePlanesBackend/<name>) is
+// registered for every backend available on this CPU, so one run
+// compares scalar vs harley-seal vs AVX2/NEON side by side. --backend
+// additionally forces the process-wide dispatch (what the BM_*Fused*
+// benches and the pipeline benches run on); the report header records
+// the selection and the CPU features either way.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/color_encoder.hpp"
@@ -12,6 +27,9 @@
 #include "src/hdc/accumulator.hpp"
 #include "src/hdc/hypervector.hpp"
 #include "src/hdc/kernels.hpp"
+#include "src/hdc/simd/backend.hpp"
+#include "src/hdc/simd/cpu_features.hpp"
+#include "src/util/cli.hpp"
 #include "src/util/rng.hpp"
 
 namespace {
@@ -117,7 +135,9 @@ void BM_CosinePerBitReference(benchmark::State& state) {
 }
 BENCHMARK(BM_CosinePerBitReference)->Arg(800)->Arg(2000)->Arg(10000);
 
-// Fused word-span cosine kernel — the assignment-step inner loop.
+// Bit-serial word-span cosine kernel: the pre-CountPlanes assignment
+// formulation (one dependent add per set probe bit), kept as the
+// baseline the word-blocked plane kernel below is measured against.
 void BM_CosineFusedKernel(benchmark::State& state) {
   util::Rng rng(3);
   const auto dim = static_cast<std::size_t>(state.range(0));
@@ -197,6 +217,150 @@ void BM_SegHdcEncodeImage(benchmark::State& state) {
 }
 BENCHMARK(BM_SegHdcEncodeImage)->Arg(800)->Unit(benchmark::kMillisecond);
 
+// Word-blocked cosine dot through the dispatched backend — the
+// production assignment-step inner loop: plane_count() fused
+// AND+popcount passes against a realistic centroid snapshot (weighted
+// adds, ~12 planes). Items = dim * planes, the packed bits the kernel
+// actually streams, so items/s is directly comparable with the Hamming
+// kernels: "cosine within 2x of Hamming" means each plane pass runs at
+// (close to) Hamming-pass speed, i.e. cosine assignment has become
+// bandwidth-bound.
+void BM_CosinePlanesKernel(benchmark::State& state) {
+  util::Rng rng(3);
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  hdc::Accumulator acc(dim);
+  for (int i = 0; i < 32; ++i) {
+    acc.add(hdc::HyperVector::random(dim, rng),
+            static_cast<std::uint32_t>(1 + (i * 37) % 400));
+  }
+  hdc::kernels::CountPlanes planes;
+  acc.snapshot_planes(planes);
+  const auto probe = hdc::HyperVector::random(dim, rng);
+  const double point_norm =
+      std::sqrt(static_cast<double>(probe.popcount()));
+  const double centroid_norm = acc.norm();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdc::kernels::cosine_distance_planes(
+        planes, centroid_norm, probe.words(), point_norm));
+  }
+  state.counters["planes"] =
+      static_cast<double>(planes.plane_count());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim) *
+                          static_cast<std::int64_t>(planes.plane_count()));
+}
+BENCHMARK(BM_CosinePlanesKernel)->Arg(800)->Arg(2000)->Arg(10000);
+
+// --- Per-backend sweep: the same Hamming / plane-cosine kernels run
+// against every backend available on this CPU, bypassing dispatch, so
+// one report compares them directly (the acceptance gate: best backend
+// >= 2x scalar on Hamming items/s, plane-cosine within 2x of Hamming).
+// ---
+
+void BM_HammingBackend(benchmark::State& state,
+                       const hdc::simd::KernelBackend* backend) {
+  util::Rng rng(2);
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  std::vector<hdc::HyperVector> hvs{hdc::HyperVector::random(dim, rng),
+                                    hdc::HyperVector::random(dim, rng)};
+  const auto block = hdc::HvBlock::from_hvs(hvs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend->hamming(block.row(0), block.row(1)));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim));
+}
+
+void BM_CosinePlanesBackend(benchmark::State& state,
+                            const hdc::simd::KernelBackend* backend) {
+  util::Rng rng(3);
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  hdc::Accumulator acc(dim);
+  for (int i = 0; i < 32; ++i) {
+    acc.add(hdc::HyperVector::random(dim, rng),
+            static_cast<std::uint32_t>(1 + (i * 37) % 400));
+  }
+  hdc::kernels::CountPlanes planes;
+  acc.snapshot_planes(planes);
+  const auto probe = hdc::HyperVector::random(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hdc::kernels::dot_planes(planes, probe.words(), *backend));
+  }
+  state.counters["planes"] =
+      static_cast<double>(planes.plane_count());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim) *
+                          static_cast<std::int64_t>(planes.plane_count()));
+}
+
+void register_backend_sweeps() {
+  for (const auto* backend : hdc::simd::registered_backends()) {
+    if (!backend->available()) {
+      continue;
+    }
+    const std::string name(backend->name);
+    benchmark::RegisterBenchmark(("BM_HammingBackend/" + name).c_str(),
+                                 BM_HammingBackend, backend)
+        ->Arg(800)
+        ->Arg(2000)
+        ->Arg(10000);
+    benchmark::RegisterBenchmark(("BM_CosinePlanesBackend/" + name).c_str(),
+                                 BM_CosinePlanesBackend, backend)
+        ->Arg(800)
+        ->Arg(2000)
+        ->Arg(10000);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) try {
+  // --backend is ours (parsed with util::Cli); everything else is
+  // forwarded to google-benchmark, so the standard --benchmark_* flags
+  // keep working.
+  const seghdc::util::Cli cli(argc, argv);
+  const std::string backend_flag = cli.get("backend", "");
+  std::vector<char*> bench_argv;
+  bench_argv.reserve(static_cast<std::size_t>(argc));
+  bench_argv.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--backend") {
+      if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+        ++i;  // skip the value token
+      }
+      continue;
+    }
+    if (arg.rfind("--backend=", 0) == 0) {
+      continue;
+    }
+    bench_argv.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+
+  if (!backend_flag.empty()) {
+    seghdc::hdc::simd::force_backend(backend_flag);
+  }
+  std::printf("kernel backend: %s | cpu: %s | registered:",
+              seghdc::hdc::simd::active_backend().name,
+              seghdc::hdc::simd::cpu_feature_string().c_str());
+  for (const auto* backend : seghdc::hdc::simd::registered_backends()) {
+    std::printf(" %s%s", backend->name,
+                backend->available() ? "" : "(unavailable)");
+  }
+  std::printf("\n");
+
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             bench_argv.data())) {
+    return 1;
+  }
+  register_backend_sweeps();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+} catch (const std::exception& error) {
+  std::fprintf(stderr, "bench_micro_hdc failed: %s\n", error.what());
+  return 1;
+}

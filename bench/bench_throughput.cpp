@@ -5,6 +5,7 @@
 //                      [--dim 1000] [--beta 8] [--clusters 2]
 //                      [--iterations 6] [--quantize 2] [--seed 42]
 //                      [--threads 1,2,4,8] [--repeats 3] [--csv]
+//                      [--backend scalar|harley-seal|avx2|neon|auto]
 //
 // Three configurations are timed over the same DSB2018-like batch:
 //
@@ -30,6 +31,8 @@
 
 #include "src/core/session.hpp"
 #include "src/datasets/dsb2018.hpp"
+#include "src/hdc/simd/backend.hpp"
+#include "src/hdc/simd/cpu_features.hpp"
 #include "src/metrics/segmentation_metrics.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/parallel.hpp"
@@ -108,10 +111,21 @@ int main(int argc, char** argv) try {
   const auto thread_list =
       parse_thread_list(cli.get("threads", "1,2,4,8"));
 
+  // Kernel backend: --backend forces one (hard error on unknown or
+  // unavailable names), otherwise the env/auto-dispatched selection is
+  // reported so every run records which kernels produced its numbers.
+  const std::string backend_flag = cli.get("backend", "");
+  if (!backend_flag.empty()) {
+    hdc::simd::force_backend(backend_flag);
+  }
+
   std::printf("bench_throughput: %zu images %zux%zux3, dim=%zu, "
               "iterations=%zu, best of %zu repeats\n",
               images.size(), dataset_config.width, dataset_config.height,
               config.dim, config.iterations, repeats);
+  std::printf("kernel backend: %s | cpu: %s\n",
+              hdc::simd::active_backend().name,
+              hdc::simd::cpu_feature_string().c_str());
 
   // Best-of-N wall time for one batch pass through `run`.
   const auto time_batch = [&](const auto& run) {

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace seghdc::core {
 
@@ -115,6 +116,14 @@ struct SegHdcConfig {
   /// distance to the runner-up centroid minus distance to the assigned
   /// one; larger = more confident). Costs one extra assignment pass.
   bool compute_margins = false;
+  /// SIMD kernel-backend override (src/hdc/simd/): "" leaves the
+  /// process-wide selection alone (SEGHDC_KERNEL_BACKEND environment
+  /// variable, else automatic CPU detection); otherwise a registered
+  /// backend name ("scalar", "harley-seal", "avx2", "neon") or "auto"
+  /// to re-run detection. Applied when a session/pipeline is
+  /// constructed; every backend yields bit-identical labels, so this is
+  /// a performance knob, never a semantics knob.
+  std::string kernel_backend{};
 
   /// Throws std::invalid_argument when any parameter is out of range.
   void validate() const;

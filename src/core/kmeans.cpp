@@ -106,8 +106,15 @@ HvKMeansResult HvKMeans::run(const hdc::HvBlock& points,
   }
   // Per-iteration snapshots of the centroid state, so the parallel
   // assignment reads plain arrays instead of calling into Accumulator
-  // or re-resolving block rows per (point, centroid) pair.
-  std::vector<std::span<const std::int64_t>> centroid_counts(k);
+  // or re-resolving block rows per (point, centroid) pair. For cosine,
+  // the snapshot is the bit-plane decomposition of each centroid
+  // (kernels::CountPlanes): building it costs about one point's worth
+  // of work per centroid and turns every subsequent dot into
+  // plane_count() fused AND+popcount passes — the same bandwidth-bound
+  // shape (and SIMD backends) as the Hamming kernel, with bit-identical
+  // integer dots.
+  std::vector<hdc::kernels::CountPlanes> centroid_planes(
+      config_.distance == ClusterDistance::kCosine ? k : 0);
   std::vector<double> centroid_norm(k);
   std::vector<std::span<const std::uint64_t>> binary_centroid_rows(k);
 
@@ -120,9 +127,12 @@ HvKMeansResult HvKMeans::run(const hdc::HvBlock& points,
         std::copy(src.begin(), src.end(), dst.begin());
         binary_centroid_rows[c] = dst;
       }
+    } else {
+      for (std::size_t c = 0; c < k; ++c) {
+        result.centroids[c].snapshot_planes(centroid_planes[c]);
+      }
     }
     for (std::size_t c = 0; c < k; ++c) {
-      centroid_counts[c] = result.centroids[c].counts();
       centroid_norm[c] = result.centroids[c].norm();
     }
     // --- Assignment step (data parallel over block rows; fused
@@ -137,8 +147,8 @@ HvKMeansResult HvKMeans::run(const hdc::HvBlock& points,
           for (std::size_t c = 0; c < k; ++c) {
             const double dist =
                 config_.distance == ClusterDistance::kCosine
-                    ? hdc::kernels::cosine_distance_words(
-                          centroid_counts[c], centroid_norm[c], point,
+                    ? hdc::kernels::cosine_distance_planes(
+                          centroid_planes[c], centroid_norm[c], point,
                           point_norm[i])
                     : static_cast<double>(hdc::kernels::hamming_words(
                           binary_centroid_rows[c], point));

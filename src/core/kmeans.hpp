@@ -10,10 +10,14 @@
 // This implementation adds engineering features with identical
 // semantics: (1) points carry integer multiplicities, so deduplicated
 // pixel sets cluster exactly like the full pixel set; (2) the assignment
-// step runs data-parallel; (3) the update step accumulates per-chunk
-// partial centroids in parallel and reduces them in fixed order —
-// integer sums are order-independent, so assignments and centroids are
-// bit-identical for every thread count.
+// step runs data-parallel, with the cosine dot reformulated word-blocked
+// (per-centroid bit-plane snapshots, kernels::CountPlanes) so it streams
+// fused AND+popcount passes through the dispatched SIMD backend instead
+// of walking set bits serially — the integer dot, and therefore every
+// label, is bit-identical to the serial formulation; (3) the update step
+// accumulates per-chunk partial centroids in parallel and reduces them
+// in fixed order — integer sums are order-independent, so assignments
+// and centroids are bit-identical for every thread count.
 #ifndef SEGHDC_CORE_KMEANS_HPP
 #define SEGHDC_CORE_KMEANS_HPP
 

@@ -12,6 +12,7 @@
 #include "src/core/kmeans.hpp"
 #include "src/core/position_encoder.hpp"
 #include "src/hdc/fault.hpp"
+#include "src/hdc/simd/backend.hpp"
 #include "src/imaging/color.hpp"
 #include "src/util/contracts.hpp"
 #include "src/util/stopwatch.hpp"
@@ -131,6 +132,14 @@ SegHdcSession::SegHdcSession(const SegHdcConfig& config,
                              const Options& options)
     : config_(config), pool_(options.pool) {
   config_.validate();
+  // Kernel-backend override plumbing: a named backend (or "auto") in
+  // the config re-points the process-wide dispatch; "" leaves the
+  // SEGHDC_KERNEL_BACKEND / auto-detected selection alone. Throws
+  // std::invalid_argument for unknown/unavailable names, like the other
+  // config validations.
+  if (!config_.kernel_backend.empty()) {
+    hdc::simd::force_backend(config_.kernel_backend);
+  }
 }
 
 SegHdcSession::~SegHdcSession() = default;
@@ -384,8 +393,14 @@ SegmentationResult SegHdcSession::segment_impl(const img::ImageU8& image,
   if (config_.compute_margins) {
     std::vector<float> unique_margin(encoded.unique_hvs.size(), 0.0F);
     std::vector<double> centroid_norm(clustering.centroids.size());
+    // Same word-blocked cosine as the clusterer's assignment step: one
+    // bit-plane snapshot per final centroid, then fused AND+popcount
+    // passes per point (bit-identical dots, SIMD-dispatched).
+    std::vector<hdc::kernels::CountPlanes> centroid_planes(
+        clustering.centroids.size());
     for (std::size_t c = 0; c < clustering.centroids.size(); ++c) {
       centroid_norm[c] = clustering.centroids[c].norm();
+      clustering.centroids[c].snapshot_planes(centroid_planes[c]);
     }
     pool().parallel_for(
         0, encoded.unique_hvs.size(),
@@ -396,9 +411,8 @@ SegmentationResult SegHdcSession::segment_impl(const img::ImageU8& image,
           double best = std::numeric_limits<double>::infinity();
           double second = std::numeric_limits<double>::infinity();
           for (std::size_t c = 0; c < clustering.centroids.size(); ++c) {
-            const double d = hdc::kernels::cosine_distance_words(
-                clustering.centroids[c].counts(), centroid_norm[c], point,
-                point_norm);
+            const double d = hdc::kernels::cosine_distance_planes(
+                centroid_planes[c], centroid_norm[c], point, point_norm);
             if (d < best) {
               second = best;
               best = d;
@@ -430,9 +444,22 @@ SegmentationResult SegHdcSession::segment_impl(const img::ImageU8& image,
 
 std::vector<SegmentationResult> SegHdcSession::segment_many(
     std::span<const img::ImageU8> images) const {
+  // Collect via the streaming overload: each result is moved into its
+  // slot the moment its image completes — no SegmentationResult (label
+  // maps, margins, count vectors) is ever copied.
   std::vector<SegmentationResult> results(images.size());
+  segment_many(images, [&results](std::size_t i, SegmentationResult&& r) {
+    results[i] = std::move(r);
+  });
+  return results;
+}
+
+void SegHdcSession::segment_many(
+    std::span<const img::ImageU8> images,
+    const std::function<void(std::size_t, SegmentationResult&&)>& sink)
+    const {
   if (images.empty()) {
-    return results;
+    return;
   }
   // Validate everything and build the encoder state for every distinct
   // geometry up front, so the parallel section below only ever reads the
@@ -446,6 +473,7 @@ std::vector<SegmentationResult> SegHdcSession::segment_many(
   const std::size_t workers =
       std::min(images.size(), workers_pool.thread_count());
   std::atomic<std::size_t> next{0};
+  std::mutex sink_mutex;
   workers_pool.parallel_for(
       0, workers,
       [&](std::size_t) {
@@ -459,11 +487,14 @@ std::vector<SegmentationResult> SegHdcSession::segment_many(
           if (i >= images.size()) {
             return;
           }
-          results[i] = segment_impl(images[i], scratch);
+          SegmentationResult result = segment_impl(images[i], scratch);
+          // Hand off under the sink mutex so callers get serialised
+          // invocations; the worker holds no result memory afterwards.
+          const std::lock_guard<std::mutex> lock(sink_mutex);
+          sink(i, std::move(result));
         }
       },
       /*grain=*/1);
-  return results;
 }
 
 }  // namespace seghdc::core

@@ -28,6 +28,7 @@
 #define SEGHDC_CORE_SESSION_HPP
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -72,9 +73,25 @@ class SegHdcSession {
   /// Segments a batch: images are sharded across the pool, one worker
   /// per pool thread, each with its own scratch arena; the per-image
   /// inner loops run serially on their worker. results[i] is exactly
-  /// `segment(images[i])` for every pool size.
+  /// `segment(images[i])` for every pool size. Results are moved into
+  /// the returned vector (via the streaming overload below); nothing is
+  /// copied.
   std::vector<SegmentationResult> segment_many(
       std::span<const img::ImageU8> images) const;
+
+  /// Streaming form: hands each result to `sink(index, std::move(r))`
+  /// the moment its image completes, so peak memory is one in-flight
+  /// result per worker instead of the whole batch — the shape for very
+  /// large batches (write-to-disk, ship-over-network sinks).
+  /// Completion order is arbitrary but the delivered (index, result)
+  /// pairs are exactly the collecting overload's vector. Sink
+  /// invocations are serialised internally; the callback need not be
+  /// thread-safe, but it runs on worker threads and while it runs its
+  /// worker segments nothing.
+  void segment_many(
+      std::span<const img::ImageU8> images,
+      const std::function<void(std::size_t, SegmentationResult&&)>& sink)
+      const;
 
   /// Number of distinct (height, width, channels) encoder states built
   /// so far — observability for tests and serving dashboards.

@@ -53,6 +53,10 @@ void Accumulator::merge(const Accumulator& other) {
   total_weight_ += other.total_weight_;
 }
 
+void Accumulator::snapshot_planes(kernels::CountPlanes& out) const {
+  out.build(counts_);
+}
+
 std::int64_t Accumulator::at(std::size_t index) const {
   util::expects(index < counts_.size(),
                 "Accumulator::at index within dimension");

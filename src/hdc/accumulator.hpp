@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/hdc/hypervector.hpp"
+#include "src/hdc/kernels.hpp"
 
 namespace seghdc::hdc {
 
@@ -50,6 +51,12 @@ class Accumulator {
   std::int64_t at(std::size_t index) const;
 
   std::span<const std::int64_t> counts() const { return counts_; }
+
+  /// Rebuilds `out` as the bit-plane snapshot of the current counts
+  /// (kernels::CountPlanes), the layout the clusterer's word-blocked
+  /// cosine assignment streams over. Counts are non-negative by
+  /// construction, so the build never throws.
+  void snapshot_planes(kernels::CountPlanes& out) const;
 
   /// Dot product with a binary HV: sum of counts at the HV's set bits.
   std::int64_t dot(const HyperVector& hv) const;

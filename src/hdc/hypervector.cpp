@@ -1,7 +1,6 @@
 #include "src/hdc/hypervector.hpp"
 
-#include <bit>
-
+#include "src/hdc/kernels.hpp"
 #include "src/util/contracts.hpp"
 
 namespace seghdc::hdc {
@@ -85,11 +84,9 @@ void HyperVector::flip_range(std::size_t begin, std::size_t end) {
 }
 
 std::size_t HyperVector::popcount() const {
-  std::size_t count = 0;
-  for (const auto word : words_) {
-    count += static_cast<std::size_t>(std::popcount(word));
-  }
-  return count;
+  // Through the dispatched kernel layer, so standalone HVs inherit the
+  // same SIMD backends as HvBlock rows.
+  return kernels::popcount_words(words_);
 }
 
 HyperVector HyperVector::operator^(const HyperVector& other) const {
@@ -101,20 +98,14 @@ HyperVector HyperVector::operator^(const HyperVector& other) const {
 HyperVector& HyperVector::operator^=(const HyperVector& other) {
   util::expects(dim_ == other.dim_,
                 "HyperVector XOR requires equal dimensions");
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    words_[w] ^= other.words_[w];
-  }
+  kernels::xor_words(words_, words_, other.words_);
   return *this;
 }
 
 std::size_t HyperVector::hamming(const HyperVector& a, const HyperVector& b) {
   util::expects(a.dim_ == b.dim_,
                 "Hamming distance requires equal dimensions");
-  std::size_t count = 0;
-  for (std::size_t w = 0; w < a.words_.size(); ++w) {
-    count += static_cast<std::size_t>(std::popcount(a.words_[w] ^ b.words_[w]));
-  }
-  return count;
+  return kernels::hamming_words(a.words_, b.words_);
 }
 
 HyperVector HyperVector::concat(std::span<const HyperVector> parts) {

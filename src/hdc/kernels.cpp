@@ -2,29 +2,27 @@
 
 #include <bit>
 
+#include "src/hdc/simd/backend.hpp"
 #include "src/util/contracts.hpp"
 
 namespace seghdc::hdc {
 
+// The free kernels validate shapes once and forward to the
+// runtime-dispatched backend (src/hdc/simd/): call sites are oblivious
+// to which ISA implementation runs underneath, and every backend
+// returns the same integers.
+
 namespace kernels {
 
 std::size_t popcount_words(std::span<const std::uint64_t> words) {
-  std::size_t count = 0;
-  for (const auto word : words) {
-    count += static_cast<std::size_t>(std::popcount(word));
-  }
-  return count;
+  return simd::active_backend().popcount(words);
 }
 
 std::size_t hamming_words(std::span<const std::uint64_t> a,
                           std::span<const std::uint64_t> b) {
   util::expects(a.size() == b.size(),
                 "hamming_words requires equal word counts");
-  std::size_t count = 0;
-  for (std::size_t w = 0; w < a.size(); ++w) {
-    count += static_cast<std::size_t>(std::popcount(a[w] ^ b[w]));
-  }
-  return count;
+  return simd::active_backend().hamming(a, b);
 }
 
 void xor_words(std::span<std::uint64_t> dst,
@@ -32,16 +30,12 @@ void xor_words(std::span<std::uint64_t> dst,
                std::span<const std::uint64_t> b) {
   util::expects(dst.size() == a.size() && a.size() == b.size(),
                 "xor_words requires equal word counts");
-  for (std::size_t w = 0; w < dst.size(); ++w) {
-    dst[w] = a[w] ^ b[w];
-  }
+  simd::active_backend().xor_bind(dst, a, b);
 }
 
 std::int64_t dot_counts_words(std::span<const std::int64_t> counts,
                               std::span<const std::uint64_t> words) {
-  std::int64_t sum = 0;
-  for_each_set_bit_words(words, [&](std::size_t i) { sum += counts[i]; });
-  return sum;
+  return simd::active_backend().dot_counts(counts, words);
 }
 
 double cosine_distance_words(std::span<const std::int64_t> counts,
@@ -52,6 +46,68 @@ double cosine_distance_words(std::span<const std::int64_t> counts,
     return 1.0;
   }
   const auto dot = static_cast<double>(dot_counts_words(counts, words));
+  return 1.0 - dot / (point_norm * centroid_norm);
+}
+
+void CountPlanes::build(std::span<const std::int64_t> counts) {
+  dim_ = counts.size();
+  words_per_plane_ = words_for_dim(dim_);
+  // OR of all counts: its bit width is exactly the number of planes
+  // needed, and a set sign bit flags any negative input in one test.
+  std::int64_t envelope = 0;
+  for (const auto count : counts) {
+    envelope |= count;
+  }
+  util::expects(envelope >= 0,
+                "CountPlanes::build requires non-negative counts");
+  planes_ = static_cast<std::size_t>(
+      std::bit_width(static_cast<std::uint64_t>(envelope)));
+  storage_.assign(planes_ * words_per_plane_, 0);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    auto bits = static_cast<std::uint64_t>(counts[i]);
+    const std::uint64_t mask = std::uint64_t{1} << (i % 64);
+    const std::size_t word = i / 64;
+    while (bits != 0) {
+      const auto b = static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      storage_[b * words_per_plane_ + word] |= mask;
+    }
+  }
+}
+
+std::span<const std::uint64_t> CountPlanes::plane(std::size_t b) const {
+  util::expects(b < planes_, "CountPlanes::plane index within plane count");
+  return std::span<const std::uint64_t>(
+      storage_.data() + b * words_per_plane_, words_per_plane_);
+}
+
+std::int64_t dot_planes(const CountPlanes& planes,
+                        std::span<const std::uint64_t> words,
+                        const simd::KernelBackend& backend) {
+  util::expects(words.size() == planes.words_per_plane(),
+                "dot_planes word count must match the planes");
+  std::int64_t sum = 0;
+  for (std::size_t b = 0; b < planes.plane_count(); ++b) {
+    sum += static_cast<std::int64_t>(backend.and_popcount(planes.plane(b),
+                                                          words))
+           << b;
+  }
+  return sum;
+}
+
+std::int64_t dot_planes(const CountPlanes& planes,
+                        std::span<const std::uint64_t> words) {
+  return dot_planes(planes, words, simd::active_backend());
+}
+
+double cosine_distance_planes(const CountPlanes& planes,
+                              double centroid_norm,
+                              std::span<const std::uint64_t> words,
+                              double point_norm) {
+  if (centroid_norm == 0.0 || point_norm == 0.0) {
+    return 1.0;
+  }
+  const auto dot = static_cast<double>(dot_planes(planes, words));
   return 1.0 - dot / (point_norm * centroid_norm);
 }
 

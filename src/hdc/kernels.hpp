@@ -4,12 +4,20 @@
 // cosine distances during clustering — all reduce to passes over packed
 // 64-bit words. This header provides (1) free kernels operating on raw
 // `uint64_t` word spans, fused where it pays (XOR+popcount Hamming never
-// materialises the XOR), and (2) `HvBlock`, a structure-of-arrays
-// container holding many packed HVs contiguously so those kernels stream
-// through memory instead of chasing one heap allocation per
-// `HyperVector`. `SegHdc::encode` writes pixel HVs straight into an
-// `HvBlock`, and `HvKMeans` runs its assignment step over block rows;
-// per-point `HyperVector` temporaries never appear in either inner loop.
+// materialises the XOR), (2) `HvBlock`, a structure-of-arrays container
+// holding many packed HVs contiguously so those kernels stream through
+// memory instead of chasing one heap allocation per `HyperVector`, and
+// (3) `CountPlanes`, the bit-plane decomposition of an integer centroid
+// that turns the cosine dot into a handful of AND+popcount passes.
+// `SegHdc::encode` writes pixel HVs straight into an `HvBlock`, and
+// `HvKMeans` runs its assignment step over block rows; per-point
+// `HyperVector` temporaries never appear in either inner loop.
+//
+// This layer is a thin forwarding veneer: the word crunching is done by
+// the runtime-dispatched backend subsystem in src/hdc/simd/ (scalar /
+// Harley-Seal / AVX2 / NEON, selected per CPU at startup and
+// overridable via SEGHDC_KERNEL_BACKEND). Call sites keep these
+// signatures; every backend produces bit-identical integers.
 //
 // Invariants mirror `HyperVector`: bits are little-endian within each
 // word and the padding bits of a row's last word are zero. Kernels rely
@@ -24,6 +32,7 @@
 
 #include "src/hdc/bitops.hpp"
 #include "src/hdc/hypervector.hpp"
+#include "src/hdc/simd/backend.hpp"
 
 namespace seghdc::hdc {
 
@@ -61,6 +70,63 @@ double cosine_distance_words(std::span<const std::int64_t> counts,
                              double centroid_norm,
                              std::span<const std::uint64_t> words,
                              double point_norm);
+
+/// Bit-plane decomposition of a non-negative integer count vector (a
+/// centroid snapshot): plane b is the packed bitmask of bit b across all
+/// counts, so
+///
+///   dot(counts, x) = sum_b 2^b * popcount(plane_b AND x)
+///
+/// exactly. That reformulates the cosine dot — previously a bit-serial
+/// walk of ~popcount(x) dependent adds — into `plane_count()` fused
+/// AND+popcount passes over packed words: the same bandwidth-bound shape
+/// as the Hamming kernel, and SIMD-accelerated by the same backends.
+/// `HvKMeans` builds one per centroid per iteration (cost ~ one point's
+/// worth of work, amortised over every point in the assignment step).
+class CountPlanes {
+ public:
+  CountPlanes() = default;
+
+  /// Rebuilds the planes from `counts` (all entries must be >= 0; the
+  /// number of planes is the bit width of the largest count). Reuses
+  /// storage across calls, so per-iteration snapshots do not allocate
+  /// once warm.
+  void build(std::span<const std::int64_t> counts);
+
+  std::size_t dim() const { return dim_; }
+  /// Bit width of the largest count seen by the last build (0 for an
+  /// all-zero or empty vector: the dot is 0 with no passes).
+  std::size_t plane_count() const { return planes_; }
+  std::size_t words_per_plane() const { return words_per_plane_; }
+
+  /// Packed bitmask of bit `b` of every count. Padding bits are zero.
+  std::span<const std::uint64_t> plane(std::size_t b) const;
+
+ private:
+  std::size_t dim_ = 0;
+  std::size_t words_per_plane_ = 0;
+  std::size_t planes_ = 0;
+  std::vector<std::uint64_t> storage_;
+};
+
+/// Word-blocked dot product: sum of counts over the set bits of `words`,
+/// computed plane-by-plane with the given backend's fused AND+popcount.
+/// Exact — bit-identical to dot_counts_words on the same counts.
+std::int64_t dot_planes(const CountPlanes& planes,
+                        std::span<const std::uint64_t> words,
+                        const simd::KernelBackend& backend);
+
+/// Same, through the process-wide dispatched backend.
+std::int64_t dot_planes(const CountPlanes& planes,
+                        std::span<const std::uint64_t> words);
+
+/// Cosine distance (paper Eq. 7) via the word-blocked dot. Matches
+/// cosine_distance_words bit for bit (the dot is the same integer, the
+/// float arithmetic is the same expression).
+double cosine_distance_planes(const CountPlanes& planes,
+                              double centroid_norm,
+                              std::span<const std::uint64_t> words,
+                              double point_norm);
 
 }  // namespace kernels
 

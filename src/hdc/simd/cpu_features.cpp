@@ -1,0 +1,53 @@
+#include "src/hdc/simd/cpu_features.hpp"
+
+namespace seghdc::hdc::simd {
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+
+bool cpu_has_avx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+bool cpu_has_neon() { return false; }
+
+std::string cpu_feature_string() {
+  std::string features = "x86-64 (";
+  bool first = true;
+  const auto append = [&](bool supported, const char* label) {
+    if (supported) {
+      if (!first) {
+        features += ' ';
+      }
+      features += label;
+      first = false;
+    }
+  };
+  // __builtin_cpu_supports requires literal feature names.
+  append(__builtin_cpu_supports("popcnt") != 0, "popcnt");
+  append(__builtin_cpu_supports("sse4.2") != 0, "sse4.2");
+  append(__builtin_cpu_supports("avx2") != 0, "avx2");
+  append(__builtin_cpu_supports("avx512f") != 0, "avx512f");
+  if (first) {
+    features += "baseline";
+  }
+  features += ')';
+  return features;
+}
+
+#elif defined(__aarch64__)
+
+bool cpu_has_avx2() { return false; }
+
+bool cpu_has_neon() { return true; }
+
+std::string cpu_feature_string() { return "aarch64 (neon)"; }
+
+#else
+
+bool cpu_has_avx2() { return false; }
+
+bool cpu_has_neon() { return false; }
+
+std::string cpu_feature_string() { return "generic (no SIMD probes)"; }
+
+#endif
+
+}  // namespace seghdc::hdc::simd

@@ -1,0 +1,24 @@
+// Runtime CPU feature probes backing backend `available()` checks and
+// the bench report headers. x86 features come from cpuid
+// (__builtin_cpu_supports); NEON is architecturally mandatory on
+// aarch64, so its probe is compile-time.
+#ifndef SEGHDC_HDC_SIMD_CPU_FEATURES_HPP
+#define SEGHDC_HDC_SIMD_CPU_FEATURES_HPP
+
+#include <string>
+
+namespace seghdc::hdc::simd {
+
+/// True when the executing CPU supports AVX2 (always false off x86-64).
+bool cpu_has_avx2();
+
+/// True on aarch64 (NEON is baseline there), false elsewhere.
+bool cpu_has_neon();
+
+/// Human-readable architecture + feature summary for report headers,
+/// e.g. "x86-64 (popcnt avx2 avx512f)" or "aarch64 (neon)".
+std::string cpu_feature_string();
+
+}  // namespace seghdc::hdc::simd
+
+#endif  // SEGHDC_HDC_SIMD_CPU_FEATURES_HPP
