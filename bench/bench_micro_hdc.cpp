@@ -271,6 +271,24 @@ void BM_HammingBackend(benchmark::State& state,
                           static_cast<std::int64_t>(dim));
 }
 
+// Weighted centroid accumulate through each backend: the K-Means
+// update-step primitive (Accumulator::add). The scalar slot is the old
+// production set-bit walk, so BM_AccumulateBackend/scalar vs the SIMD
+// backends is exactly what dispatching the centroid update bought.
+void BM_AccumulateBackend(benchmark::State& state,
+                          const hdc::simd::KernelBackend* backend) {
+  util::Rng rng(7);
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  std::vector<std::int64_t> counts(dim, 0);
+  const auto probe = hdc::HyperVector::random(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        backend->accumulate_words(counts, probe.words(), 3));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim));
+}
+
 void BM_CosinePlanesBackend(benchmark::State& state,
                             const hdc::simd::KernelBackend* backend) {
   util::Rng rng(3);
@@ -307,6 +325,11 @@ void register_backend_sweeps() {
         ->Arg(10000);
     benchmark::RegisterBenchmark(("BM_CosinePlanesBackend/" + name).c_str(),
                                  BM_CosinePlanesBackend, backend)
+        ->Arg(800)
+        ->Arg(2000)
+        ->Arg(10000);
+    benchmark::RegisterBenchmark(("BM_AccumulateBackend/" + name).c_str(),
+                                 BM_AccumulateBackend, backend)
         ->Arg(800)
         ->Arg(2000)
         ->Arg(10000);

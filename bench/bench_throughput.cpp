@@ -6,8 +6,10 @@
 //                      [--iterations 6] [--quantize 2] [--seed 42]
 //                      [--threads 1,2,4,8] [--repeats 3] [--csv]
 //                      [--backend scalar|harley-seal|avx2|neon|auto]
+//                      [--single-image WxH] [--tile-rows 0,1,8]
 //
-// Three configurations are timed over the same DSB2018-like batch:
+// Batch mode (default): three configurations are timed over the same
+// DSB2018-like batch:
 //
 //   legacy    — a fresh one-shot session per image (the stateless
 //               SegHdc::segment cost: encoder state rebuilt every call),
@@ -17,11 +19,16 @@
 //   many@T    — SegHdcSession::segment_many sharding the batch across a
 //               T-thread pool, for each T in --threads
 //
-// Every configuration's combined label-map hash is checked against the
-// sequential session loop; any divergence is a hard failure (exit 1) —
-// the speedup table of a wrong result is worthless. Speedups are
-// reported relative to the `session` row; images/sec is the headline
-// serving metric. On a 1-core host the many@T rows legitimately show ~1x.
+// Single-image mode (--single-image WxH): ONE synthetic large image is
+// segmented repeatedly — the paper's on-device latency shape — swept
+// over --threads x --tile-rows (0 = auto), against an untiled
+// single-thread baseline. The reported speedup is the intra-image
+// scaling the tiled encode pipeline buys.
+//
+// In both modes every configuration's label hash is checked against
+// the baseline; any divergence is a hard failure (exit 1) — the
+// speedup table of a wrong result is worthless. On a 1-core host the
+// parallel rows legitimately show ~1x.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -50,8 +57,11 @@ std::uint64_t batch_hash(const std::vector<core::SegmentationResult>& results) {
   return hash;
 }
 
-std::vector<std::size_t> parse_thread_list(const std::string& spec) {
-  std::vector<std::size_t> threads;
+/// Comma/space-separated size list; zeros are kept when `allow_zero`
+/// (tile-rows uses 0 to mean auto) and dropped otherwise (threads).
+std::vector<std::size_t> parse_size_list(const std::string& spec,
+                                         bool allow_zero) {
+  std::vector<std::size_t> values;
   std::size_t value = 0;
   bool in_number = false;
   for (const char c : spec) {
@@ -59,17 +69,21 @@ std::vector<std::size_t> parse_thread_list(const std::string& spec) {
       value = value * 10 + static_cast<std::size_t>(c - '0');
       in_number = true;
     } else {
-      if (in_number && value > 0) {
-        threads.push_back(value);
+      if (in_number && (allow_zero || value > 0)) {
+        values.push_back(value);
       }
       value = 0;
       in_number = false;
     }
   }
-  if (in_number && value > 0) {
-    threads.push_back(value);
+  if (in_number && (allow_zero || value > 0)) {
+    values.push_back(value);
   }
-  return threads;
+  return values;
+}
+
+std::vector<std::size_t> parse_thread_list(const std::string& spec) {
+  return parse_size_list(spec, /*allow_zero=*/false);
 }
 
 struct Row {
@@ -77,6 +91,118 @@ struct Row {
   double seconds = 0.0;
   std::uint64_t hash = 0;
 };
+
+/// --single-image mode: one synthetic WxH image, segmented through a
+/// session per (threads, tile_rows) cell; best-of-`repeats` latency,
+/// intra-image speedup vs the untiled single-thread baseline, hard
+/// failure on any label-hash divergence.
+int run_single_image(const util::Cli& cli, core::SegHdcConfig config,
+                     const std::vector<std::size_t>& thread_list,
+                     std::size_t repeats, bool csv) {
+  const std::string spec = cli.get("single-image", "1024x768");
+  const auto dims = parse_size_list(spec, /*allow_zero=*/false);
+  if (dims.size() != 2) {
+    std::fprintf(stderr, "--single-image expects WxH, got '%s'\n",
+                 spec.c_str());
+    return 1;
+  }
+  data::Dsb2018Config dataset_config;
+  dataset_config.width = dims[0];
+  dataset_config.height = dims[1];
+  const img::ImageU8 image =
+      data::Dsb2018Generator(dataset_config).generate(0).image;
+
+  const auto tile_list =
+      parse_size_list(cli.get("tile-rows", "0"), /*allow_zero=*/true);
+  if (tile_list.empty() || thread_list.empty()) {
+    // An empty sweep would "pass" after checking nothing — reject it so
+    // a typo'd flag can't turn the CI hash gate into a no-op.
+    std::fprintf(stderr,
+                 "--tile-rows ('%s') and --threads must each name at least "
+                 "one value\n",
+                 cli.get("tile-rows", "0").c_str());
+    return 1;
+  }
+
+  std::printf("bench_throughput --single-image: one %zux%zux3 image, "
+              "dim=%zu, iterations=%zu, best of %zu repeats\n",
+              dims[0], dims[1], config.dim, config.iterations, repeats);
+  std::printf("kernel backend: %s | cpu: %s\n",
+              hdc::simd::active_backend().name,
+              hdc::simd::cpu_feature_string().c_str());
+
+  const auto time_single = [&](const core::SegHdcSession& session) {
+    Row row;
+    for (std::size_t r = 0; r < repeats; ++r) {
+      const util::Stopwatch watch;
+      const auto result = session.segment(image);
+      const double seconds = watch.seconds();
+      row.hash = metrics::label_map_hash(result.labels,
+                                         14695981039346656037ULL);
+      row.seconds = r == 0 ? seconds : std::min(row.seconds, seconds);
+    }
+    return row;
+  };
+
+  std::vector<Row> rows;
+  {
+    // Baseline: one thread, one band — the untiled serial encode.
+    util::ThreadPool one(1);
+    auto baseline_config = config;
+    baseline_config.tile_rows = dims[1];
+    const core::SegHdcSession session(
+        baseline_config, core::SegHdcSession::Options{&one});
+    auto row = time_single(session);
+    row.name = "serial(untiled)";
+    rows.push_back(row);
+  }
+  const double baseline_seconds = rows.front().seconds;
+  const std::uint64_t expected_hash = rows.front().hash;
+
+  for (const std::size_t threads : thread_list) {
+    util::ThreadPool pool(threads);
+    for (const std::size_t tile_rows : tile_list) {
+      auto cell_config = config;
+      cell_config.tile_rows = tile_rows;
+      const core::SegHdcSession session(
+          cell_config, core::SegHdcSession::Options{&pool});
+      auto row = time_single(session);
+      row.name = "t" + std::to_string(threads) + "/r" +
+                 (tile_rows == 0 ? std::string("auto")
+                                 : std::to_string(tile_rows));
+      rows.push_back(row);
+    }
+  }
+
+  bool hashes_match = true;
+  if (csv) {
+    std::printf("mode,seconds,speedup_vs_serial,hash\n");
+  } else {
+    std::printf("%-16s %10s %9s  %s\n", "mode", "seconds", "speedup",
+                "label hash");
+  }
+  for (const auto& row : rows) {
+    const double speedup = baseline_seconds / row.seconds;
+    if (csv) {
+      std::printf("%s,%.4f,%.2f,%016llx\n", row.name.c_str(), row.seconds,
+                  speedup, static_cast<unsigned long long>(row.hash));
+    } else {
+      std::printf("%-16s %10.4f %8.2fx  %016llx%s\n", row.name.c_str(),
+                  row.seconds, speedup,
+                  static_cast<unsigned long long>(row.hash),
+                  row.hash == expected_hash ? "" : "  MISMATCH");
+    }
+    hashes_match = hashes_match && row.hash == expected_hash;
+  }
+  if (!hashes_match) {
+    std::fprintf(stderr,
+                 "FAIL: label hashes diverge across tile/thread cells\n");
+    return 1;
+  }
+  std::printf(
+      "all label hashes identical across thread counts and tile sizes\n");
+  return 0;
+}
 
 }  // namespace
 
@@ -86,17 +212,6 @@ int main(int argc, char** argv) try {
       static_cast<std::size_t>(cli.get_int("images", 16));
   const auto repeats = static_cast<std::size_t>(cli.get_int("repeats", 3));
   const bool csv = cli.get_flag("csv");
-
-  data::Dsb2018Config dataset_config;
-  dataset_config.width = static_cast<std::size_t>(cli.get_int("width", 128));
-  dataset_config.height =
-      static_cast<std::size_t>(cli.get_int("height", 96));
-  const data::Dsb2018Generator dataset(dataset_config);
-  std::vector<img::ImageU8> images;
-  images.reserve(image_count);
-  for (std::size_t i = 0; i < image_count; ++i) {
-    images.push_back(dataset.generate(i).image);
-  }
 
   core::SegHdcConfig config;
   config.dim = static_cast<std::size_t>(cli.get_int("dim", 1000));
@@ -117,6 +232,21 @@ int main(int argc, char** argv) try {
   const std::string backend_flag = cli.get("backend", "");
   if (!backend_flag.empty()) {
     hdc::simd::force_backend(backend_flag);
+  }
+
+  if (cli.has("single-image")) {
+    return run_single_image(cli, config, thread_list, repeats, csv);
+  }
+
+  data::Dsb2018Config dataset_config;
+  dataset_config.width = static_cast<std::size_t>(cli.get_int("width", 128));
+  dataset_config.height =
+      static_cast<std::size_t>(cli.get_int("height", 96));
+  const data::Dsb2018Generator dataset(dataset_config);
+  std::vector<img::ImageU8> images;
+  images.reserve(image_count);
+  for (std::size_t i = 0; i < image_count; ++i) {
+    images.push_back(dataset.generate(i).image);
   }
 
   std::printf("bench_throughput: %zu images %zux%zux3, dim=%zu, "

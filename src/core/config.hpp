@@ -116,6 +116,19 @@ struct SegHdcConfig {
   /// distance to the runner-up centroid minus distance to the assigned
   /// one; larger = more confident). Costs one extra assignment pass.
   bool compute_margins = false;
+  /// Row height of the bands the single-image encode is tiled into —
+  /// the intra-image parallelism knob. Phase 1 of the encode builds one
+  /// dedup table per band in parallel, then merges the bands in fixed
+  /// order so unique-point IDs come out in exactly the serial row-major
+  /// first-occurrence order: labels are bit-identical for every value
+  /// at every thread count. 0 = resolve from the SEGHDC_TILE_ROWS
+  /// environment variable when set and non-zero, else auto-size from
+  /// the session pool (~4 bands per thread; one band when the pool is
+  /// single-threaded or the call runs on a serialised segment_many
+  /// worker, where tiling is pure overhead). Any value >= the image
+  /// height means one band, i.e. the untiled serial scan. A performance
+  /// knob, never a semantics knob.
+  std::size_t tile_rows = 0;
   /// SIMD kernel-backend override (src/hdc/simd/): "" leaves the
   /// process-wide selection alone (SEGHDC_KERNEL_BACKEND environment
   /// variable, else automatic CPU detection); otherwise a registered

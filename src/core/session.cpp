@@ -4,7 +4,11 @@
 #include <array>
 #include <atomic>
 #include <cmath>
+#include <cerrno>
+#include <cstdlib>
 #include <limits>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -48,6 +52,15 @@ std::uint64_t geometry_key(const img::ImageU8& image) {
   return (static_cast<std::uint64_t>(image.height()) << 24) |
          (static_cast<std::uint64_t>(image.width()) << 8) |
          static_cast<std::uint64_t>(image.channels());
+}
+
+/// Dedup-map reserve sized from an observed unique ratio with 10%
+/// headroom, so a slightly busier frame than the last one still avoids
+/// mid-scan rehashing; clamped to the pixel count (the true maximum).
+std::size_t expected_unique(std::size_t pixels, double unique_ratio) {
+  const double estimate =
+      unique_ratio * static_cast<double>(pixels) * 1.1 + 16.0;
+  return std::min(pixels, static_cast<std::size_t>(estimate));
 }
 
 }  // namespace
@@ -96,8 +109,35 @@ struct SegHdcSession::EncodeScratch {
     std::array<std::uint8_t, 3> color;
   };
 
+  /// Phase-1 arena of one row band: the band's local dedup table and,
+  /// per local unique point, its key, first-occurrence ref, and pixel
+  /// weight. `remap` (local id -> global id) is filled by the fixed
+  /// band-order merge. One per tile, reused across images (cleared,
+  /// capacity retained) like the rest of the scratch.
+  struct TileScratch {
+    std::unordered_map<std::uint64_t, std::uint32_t> key_to_local;
+    std::vector<std::uint64_t> keys;
+    std::vector<UniqueRef> refs;
+    std::vector<std::uint32_t> weights;
+    std::vector<std::uint32_t> remap;
+
+    void begin_band(std::size_t band_pixels, double unique_ratio) {
+      key_to_local.clear();
+      keys.clear();
+      refs.clear();
+      weights.clear();
+      key_to_local.reserve(expected_unique(band_pixels, unique_ratio));
+    }
+  };
+
   std::unordered_map<std::uint64_t, std::uint32_t> key_to_unique;
   std::vector<UniqueRef> refs;
+  std::vector<TileScratch> tiles;
+  /// Unique ratio (unique points / pixels) observed on the previous
+  /// image through this arena; seeds the dedup-map reserves so low-dedup
+  /// images (noise, photos) don't rehash repeatedly mid-scan. Starts at
+  /// the old fixed 1/4 heuristic.
+  double last_unique_ratio = 0.25;
   // Node-based maps: value addresses are stable across rehashing, so the
   // per-point views below may point into them.
   std::unordered_map<std::uint64_t, hdc::HyperVector> position_cache;
@@ -140,9 +180,55 @@ SegHdcSession::SegHdcSession(const SegHdcConfig& config,
   if (!config_.kernel_backend.empty()) {
     hdc::simd::force_backend(config_.kernel_backend);
   }
+  // Tile-rows resolution order: explicit config value, else the
+  // SEGHDC_TILE_ROWS environment variable (read once here), else 0 =
+  // auto-sized per image from the pool. Purely a performance knob —
+  // outputs are bit-identical for every value.
+  tile_rows_ = config_.tile_rows;
+  if (tile_rows_ == 0) {
+    const char* env = std::getenv("SEGHDC_TILE_ROWS");
+    if (env != nullptr && *env != '\0') {
+      // Malformed values are hard errors, like SEGHDC_KERNEL_BACKEND:
+      // an override that silently fell back to auto would make a forced
+      // CI tiling run meaningless. Require a plain digit string (no
+      // sign, no whitespace — strtoull would skip both) and reject
+      // overflow.
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long value = std::strtoull(env, &end, 10);
+      if (*env < '0' || *env > '9' || *end != '\0' || errno == ERANGE) {
+        throw std::invalid_argument(
+            std::string("SEGHDC_TILE_ROWS must be a non-negative "
+                        "integer, got '") +
+            env + "'");
+      }
+      tile_rows_ = static_cast<std::size_t>(value);
+    }
+  }
 }
 
 SegHdcSession::~SegHdcSession() = default;
+
+std::size_t SegHdcSession::tile_rows_for(std::size_t height) const {
+  if (tile_rows_ != 0) {
+    // Clamp to the image height so "any value >= height means one
+    // band" holds without the ceil-division in the caller overflowing
+    // on huge overrides (height + tile_rows - 1 must not wrap).
+    return std::min(tile_rows_, height);
+  }
+  // Auto: ~4 bands per pool thread for load balance. One band when the
+  // encode cannot fan out anyway — a single-thread pool, or a
+  // segment_many worker whose inner loops are pinned serial — so the
+  // hot serving path pays zero tiling overhead.
+  if (util::SerialScope::active()) {
+    return height;
+  }
+  const std::size_t threads = pool().thread_count();
+  if (threads <= 1) {
+    return height;
+  }
+  return std::max<std::size_t>(1, (height + 4 * threads - 1) / (4 * threads));
+}
 
 util::ThreadPool& SegHdcSession::pool() const {
   return pool_ != nullptr ? *pool_ : util::ThreadPool::shared();
@@ -207,13 +293,22 @@ EncodedImage SegHdcSession::encode_impl(const img::ImageU8& image,
   encoded.height = image.height();
   encoded.pixel_to_unique.resize(image.pixel_count());
 
-  // --- Pass 1: dedup keys. When deduplication is disabled every pixel
-  // becomes its own "unique" point (identical semantics, full cost). ---
+  // --- Pass 1: dedup keys, tiled into row bands. Each band builds its
+  // local key -> first-occurrence table in parallel (with per-pixel
+  // weights counted on the way); the bands are then merged into the
+  // global table in fixed band order, so unique-point IDs come out in
+  // exactly the order the old serial row-major scan assigned them —
+  // labels are bit-identical at every thread count and tile size. When
+  // deduplication is disabled every pixel is its own "unique" point
+  // with ID = pixel index (identical semantics, full cost), which the
+  // bands fill directly. ---
   auto& key_to_unique = scratch.key_to_unique;
   auto& refs = scratch.refs;
-  if (config_.deduplicate) {
-    key_to_unique.reserve(image.pixel_count() / 4 + 16);
-  }
+  const std::size_t width = image.width();
+  const std::size_t height = image.height();
+  const std::size_t pixel_count = image.pixel_count();
+  const std::size_t tile_rows = tile_rows_for(height);
+  const std::size_t tile_count = (height + tile_rows - 1) / tile_rows;
 
   // Quantisation: map v to the midpoint of its bucket so encoded colors
   // stay centred in the original range.
@@ -227,39 +322,145 @@ EncodedImage SegHdcSession::encode_impl(const img::ImageU8& image,
                               ((1u << shift) >> 1);
     return static_cast<std::uint8_t>(std::min<std::uint32_t>(mid, 255));
   };
-
-  for (std::size_t y = 0; y < image.height(); ++y) {
-    for (std::size_t x = 0; x < image.width(); ++x) {
-      std::array<std::uint8_t, 3> color{0, 0, 0};
-      for (std::size_t c = 0; c < image.channels(); ++c) {
-        color[c] = quantize(image(x, y, c));
-      }
-      const std::size_t pixel_index = y * image.width() + x;
-      if (!config_.deduplicate) {
-        encoded.pixel_to_unique[pixel_index] =
-            static_cast<std::uint32_t>(refs.size());
-        refs.push_back(EncodeScratch::UniqueRef{x, y, color});
-        continue;
-      }
-      // kRandom position HVs differ per block index as well, so the same
-      // key function applies to every encoding variant.
-      const std::uint64_t key = make_key(position_encoder.row_block(y),
-                                         position_encoder.col_block(x),
-                                         color);
-      const auto [it, inserted] = key_to_unique.try_emplace(
-          key, static_cast<std::uint32_t>(refs.size()));
-      if (inserted) {
-        refs.push_back(EncodeScratch::UniqueRef{x, y, color});
-      }
-      encoded.pixel_to_unique[pixel_index] = it->second;
+  const auto quantized_color = [&](std::size_t x, std::size_t y) {
+    std::array<std::uint8_t, 3> color{0, 0, 0};
+    for (std::size_t c = 0; c < image.channels(); ++c) {
+      color[c] = quantize(image(x, y, c));
     }
+    return color;
+  };
+
+  if (!config_.deduplicate) {
+    // Every pixel its own unique point: band-parallel direct fill.
+    refs.resize(pixel_count);
+    pool().parallel_for(
+        0, tile_count,
+        [&](std::size_t t) {
+          const std::size_t y_end = std::min(height, (t + 1) * tile_rows);
+          for (std::size_t y = t * tile_rows; y < y_end; ++y) {
+            for (std::size_t x = 0; x < width; ++x) {
+              const std::size_t pixel_index = y * width + x;
+              encoded.pixel_to_unique[pixel_index] =
+                  static_cast<std::uint32_t>(pixel_index);
+              refs[pixel_index] =
+                  EncodeScratch::UniqueRef{x, y, quantized_color(x, y)};
+            }
+          }
+        },
+        /*grain=*/1);
+    encoded.weights.assign(refs.size(), 1);
+  } else if (tile_count == 1) {
+    // One band: scan straight into the global table — the serial
+    // reference path, with no double-hash merge overhead. This is also
+    // the segment_many worker shape (SerialScope pins auto to one band).
+    key_to_unique.reserve(
+        expected_unique(pixel_count, scratch.last_unique_ratio));
+    encoded.weights.clear();
+    for (std::size_t y = 0; y < height; ++y) {
+      for (std::size_t x = 0; x < width; ++x) {
+        const auto color = quantized_color(x, y);
+        // kRandom position HVs differ per block index as well, so the
+        // same key function applies to every encoding variant.
+        const std::uint64_t key = make_key(position_encoder.row_block(y),
+                                           position_encoder.col_block(x),
+                                           color);
+        const auto [it, inserted] = key_to_unique.try_emplace(
+            key, static_cast<std::uint32_t>(refs.size()));
+        if (inserted) {
+          refs.push_back(EncodeScratch::UniqueRef{x, y, color});
+          encoded.weights.push_back(0);
+        }
+        ++encoded.weights[it->second];
+        encoded.pixel_to_unique[y * width + x] = it->second;
+      }
+    }
+  } else {
+    if (scratch.tiles.size() < tile_count) {
+      scratch.tiles.resize(tile_count);
+    }
+    const double unique_ratio = scratch.last_unique_ratio;
+    // Phase 1a: per-band local dedup tables, in parallel. Band t only
+    // touches its own arena and its own slice of pixel_to_unique (which
+    // temporarily holds band-local IDs).
+    pool().parallel_for(
+        0, tile_count,
+        [&](std::size_t t) {
+          auto& tile = scratch.tiles[t];
+          const std::size_t y_begin = t * tile_rows;
+          const std::size_t y_end = std::min(height, y_begin + tile_rows);
+          tile.begin_band((y_end - y_begin) * width, unique_ratio);
+          for (std::size_t y = y_begin; y < y_end; ++y) {
+            for (std::size_t x = 0; x < width; ++x) {
+              const auto color = quantized_color(x, y);
+              const std::uint64_t key =
+                  make_key(position_encoder.row_block(y),
+                           position_encoder.col_block(x), color);
+              const auto [it, inserted] = tile.key_to_local.try_emplace(
+                  key, static_cast<std::uint32_t>(tile.refs.size()));
+              if (inserted) {
+                tile.keys.push_back(key);
+                tile.refs.push_back(EncodeScratch::UniqueRef{x, y, color});
+                tile.weights.push_back(0);
+              }
+              ++tile.weights[it->second];
+              encoded.pixel_to_unique[y * width + x] = it->second;
+            }
+          }
+        },
+        /*grain=*/1);
+
+    // Phase 1b: merge bands in fixed order. A key's global ID is
+    // assigned at its first band (bands are row-ordered and each band's
+    // locals are in row-major first-occurrence order), so IDs — and the
+    // representative refs — replicate the serial scan exactly. Work is
+    // O(sum of band unique counts), not O(pixels).
+    key_to_unique.reserve(
+        expected_unique(pixel_count, scratch.last_unique_ratio));
+    for (std::size_t t = 0; t < tile_count; ++t) {
+      auto& tile = scratch.tiles[t];
+      tile.remap.resize(tile.refs.size());
+      for (std::size_t local = 0; local < tile.refs.size(); ++local) {
+        const auto [it, inserted] = key_to_unique.try_emplace(
+            tile.keys[local], static_cast<std::uint32_t>(refs.size()));
+        if (inserted) {
+          refs.push_back(tile.refs[local]);
+        }
+        tile.remap[local] = it->second;
+      }
+    }
+    // Weight histogram: per-band counts were taken in phase 1a, so the
+    // old serial O(pixels) pass shrinks to summing band partials over
+    // the merged unique set.
+    encoded.weights.assign(refs.size(), 0);
+    for (std::size_t t = 0; t < tile_count; ++t) {
+      const auto& tile = scratch.tiles[t];
+      for (std::size_t local = 0; local < tile.refs.size(); ++local) {
+        encoded.weights[tile.remap[local]] += tile.weights[local];
+      }
+    }
+    // Phase 1c: relabel each band's pixels from band-local to global
+    // IDs, band-parallel again.
+    pool().parallel_for(
+        0, tile_count,
+        [&](std::size_t t) {
+          const auto& remap = scratch.tiles[t].remap;
+          const std::size_t begin = t * tile_rows * width;
+          const std::size_t end =
+              std::min(height, (t + 1) * tile_rows) * width;
+          for (std::size_t p = begin; p < end; ++p) {
+            encoded.pixel_to_unique[p] = remap[encoded.pixel_to_unique[p]];
+          }
+        },
+        /*grain=*/1);
   }
+  // Images are validated non-empty, so pixel_count >= 1 here.
+  scratch.last_unique_ratio =
+      static_cast<double>(refs.size()) / static_cast<double>(pixel_count);
 
   // --- Pass 2a: memoise the position and color HVs. Position HVs
   // repeat across every color in a block and color HVs repeat across
   // blocks, so each distinct HV is built exactly once per session
   // geometry; the per-point work left over is one word-parallel XOR. ---
-  encoded.weights.assign(refs.size(), 0);
   encoded.intensities.resize(refs.size());
   auto& position_cache = scratch.position_cache;
   auto& color_cache = scratch.color_cache;
@@ -299,10 +500,6 @@ EncodedImage SegHdcSession::encode_impl(const img::ImageU8& image,
             ? ref.color[0]
             : img::luma(ref.color[0], ref.color[1], ref.color[2]);
   }
-  for (const auto u : encoded.pixel_to_unique) {
-    ++encoded.weights[u];
-  }
-
   // --- Pass 2b: bind position x color straight into the packed block,
   // data-parallel over unique points. No per-point HyperVector is
   // allocated; each row is one fused XOR over cached word spans. ---

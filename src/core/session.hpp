@@ -16,9 +16,16 @@
 //
 //   const auto results = session.segment_many(images);
 //
+// Inside one call, the encode is tiled into row bands (see
+// SegHdcConfig::tile_rows): the dedup scan, the weight histogram, and
+// the bind pass all parallelise across the pool, so a single large
+// image saturates the cores, not just batches of small ones.
+//
 // Guarantees:
 //   - `segment` is bitwise-identical to `SegHdc::segment` for the same
-//     config and image (same label maps, margins, op counts).
+//     config and image (same label maps, margins, op counts), at every
+//     pool size and tile size — the band merge reproduces the serial
+//     row-major first-occurrence order exactly.
 //   - `segment_many` returns exactly what a sequential `segment` loop
 //     returns, for every pool size (per-image work is deterministic and
 //     images never share mutable state).
@@ -97,6 +104,13 @@ class SegHdcSession {
   /// so far — observability for tests and serving dashboards.
   std::size_t encoder_states_built() const;
 
+  /// The resolved tile-rows override: SegHdcConfig::tile_rows when
+  /// non-zero, else the SEGHDC_TILE_ROWS environment value read at
+  /// construction, else 0 (auto-size per image from the pool).
+  /// Observability for tests and bench headers; the output never
+  /// depends on it.
+  std::size_t tile_rows_override() const { return tile_rows_; }
+
  private:
   struct EncoderState;
   struct EncodeScratch;
@@ -112,11 +126,15 @@ class SegHdcSession {
   SegmentationResult segment_impl(const img::ImageU8& image,
                                   EncodeScratch& scratch) const;
 
+  /// Band height used to tile this image's encode passes (>= 1).
+  std::size_t tile_rows_for(std::size_t height) const;
+
   EncodeScratch& shared_scratch() const;
   util::ThreadPool& pool() const;
 
   SegHdcConfig config_;
   util::ThreadPool* pool_ = nullptr;
+  std::size_t tile_rows_ = 0;  ///< resolved override; 0 = auto
   mutable std::mutex states_mutex_;
   mutable std::unordered_map<std::uint64_t, std::unique_ptr<EncoderState>>
       states_;

@@ -28,12 +28,18 @@ void Accumulator::add(std::span<const std::uint64_t> packed_bits,
   util::expects(kernels::padding_is_zero(packed_bits, counts_.size()),
                 "Accumulator::add padding bits must be zero");
   const auto w = static_cast<std::int64_t>(weight);
-  kernels::for_each_set_bit_words(packed_bits, [&](std::size_t i) {
-    std::int64_t& count = counts_[i];
-    // Maintain sum of squares incrementally: (x+w)^2 - x^2 = 2xw + w^2.
-    sum_squares_ += 2 * count * w + w * w;
-    count += w;
-  });
+  // The fused kernel returns the pre-add dot, so the incremental norm
+  // stays a single pass over the counts: summing (x+w)^2 - x^2 =
+  // 2xw + w^2 over the set bits is 2w * dot_old + w^2 * popcount — the
+  // same integers the old per-bit walk produced. The popcount is a
+  // second read of the packed words, but those are 1/8 the bytes of the
+  // counts pass and cache-hot, so folding it into the kernel's return
+  // isn't worth widening the vtable signature.
+  const std::int64_t old_dot =
+      kernels::accumulate_counts_words(counts_, packed_bits, w);
+  const auto set_bits =
+      static_cast<std::int64_t>(kernels::popcount_words(packed_bits));
+  sum_squares_ += 2 * w * old_dot + w * w * set_bits;
   total_weight_ += weight;
 }
 

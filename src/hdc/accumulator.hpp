@@ -30,10 +30,15 @@ class Accumulator {
   /// Adds `hv` with multiplicity `weight` (component-wise: counts[i] +=
   /// weight for every set bit i). Weighted adds are what make the
   /// deduplicated K-Means exactly equivalent to the per-pixel version.
+  /// Forwards through the packed-span overload below, so there is one
+  /// implementation (and one op/kernel path) for both.
   void add(const HyperVector& hv, std::uint32_t weight = 1);
 
   /// Same, over pre-packed words (e.g. an `HvBlock` row): exactly
-  /// ceil(dim/64) words, padding bits zero.
+  /// ceil(dim/64) words, padding bits zero. Runs on the dispatched
+  /// accumulate kernel (word-blocked masked adds on SIMD backends), not
+  /// a bit-serial set-bit walk; every backend produces identical counts
+  /// and norms.
   void add(std::span<const std::uint64_t> packed_bits,
            std::uint32_t weight = 1);
 

@@ -38,6 +38,12 @@ std::int64_t dot_counts_words(std::span<const std::int64_t> counts,
   return simd::active_backend().dot_counts(counts, words);
 }
 
+std::int64_t accumulate_counts_words(std::span<std::int64_t> counts,
+                                     std::span<const std::uint64_t> words,
+                                     std::int64_t weight) {
+  return simd::active_backend().accumulate_words(counts, words, weight);
+}
+
 double cosine_distance_words(std::span<const std::int64_t> counts,
                              double centroid_norm,
                              std::span<const std::uint64_t> words,
@@ -63,16 +69,7 @@ void CountPlanes::build(std::span<const std::int64_t> counts) {
   planes_ = static_cast<std::size_t>(
       std::bit_width(static_cast<std::uint64_t>(envelope)));
   storage_.assign(planes_ * words_per_plane_, 0);
-  for (std::size_t i = 0; i < dim_; ++i) {
-    auto bits = static_cast<std::uint64_t>(counts[i]);
-    const std::uint64_t mask = std::uint64_t{1} << (i % 64);
-    const std::size_t word = i / 64;
-    while (bits != 0) {
-      const auto b = static_cast<std::size_t>(std::countr_zero(bits));
-      bits &= bits - 1;
-      storage_[b * words_per_plane_ + word] |= mask;
-    }
-  }
+  simd::active_backend().build_planes(counts, storage_, words_per_plane_);
 }
 
 std::span<const std::uint64_t> CountPlanes::plane(std::size_t b) const {

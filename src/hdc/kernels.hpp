@@ -61,6 +61,16 @@ void xor_words(std::span<std::uint64_t> dst,
 std::int64_t dot_counts_words(std::span<const std::int64_t> counts,
                               std::span<const std::uint64_t> words);
 
+/// Weighted accumulate into an integer centroid — the K-Means update
+/// primitive: counts[i] += weight for every set bit i of `words`,
+/// word-blocked on the dispatched backend. Returns the sum of the
+/// pre-add counts over those bits (the old-counts dot), which is what
+/// Accumulator::add needs to keep its incremental norm exact in the
+/// same pass. Same span contract as dot_counts_words.
+std::int64_t accumulate_counts_words(std::span<std::int64_t> counts,
+                                     std::span<const std::uint64_t> words,
+                                     std::int64_t weight);
+
 /// Cosine distance (paper Eq. 7) between a packed binary point and an
 /// integer centroid, with both norms precomputed by the caller (the
 /// clusterer caches them): 1 - dot / (point_norm * centroid_norm).

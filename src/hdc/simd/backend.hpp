@@ -73,6 +73,25 @@ struct KernelBackend {
   /// (hdc::CountPlanes in src/hdc/kernels.hpp) instead.
   std::int64_t (*dot_counts)(std::span<const std::int64_t> counts,
                              std::span<const std::uint64_t> words);
+  /// Fused weighted accumulate — the K-Means centroid-update primitive:
+  /// counts[i] += weight for every set bit i of `words`, word-blocked
+  /// (masked lane adds instead of a bit-serial set-bit walk). Returns
+  /// the sum of the PRE-add counts over those same bits (the dot of the
+  /// old counts with `words`), so Accumulator::add maintains its
+  /// incremental sum-of-squares without a second gather pass. `counts`
+  /// must cover the bit span exactly like dot_counts (set bits only
+  /// below counts.size(); callers enforce zero padding).
+  std::int64_t (*accumulate_words)(std::span<std::int64_t> counts,
+                                   std::span<const std::uint64_t> words,
+                                   std::int64_t weight);
+  /// Bit-plane scatter backing kernels::CountPlanes::build: for every
+  /// count i and every set bit b of counts[i], sets bit (i % 64) of
+  /// storage[b * words_per_plane + i / 64]. `storage` arrives zeroed and
+  /// sized planes * words_per_plane with planes >= bit_width of every
+  /// count; counts are non-negative (the caller validates).
+  void (*build_planes)(std::span<const std::int64_t> counts,
+                       std::span<std::uint64_t> storage,
+                       std::size_t words_per_plane);
 };
 
 /// Every compiled-in backend, in registration order (scalar first).

@@ -115,6 +115,100 @@ SEGHDC_AVX2 void avx2_xor_bind(std::span<std::uint64_t> dst,
   }
 }
 
+/// Masked-lane accumulate: each 64-bit mask word selects lanes of 16
+/// consecutive 4 x int64 count vectors. The nibble selector starts at
+/// {1,2,4,8} and slides left 4 bits per group, so one broadcast of the
+/// mask word drives all 16 compares — no per-bit countr_zero chain, and
+/// the pre-add dot rides the same pass in a vector accumulator.
+SEGHDC_AVX2 std::int64_t avx2_accumulate_words(
+    std::span<std::int64_t> counts, std::span<const std::uint64_t> words,
+    std::int64_t weight) {
+  __m256i dot_acc = _mm256_setzero_si256();
+  const __m256i weight_vec = _mm256_set1_epi64x(weight);
+  const std::size_t full = counts.size() / 64;
+  std::size_t w = 0;
+  for (; w < full && w < words.size(); ++w) {
+    const std::uint64_t bits = words[w];
+    if (bits == 0) {
+      continue;
+    }
+    std::int64_t* base = counts.data() + w * 64;
+    const __m256i bcast =
+        _mm256_set1_epi64x(static_cast<std::int64_t>(bits));
+    __m256i select = _mm256_setr_epi64x(1, 2, 4, 8);
+    for (std::size_t g = 0; g < 16; ++g) {
+      const __m256i mask =
+          _mm256_cmpeq_epi64(_mm256_and_si256(bcast, select), select);
+      __m256i c = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(base + 4 * g));
+      dot_acc = _mm256_add_epi64(dot_acc, _mm256_and_si256(c, mask));
+      c = _mm256_add_epi64(c, _mm256_and_si256(weight_vec, mask));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(base + 4 * g), c);
+      select = _mm256_slli_epi64(select, 4);
+    }
+  }
+  auto dot = static_cast<std::int64_t>(reduce_epi64(dot_acc));
+  if (w < words.size()) {
+    dot += detail::scalar_accumulate_words(counts.subspan(w * 64),
+                                           words.subspan(w), weight);
+  }
+  return dot;
+}
+
+/// Plane scatter via sign-bit extraction: shifting bit b of four counts
+/// up to bit 63 turns movemask_pd into a 4-wide bit gather, so each
+/// plane word of a 64-count block assembles from 16 shift+movemask
+/// pairs. A per-block OR envelope skips planes the block never reaches
+/// (storage arrives zeroed).
+SEGHDC_AVX2 void avx2_build_planes(std::span<const std::int64_t> counts,
+                                   std::span<std::uint64_t> storage,
+                                   std::size_t words_per_plane) {
+  const std::size_t full = counts.size() / 64;
+  for (std::size_t block = 0; block < full; ++block) {
+    const std::int64_t* base = counts.data() + block * 64;
+    __m256i envelope_vec = _mm256_setzero_si256();
+    for (std::size_t g = 0; g < 16; ++g) {
+      envelope_vec = _mm256_or_si256(
+          envelope_vec, _mm256_loadu_si256(
+                            reinterpret_cast<const __m256i*>(base + 4 * g)));
+    }
+    const __m128i env_fold =
+        _mm_or_si128(_mm256_castsi256_si128(envelope_vec),
+                     _mm256_extracti128_si256(envelope_vec, 1));
+    const auto envelope = static_cast<std::uint64_t>(
+        _mm_extract_epi64(env_fold, 0) | _mm_extract_epi64(env_fold, 1));
+    const auto block_planes =
+        static_cast<std::size_t>(std::bit_width(envelope));
+    for (std::size_t b = 0; b < block_planes; ++b) {
+      const __m128i shift = _mm_cvtsi32_si128(static_cast<int>(63 - b));
+      std::uint64_t word = 0;
+      for (std::size_t g = 0; g < 16; ++g) {
+        const __m256i v = _mm256_sll_epi64(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(base + 4 * g)),
+            shift);
+        word |= static_cast<std::uint64_t>(static_cast<unsigned>(
+                    _mm256_movemask_pd(_mm256_castsi256_pd(v))))
+                << (4 * g);
+      }
+      storage[b * words_per_plane + block] = word;
+    }
+  }
+  if (full * 64 < counts.size()) {
+    // Partial trailing block via the reference scatter; the plane/word
+    // layout is global, so pass the tail with its original word index.
+    for (std::size_t i = full * 64; i < counts.size(); ++i) {
+      auto bits = static_cast<std::uint64_t>(counts[i]);
+      const std::uint64_t mask = std::uint64_t{1} << (i % 64);
+      while (bits != 0) {
+        const auto b = static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        storage[b * words_per_plane + full] |= mask;
+      }
+    }
+  }
+}
+
 #undef SEGHDC_AVX2
 
 const KernelBackend kAvx2Backend{
@@ -126,6 +220,8 @@ const KernelBackend kAvx2Backend{
     .and_popcount = avx2_and_popcount,
     .xor_bind = avx2_xor_bind,
     .dot_counts = detail::scalar_dot_counts,
+    .accumulate_words = avx2_accumulate_words,
+    .build_planes = avx2_build_planes,
 };
 
 }  // namespace

@@ -17,6 +17,32 @@ std::int64_t scalar_dot_counts(std::span<const std::int64_t> counts,
   return sum;
 }
 
+std::int64_t scalar_accumulate_words(std::span<std::int64_t> counts,
+                                     std::span<const std::uint64_t> words,
+                                     std::int64_t weight) {
+  std::int64_t dot = 0;
+  kernels::for_each_set_bit_words(words, [&](std::size_t i) {
+    dot += counts[i];
+    counts[i] += weight;
+  });
+  return dot;
+}
+
+void scalar_build_planes(std::span<const std::int64_t> counts,
+                         std::span<std::uint64_t> storage,
+                         std::size_t words_per_plane) {
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    auto bits = static_cast<std::uint64_t>(counts[i]);
+    const std::uint64_t mask = std::uint64_t{1} << (i % 64);
+    const std::size_t word = i / 64;
+    while (bits != 0) {
+      const auto b = static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      storage[b * words_per_plane + word] |= mask;
+    }
+  }
+}
+
 }  // namespace detail
 
 namespace {
@@ -32,6 +58,8 @@ const KernelBackend kScalarBackend{
     .and_popcount = detail::scalar_and_popcount,
     .xor_bind = detail::scalar_xor_bind,
     .dot_counts = detail::scalar_dot_counts,
+    .accumulate_words = detail::scalar_accumulate_words,
+    .build_planes = detail::scalar_build_planes,
 };
 
 }  // namespace

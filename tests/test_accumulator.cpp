@@ -220,4 +220,24 @@ TEST(Accumulator, MergeDimensionMismatchThrows) {
   EXPECT_THROW(a.merge(b), std::invalid_argument);
 }
 
+TEST(Accumulator, HyperVectorAddForwardsThroughPackedOverload) {
+  // Both overloads are one implementation (the HyperVector form
+  // forwards its packed words), so their outputs — counts, weight, and
+  // the incrementally-maintained norm — must be identical.
+  Rng rng(23);
+  const std::size_t dim = 300;  // non-multiple of 64: padding in play
+  Accumulator via_hv(dim);
+  Accumulator via_span(dim);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    const auto hv = HyperVector::random(dim, rng);
+    via_hv.add(hv, 1 + i % 5);
+    via_span.add(hv.words(), 1 + i % 5);
+  }
+  EXPECT_EQ(via_hv.total_weight(), via_span.total_weight());
+  EXPECT_DOUBLE_EQ(via_hv.norm(), via_span.norm());
+  for (std::size_t i = 0; i < dim; ++i) {
+    ASSERT_EQ(via_hv.at(i), via_span.at(i)) << "component " << i;
+  }
+}
+
 }  // namespace

@@ -209,6 +209,124 @@ TEST(SimdBackends, KernelLayerMatchesReferenceAtNonWordDims) {
   }
 }
 
+TEST(SimdBackends, AccumulateMatchesScalarOnAdversarialSpans) {
+  // The fused centroid-accumulate kernel: every backend must produce
+  // the scalar walk's exact post-add counts AND pre-add dot, including
+  // weights > 1, block-boundary span lengths, and a counts vector
+  // shorter than 64 * words (partial trailing block, exercised with the
+  // padding invariant the real call sites guarantee).
+  const auto* scalar = simd::find_backend("scalar");
+  ASSERT_NE(scalar, nullptr);
+  const std::vector<std::int64_t> weights{1, 2, 7, 100000};
+  for (const std::size_t words : kWordCounts) {
+    auto sets = adversarial_word_sets(words);
+    // A short-counts variant: 30 fewer count slots than bits, with the
+    // top 30 bits of the last word masked to honour zero padding.
+    const std::size_t full_counts = words * 64;
+    const std::size_t short_counts =
+        words == 0 ? 0 : full_counts - 30;
+    for (std::size_t si = 0; si < sets.size(); ++si) {
+      for (const bool shorten : {false, true}) {
+        auto span_words = sets[si];
+        const std::size_t count_size = shorten ? short_counts : full_counts;
+        if (shorten && words > 0) {
+          span_words.back() &= ~std::uint64_t{0} >> 30;
+        }
+        util::Rng rng(words * 977 + si * 31 + (shorten ? 1 : 0));
+        std::vector<std::int64_t> base_counts(count_size);
+        for (auto& count : base_counts) {
+          count = static_cast<std::int64_t>(rng() % 4096) - 1024;
+        }
+        for (const std::int64_t weight : weights) {
+          auto expected_counts = base_counts;
+          const auto expected_dot = scalar->accumulate_words(
+              expected_counts, span_words, weight);
+          for (const auto* backend : available_backends()) {
+            auto got_counts = base_counts;
+            const auto got_dot =
+                backend->accumulate_words(got_counts, span_words, weight);
+            EXPECT_EQ(got_dot, expected_dot)
+                << backend->name << " words=" << words << " set=" << si
+                << " weight=" << weight << " shorten=" << shorten;
+            EXPECT_EQ(got_counts, expected_counts)
+                << backend->name << " words=" << words << " set=" << si
+                << " weight=" << weight << " shorten=" << shorten;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdBackends, AccumulatorAddIdenticalUnderEveryBackend) {
+  // Through the public Accumulator API (dispatch + padding + the
+  // incremental norm): weighted adds at dimensions straddling word
+  // boundaries must leave identical counts, total weight, and norm
+  // under every forced backend.
+  const BackendSelectionGuard guard;
+  const std::vector<std::size_t> dims{8, 63, 64, 65, 127, 322, 1000};
+  for (const auto dim : dims) {
+    std::vector<std::int64_t> expected_counts;
+    double expected_norm = 0.0;
+    std::uint64_t expected_weight = 0;
+    bool have_expected = false;
+    for (const auto* backend : available_backends()) {
+      simd::force_backend(backend->name);
+      util::Rng rng(dim * 3 + 1);
+      Accumulator acc(dim);
+      for (std::uint32_t i = 0; i < 12; ++i) {
+        acc.add(HyperVector::random(dim, rng), 1 + (i * 37) % 400);
+      }
+      if (!have_expected) {
+        expected_counts.assign(acc.counts().begin(), acc.counts().end());
+        expected_norm = acc.norm();
+        expected_weight = acc.total_weight();
+        have_expected = true;
+        continue;
+      }
+      EXPECT_TRUE(std::equal(acc.counts().begin(), acc.counts().end(),
+                             expected_counts.begin(), expected_counts.end()))
+          << backend->name << " dim=" << dim;
+      EXPECT_EQ(acc.total_weight(), expected_weight) << backend->name;
+      EXPECT_DOUBLE_EQ(acc.norm(), expected_norm)
+          << backend->name << " dim=" << dim;
+    }
+  }
+}
+
+TEST(SimdBackends, CountPlanesBuildIdenticalUnderEveryBackend) {
+  // snapshot_planes rides the dispatched build_planes slot: the packed
+  // plane words must be identical under every forced backend, at dims
+  // that leave a partial trailing 64-count block.
+  const BackendSelectionGuard guard;
+  const std::vector<std::size_t> dims{8, 64, 65, 127, 193, 1000};
+  for (const auto dim : dims) {
+    std::vector<std::vector<std::uint64_t>> expected_planes;
+    bool have_expected = false;
+    for (const auto* backend : available_backends()) {
+      simd::force_backend(backend->name);
+      util::Rng rng(dim * 7 + 5);
+      Accumulator acc(dim);
+      for (int i = 0; i < 9; ++i) {
+        acc.add(HyperVector::random(dim, rng),
+                static_cast<std::uint32_t>(1 + rng.next_below(1000)));
+      }
+      kernels::CountPlanes planes;
+      acc.snapshot_planes(planes);
+      std::vector<std::vector<std::uint64_t>> got;
+      for (std::size_t b = 0; b < planes.plane_count(); ++b) {
+        got.emplace_back(planes.plane(b).begin(), planes.plane(b).end());
+      }
+      if (!have_expected) {
+        expected_planes = std::move(got);
+        have_expected = true;
+        continue;
+      }
+      EXPECT_EQ(got, expected_planes) << backend->name << " dim=" << dim;
+    }
+  }
+}
+
 TEST(SimdBackends, CountPlanesDotMatchesBitSerialOnEveryBackend) {
   const std::vector<std::size_t> dims{8, 63, 64, 65, 127, 128, 322, 1000};
   util::Rng rng(47);

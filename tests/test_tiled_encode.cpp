@@ -1,0 +1,304 @@
+// The tiled intra-image encode pipeline must be invisible in the
+// output: for every tile size (including ones that split bands
+// unevenly, exceed the image height, or degenerate to one row) and
+// every pool size, labels, unique-point IDs, weights, and op counts
+// must be bit-identical to the untiled serial scan — on every
+// registered kernel backend. These suites pin that guarantee on
+// tile-boundary edge geometries and on the PR-2 golden batch hash.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/core/seghdc.hpp"
+#include "src/core/session.hpp"
+#include "src/hdc/simd/backend.hpp"
+#include "src/metrics/segmentation_metrics.hpp"
+#include "src/util/parallel.hpp"
+
+namespace {
+
+using namespace seghdc;
+
+// Restores automatic backend selection when a forcing test exits.
+struct BackendSelectionGuard {
+  ~BackendSelectionGuard() { hdc::simd::reset_backend_selection(); }
+};
+
+core::SegHdcConfig small_config() {
+  core::SegHdcConfig config;
+  config.dim = 384;
+  config.beta = 3;
+  config.iterations = 3;
+  return config;
+}
+
+/// Gradient + checker content so bands share some dedup keys across
+/// tile boundaries and keep many distinct ones.
+img::ImageU8 textured_image(std::size_t width, std::size_t height,
+                            std::size_t channels) {
+  img::ImageU8 image(width, height, channels, 0);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const auto base = static_cast<std::uint8_t>(
+          ((x / 5 + y / 4) % 2 == 0) ? 40 + (y * 7) % 60 : 200 - (x * 5) % 50);
+      image(x, y, 0) = base;
+      for (std::size_t c = 1; c < channels; ++c) {
+        image(x, y, c) = static_cast<std::uint8_t>(base ^ (31 * c));
+      }
+    }
+  }
+  return image;
+}
+
+void expect_encode_identical(const core::EncodedImage& expected,
+                             const core::EncodedImage& actual) {
+  ASSERT_EQ(actual.unique_hvs.count(), expected.unique_hvs.count());
+  EXPECT_EQ(actual.pixel_to_unique, expected.pixel_to_unique);
+  EXPECT_EQ(actual.weights, expected.weights);
+  EXPECT_EQ(actual.intensities, expected.intensities);
+  for (std::size_t u = 0; u < expected.unique_hvs.count(); ++u) {
+    ASSERT_TRUE(std::ranges::equal(actual.unique_hvs.row(u),
+                                   expected.unique_hvs.row(u)))
+        << "unique point " << u;
+  }
+  EXPECT_EQ(actual.ops.bind_xor_bits, expected.ops.bind_xor_bits);
+}
+
+// The core guarantee, at encode granularity where it is strongest:
+// unique-point IDs (hence every downstream label) must replicate the
+// serial row-major first-occurrence order for every tiling, on edge
+// geometries that stress the band split — heights not divisible by
+// tile_rows, single-row and single-column images, tiles taller than
+// the image.
+TEST(TiledEncode, UniqueIdsMatchUntiledOnEdgeGeometries) {
+  struct Case {
+    std::size_t width, height, channels;
+  };
+  const std::vector<Case> cases{
+      {33, 29, 3},  // 29 % 3 != 0: ragged last band
+      {1, 40, 1},   // single column
+      {40, 1, 3},   // single row: every tile_rows > height
+      {17, 16, 1},  // even split
+  };
+  const std::vector<std::size_t> tile_rows_values{1, 3, 5, 1000};
+  for (const auto& c : cases) {
+    const auto image = textured_image(c.width, c.height, c.channels);
+    auto untiled_config = small_config();
+    untiled_config.tile_rows = c.height;  // one band: the serial scan
+    const core::SegHdcSession untiled(untiled_config);
+    const auto expected = untiled.encode(image);
+    for (const std::size_t tile_rows : tile_rows_values) {
+      for (const std::size_t threads : {1u, 2u, 4u}) {
+        SCOPED_TRACE(std::to_string(c.width) + "x" + std::to_string(c.height) +
+                     "x" + std::to_string(c.channels) + " tile_rows=" +
+                     std::to_string(tile_rows) + " threads=" +
+                     std::to_string(threads));
+        util::ThreadPool pool(threads);
+        auto config = small_config();
+        config.tile_rows = tile_rows;
+        const core::SegHdcSession session(
+            config, core::SegHdcSession::Options{&pool});
+        expect_encode_identical(expected, session.encode(image));
+      }
+    }
+  }
+}
+
+TEST(TiledEncode, FullPipelineLabelsMatchUntiled) {
+  const auto image = textured_image(46, 37, 3);  // 37 prime: always ragged
+  auto untiled_config = small_config();
+  untiled_config.compute_margins = true;
+  untiled_config.tile_rows = image.height();
+  const auto expected = core::SegHdcSession(untiled_config).segment(image);
+  for (const std::size_t tile_rows : {1u, 4u, 9u, 0u}) {  // 0 = auto
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+      SCOPED_TRACE("tile_rows=" + std::to_string(tile_rows) + " threads=" +
+                   std::to_string(threads));
+      util::ThreadPool pool(threads);
+      auto config = untiled_config;
+      config.tile_rows = tile_rows;
+      const core::SegHdcSession session(config,
+                                        core::SegHdcSession::Options{&pool});
+      const auto actual = session.segment(image);
+      EXPECT_EQ(actual.labels, expected.labels);
+      EXPECT_EQ(actual.margins, expected.margins);
+      EXPECT_EQ(actual.unique_points, expected.unique_points);
+      EXPECT_EQ(actual.cluster_pixel_counts, expected.cluster_pixel_counts);
+    }
+  }
+}
+
+TEST(TiledEncode, NoDedupPathMatchesUntiled) {
+  const auto image = textured_image(21, 13, 3);
+  auto untiled_config = small_config();
+  untiled_config.deduplicate = false;
+  untiled_config.tile_rows = image.height();
+  const auto expected = core::SegHdcSession(untiled_config).encode(image);
+  util::ThreadPool pool(3);
+  auto config = untiled_config;
+  config.tile_rows = 2;
+  const core::SegHdcSession session(config,
+                                    core::SegHdcSession::Options{&pool});
+  expect_encode_identical(expected, session.encode(image));
+}
+
+TEST(TiledEncode, RepeatedCallsReuseArenaWithoutDrift) {
+  // The unique-ratio reserve hint and the per-band arenas are reused
+  // across calls; a low-dedup (noisy) frame between identical frames
+  // must not change any output.
+  const auto image = textured_image(30, 22, 3);
+  img::ImageU8 noise(30, 22, 3, 0);
+  std::uint32_t state = 0x9E3779B9u;
+  for (auto& value : noise.pixels()) {
+    state = state * 1664525u + 1013904223u;
+    value = static_cast<std::uint8_t>(state >> 24);
+  }
+  auto config = small_config();
+  config.tile_rows = 4;
+  const core::SegHdcSession session(config);
+  const auto first = session.segment(image);
+  const auto noisy = session.segment(noise);
+  EXPECT_GT(noisy.unique_points, first.unique_points);
+  const auto second = session.segment(image);
+  EXPECT_EQ(first.labels, second.labels);
+  EXPECT_EQ(first.unique_points, second.unique_points);
+}
+
+TEST(TiledEncode, TileRowsResolutionOrder) {
+  // Explicit config beats the environment; the environment fills in
+  // when the config leaves tile_rows at 0; 0/unset means auto. A
+  // malformed environment value is a hard error (like
+  // SEGHDC_KERNEL_BACKEND), never a silent fallback.
+  const char* original = std::getenv("SEGHDC_TILE_ROWS");
+  const std::string saved = original != nullptr ? original : "";
+
+  auto config = small_config();
+  ::setenv("SEGHDC_TILE_ROWS", "2", 1);
+  EXPECT_EQ(core::SegHdcSession(config).tile_rows_override(), 2u);
+  config.tile_rows = 7;
+  EXPECT_EQ(core::SegHdcSession(config).tile_rows_override(), 7u);
+
+  ::setenv("SEGHDC_TILE_ROWS", "not-a-number", 1);
+  config.tile_rows = 0;
+  EXPECT_THROW(core::SegHdcSession{config}, std::invalid_argument);
+  ::setenv("SEGHDC_TILE_ROWS", "-1", 1);
+  EXPECT_THROW(core::SegHdcSession{config}, std::invalid_argument);
+  ::setenv("SEGHDC_TILE_ROWS", "3junk", 1);
+  EXPECT_THROW(core::SegHdcSession{config}, std::invalid_argument);
+  ::setenv("SEGHDC_TILE_ROWS", " -1", 1);  // strtoull would skip+wrap
+  EXPECT_THROW(core::SegHdcSession{config}, std::invalid_argument);
+  ::setenv("SEGHDC_TILE_ROWS", "+2", 1);  // sign also rejected
+  EXPECT_THROW(core::SegHdcSession{config}, std::invalid_argument);
+  config.tile_rows = 7;  // explicit config short-circuits the bad env
+  EXPECT_EQ(core::SegHdcSession(config).tile_rows_override(), 7u);
+
+  ::unsetenv("SEGHDC_TILE_ROWS");
+  config.tile_rows = 0;
+  EXPECT_EQ(core::SegHdcSession(config).tile_rows_override(), 0u);
+
+  if (original != nullptr) {
+    ::setenv("SEGHDC_TILE_ROWS", saved.c_str(), 1);
+  }
+}
+
+TEST(TiledEncode, HugeTileRowsClampToOneBand) {
+  // Values wildly above the image height (including SIZE_MAX, which
+  // would overflow a naive ceil-division) mean exactly one band.
+  const auto image = textured_image(19, 11, 1);
+  auto untiled_config = small_config();
+  untiled_config.tile_rows = image.height();
+  const auto expected = core::SegHdcSession(untiled_config).encode(image);
+  for (const std::size_t tile_rows :
+       {std::size_t{12}, std::size_t{1} << 40,
+        std::numeric_limits<std::size_t>::max()}) {
+    auto config = small_config();
+    config.tile_rows = tile_rows;
+    expect_encode_identical(expected,
+                            core::SegHdcSession(config).encode(image));
+  }
+}
+
+// --- Golden gate (mirrors tests/test_session.cpp and
+// tests/test_simd_backends.cpp): the PR-2 batch label hash must be
+// bit-identical at pool sizes 1/2/4 and tile_rows in {1, 3, auto}, on
+// every registered kernel backend. ---
+
+img::ImageU8 golden_gray_card(std::size_t size, std::uint8_t bg,
+                              std::uint8_t fg) {
+  img::ImageU8 image(size, size, 1, bg);
+  for (std::size_t y = size / 4; y < 3 * size / 4; ++y) {
+    for (std::size_t x = size / 4; x < 3 * size / 4; ++x) {
+      image(x, y) = fg;
+    }
+  }
+  for (std::size_t x = 0; x < size; ++x) {
+    image(x, 0) = static_cast<std::uint8_t>((x * 199) % 256);
+  }
+  return image;
+}
+
+img::ImageU8 golden_rgb_card(std::size_t width, std::size_t height) {
+  img::ImageU8 image(width, height, 3, 15);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      if ((x / 6 + y / 6) % 2 == 0) {
+        image(x, y, 0) = 190;
+        image(x, y, 1) = static_cast<std::uint8_t>(140 + (x % 32));
+        image(x, y, 2) = 210;
+      } else {
+        image(x, y, 2) = static_cast<std::uint8_t>(20 + (y % 16));
+      }
+    }
+  }
+  return image;
+}
+
+constexpr std::uint64_t kGoldenBatchHash = 13206585988845182882ULL;
+
+std::uint64_t golden_batch_hash(std::size_t threads,
+                                std::size_t tile_rows) {
+  std::vector<img::ImageU8> images;
+  images.push_back(golden_gray_card(32, 30, 200));
+  images.push_back(golden_rgb_card(36, 28));
+  images.push_back(golden_gray_card(24, 20, 235));
+
+  core::SegHdcConfig config;
+  config.dim = 512;
+  config.beta = 4;
+  config.iterations = 4;
+  config.seed = 42;
+  config.tile_rows = tile_rows;
+  util::ThreadPool pool(threads);
+  const core::SegHdcSession session(config,
+                                    core::SegHdcSession::Options{&pool});
+  const auto results = session.segment_many(images);
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const auto& result : results) {
+    hash = metrics::label_map_hash(result.labels, hash);
+  }
+  return hash;
+}
+
+TEST(TiledEncode, GoldenBatchHashStableAcrossTilesPoolsAndBackends) {
+  const BackendSelectionGuard guard;
+  for (const auto* backend : hdc::simd::registered_backends()) {
+    if (!backend->available()) {
+      continue;
+    }
+    hdc::simd::force_backend(backend->name);
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+      for (const std::size_t tile_rows : {1u, 3u, 0u}) {  // 0 = auto
+        EXPECT_EQ(golden_batch_hash(threads, tile_rows), kGoldenBatchHash)
+            << "hash drifted: backend=" << backend->name
+            << " threads=" << threads << " tile_rows=" << tile_rows;
+      }
+    }
+  }
+}
+
+}  // namespace
