@@ -1,0 +1,241 @@
+// Async serving throughput + tail latency: SegHdcServer (the pipelined
+// request-level path) vs SegHdcSession::segment_many (the batch/barrier
+// path) over the same DSB2018-like traffic.
+//
+//   ./bench_serving [--images 24] [--width 128] [--height 96]
+//                   [--dim 1000] [--beta 8] [--clusters 2]
+//                   [--iterations 6] [--quantize 2] [--seed 42]
+//                   [--threads 1,2,4] [--queue 0,4]
+//                   [--encode-workers 2] [--cluster-workers 2]
+//                   [--repeats 3] [--csv]
+//                   [--backend scalar|harley-seal|avx2|neon|auto]
+//
+// For each pool size T in --threads, the barrier path `many@T` is timed
+// first; then for each queue capacity C in --queue (0 = unbounded) the
+// server path `serve@T/qC` submits the whole batch asynchronously and
+// waits for every future. Server rows additionally report the
+// per-request submit-to-completion p50/p95/p99 from the ServerStats
+// snapshot — the tail the barrier path cannot even measure, because its
+// callers block on the whole batch.
+//
+// Every row's combined label hash (in submit order) is checked against
+// the sequential session loop; ANY divergence between the server and
+// segment_many paths is a hard failure (exit 1). The speedup table of a
+// wrong result is worthless.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "src/core/session.hpp"
+#include "src/datasets/dsb2018.hpp"
+#include "src/hdc/simd/backend.hpp"
+#include "src/hdc/simd/cpu_features.hpp"
+#include "src/metrics/segmentation_metrics.hpp"
+#include "src/serve/server.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/parallel.hpp"
+#include "src/util/stopwatch.hpp"
+
+namespace {
+
+using namespace seghdc;
+
+std::uint64_t batch_hash(const std::vector<core::SegmentationResult>& results) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const auto& result : results) {
+    hash = metrics::label_map_hash(result.labels, hash);
+  }
+  return hash;
+}
+
+struct Row {
+  std::string name;
+  double seconds = 0.0;
+  std::uint64_t hash = 0;
+  bool has_latency = false;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const util::Cli cli(argc, argv);
+  const auto image_count =
+      static_cast<std::size_t>(cli.get_int("images", 24));
+  const auto repeats = static_cast<std::size_t>(cli.get_int("repeats", 3));
+  const bool csv = cli.get_flag("csv");
+  const auto encode_workers =
+      static_cast<std::size_t>(cli.get_int("encode-workers", 2));
+  const auto cluster_workers =
+      static_cast<std::size_t>(cli.get_int("cluster-workers", 2));
+
+  core::SegHdcConfig config;
+  config.dim = static_cast<std::size_t>(cli.get_int("dim", 1000));
+  config.beta = static_cast<std::size_t>(cli.get_int("beta", 8));
+  config.clusters = static_cast<std::size_t>(cli.get_int("clusters", 2));
+  config.iterations =
+      static_cast<std::size_t>(cli.get_int("iterations", 6));
+  config.color_quantization_shift =
+      static_cast<std::size_t>(cli.get_int("quantize", 2));
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+
+  const auto thread_list =
+      util::Cli::parse_size_list(cli.get("threads", "1,2,4"),
+                                 /*allow_zero=*/false);
+  const auto queue_list =
+      util::Cli::parse_size_list(cli.get("queue", "0,4"),
+                                 /*allow_zero=*/true);
+  if (thread_list.empty() || queue_list.empty()) {
+    // An empty sweep would "pass" after checking nothing — reject it so
+    // a typo'd flag can't turn the hash gate into a no-op.
+    std::fprintf(stderr,
+                 "--threads and --queue must each name at least one value\n");
+    return 1;
+  }
+
+  const std::string backend_flag = cli.get("backend", "");
+  if (!backend_flag.empty()) {
+    hdc::simd::force_backend(backend_flag);
+  }
+
+  data::Dsb2018Config dataset_config;
+  dataset_config.width = static_cast<std::size_t>(cli.get_int("width", 128));
+  dataset_config.height =
+      static_cast<std::size_t>(cli.get_int("height", 96));
+  const data::Dsb2018Generator dataset(dataset_config);
+  std::vector<img::ImageU8> images;
+  images.reserve(image_count);
+  for (std::size_t i = 0; i < image_count; ++i) {
+    images.push_back(dataset.generate(i).image);
+  }
+
+  std::printf("bench_serving: %zu images %zux%zux3, dim=%zu, "
+              "iterations=%zu, %zu+%zu stage workers, best of %zu repeats\n",
+              images.size(), dataset_config.width, dataset_config.height,
+              config.dim, config.iterations, encode_workers,
+              cluster_workers, repeats);
+  std::printf("kernel backend: %s | cpu: %s\n",
+              hdc::simd::active_backend().name,
+              hdc::simd::cpu_feature_string().c_str());
+
+  // Reference: a sequential session loop pins the expected hash.
+  std::uint64_t expected_hash = 0;
+  {
+    util::ThreadPool one(1);
+    const core::SegHdcSession session(config,
+                                      core::SegHdcSession::Options{&one});
+    std::vector<core::SegmentationResult> results;
+    results.reserve(images.size());
+    for (const auto& image : images) {
+      results.push_back(session.segment(image));
+    }
+    expected_hash = batch_hash(results);
+  }
+
+  std::vector<Row> rows;
+  for (const std::size_t threads : thread_list) {
+    {
+      // Barrier path: segment_many blocks the caller for the batch.
+      util::ThreadPool pool(threads);
+      const core::SegHdcSession session(config,
+                                        core::SegHdcSession::Options{&pool});
+      Row row;
+      row.name = "many@" + std::to_string(threads);
+      for (std::size_t r = 0; r < repeats; ++r) {
+        const util::Stopwatch watch;
+        const auto results = session.segment_many(images);
+        const double seconds = watch.seconds();
+        row.hash = batch_hash(results);
+        row.seconds = r == 0 ? seconds : std::min(row.seconds, seconds);
+      }
+      rows.push_back(row);
+    }
+    for (const std::size_t capacity : queue_list) {
+      // Pipelined path: all requests in flight, futures collected in
+      // submit order. A fresh server per repeat so stats cover exactly
+      // one pass; best-of wall time, latency from the fastest pass.
+      Row row;
+      row.name = "serve@" + std::to_string(threads) + "/q" +
+                 (capacity == 0 ? std::string("inf")
+                                : std::to_string(capacity));
+      row.has_latency = true;
+      util::ThreadPool pool(threads);
+      for (std::size_t r = 0; r < repeats; ++r) {
+        serve::ServerOptions options;
+        options.queue_capacity = capacity;
+        options.backpressure = serve::BackpressurePolicy::kBlock;
+        options.encode_workers = encode_workers;
+        options.cluster_workers = cluster_workers;
+        options.pool = &pool;
+        serve::SegHdcServer server(config, options);
+        const util::Stopwatch watch;
+        std::vector<std::future<core::SegmentationResult>> futures;
+        futures.reserve(images.size());
+        for (const auto& image : images) {
+          futures.push_back(server.submit(image));
+        }
+        std::vector<core::SegmentationResult> results;
+        results.reserve(images.size());
+        for (auto& future : futures) {
+          results.push_back(future.get());
+        }
+        const double seconds = watch.seconds();
+        row.hash = batch_hash(results);
+        if (r == 0 || seconds < row.seconds) {
+          row.seconds = seconds;
+          const auto stats = server.stats();
+          row.p50_ms = stats.latency.p50_seconds * 1e3;
+          row.p95_ms = stats.latency.p95_seconds * 1e3;
+          row.p99_ms = stats.latency.p99_seconds * 1e3;
+        }
+      }
+      rows.push_back(row);
+    }
+  }
+
+  bool hashes_match = true;
+  if (csv) {
+    std::printf(
+        "mode,seconds,images_per_sec,p50_ms,p95_ms,p99_ms,hash\n");
+  } else {
+    std::printf("%-16s %10s %12s %9s %9s %9s  %s\n", "mode", "seconds",
+                "images/sec", "p50 ms", "p95 ms", "p99 ms", "label hash");
+  }
+  for (const auto& row : rows) {
+    const double ips = static_cast<double>(images.size()) / row.seconds;
+    if (csv) {
+      std::printf("%s,%.4f,%.2f,%.2f,%.2f,%.2f,%016llx\n", row.name.c_str(),
+                  row.seconds, ips, row.p50_ms, row.p95_ms, row.p99_ms,
+                  static_cast<unsigned long long>(row.hash));
+    } else if (row.has_latency) {
+      std::printf("%-16s %10.4f %12.2f %9.2f %9.2f %9.2f  %016llx%s\n",
+                  row.name.c_str(), row.seconds, ips, row.p50_ms,
+                  row.p95_ms, row.p99_ms,
+                  static_cast<unsigned long long>(row.hash),
+                  row.hash == expected_hash ? "" : "  MISMATCH");
+    } else {
+      std::printf("%-16s %10.4f %12.2f %9s %9s %9s  %016llx%s\n",
+                  row.name.c_str(), row.seconds, ips, "-", "-", "-",
+                  static_cast<unsigned long long>(row.hash),
+                  row.hash == expected_hash ? "" : "  MISMATCH");
+    }
+    hashes_match = hashes_match && row.hash == expected_hash;
+  }
+
+  if (!hashes_match) {
+    std::fprintf(stderr,
+                 "FAIL: label hashes diverge between the server and "
+                 "segment_many paths\n");
+    return 1;
+  }
+  std::printf("all label hashes identical across server and barrier "
+              "paths at every queue capacity and pool size\n");
+  return 0;
+} catch (const std::exception& error) {
+  std::fprintf(stderr, "bench_serving failed: %s\n", error.what());
+  return 1;
+}

@@ -57,33 +57,11 @@ std::uint64_t batch_hash(const std::vector<core::SegmentationResult>& results) {
   return hash;
 }
 
-/// Comma/space-separated size list; zeros are kept when `allow_zero`
-/// (tile-rows uses 0 to mean auto) and dropped otherwise (threads).
-std::vector<std::size_t> parse_size_list(const std::string& spec,
-                                         bool allow_zero) {
-  std::vector<std::size_t> values;
-  std::size_t value = 0;
-  bool in_number = false;
-  for (const char c : spec) {
-    if (c >= '0' && c <= '9') {
-      value = value * 10 + static_cast<std::size_t>(c - '0');
-      in_number = true;
-    } else {
-      if (in_number && (allow_zero || value > 0)) {
-        values.push_back(value);
-      }
-      value = 0;
-      in_number = false;
-    }
-  }
-  if (in_number && (allow_zero || value > 0)) {
-    values.push_back(value);
-  }
-  return values;
-}
-
+// Size-list parsing (comma/space separated, zeros kept only where they
+// mean auto/unbounded) is shared with bench_serving via
+// util::Cli::parse_size_list.
 std::vector<std::size_t> parse_thread_list(const std::string& spec) {
-  return parse_size_list(spec, /*allow_zero=*/false);
+  return util::Cli::parse_size_list(spec, /*allow_zero=*/false);
 }
 
 struct Row {
@@ -100,7 +78,8 @@ int run_single_image(const util::Cli& cli, core::SegHdcConfig config,
                      const std::vector<std::size_t>& thread_list,
                      std::size_t repeats, bool csv) {
   const std::string spec = cli.get("single-image", "1024x768");
-  const auto dims = parse_size_list(spec, /*allow_zero=*/false);
+  const auto dims =
+      util::Cli::parse_size_list(spec, /*allow_zero=*/false);
   if (dims.size() != 2) {
     std::fprintf(stderr, "--single-image expects WxH, got '%s'\n",
                  spec.c_str());
@@ -113,7 +92,8 @@ int run_single_image(const util::Cli& cli, core::SegHdcConfig config,
       data::Dsb2018Generator(dataset_config).generate(0).image;
 
   const auto tile_list =
-      parse_size_list(cli.get("tile-rows", "0"), /*allow_zero=*/true);
+      util::Cli::parse_size_list(cli.get("tile-rows", "0"),
+                                 /*allow_zero=*/true);
   if (tile_list.empty() || thread_list.empty()) {
     // An empty sweep would "pass" after checking nothing — reject it so
     // a typo'd flag can't turn the CI hash gate into a no-op.

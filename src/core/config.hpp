@@ -81,16 +81,30 @@ enum class ClusterDistance {
 /// same config therefore yields the same label map through SegHdc,
 /// SegHdcSession, and segment_many at any thread count.
 struct SegHdcConfig {
+  /// Hypervector dimensionality d (paper Section II; >= 8).
   std::size_t dim = 10000;
+  /// Decay ratio of the position flip unit, in (0, 1] (paper Eq. 5).
   double alpha = 0.2;
+  /// Spatial block size: beta x beta pixel tiles share one position HV
+  /// (paper Fig. 3(d); >= 1, where 1 disables blocking).
   std::size_t beta = 26;
+  /// Color flip-run widening — the color:position distance weight
+  /// (paper Fig. 5; >= 1).
   std::size_t gamma = 1;
+  /// K of the K-Means clusterer (>= 2; labels are in [0, clusters)).
   std::size_t clusters = 2;
+  /// K-Means iteration budget (>= 1; see stop_on_convergence).
   std::size_t iterations = 10;
+  /// Seed of every random draw in the pipeline. Same (config, image) =>
+  /// same output, bit for bit, on every path and thread count.
   std::uint64_t seed = 42;
+  /// Position-encoding variant (paper default: block decay Manhattan).
   PositionEncoding position_encoding = PositionEncoding::kBlockDecayManhattan;
+  /// Color-encoding variant (paper default: the Manhattan level ladder).
   ColorEncoding color_encoding = ColorEncoding::kLevelLadder;
+  /// How the position flip unit is derived when beta > 1 (see enum).
   FlipUnitBasis flip_unit_basis = FlipUnitBasis::kRows;
+  /// Clustering distance (paper: cosine, Eq. 7).
   ClusterDistance cluster_distance = ClusterDistance::kCosine;
   /// Deduplicate pixels sharing (position block, color) before
   /// clustering. Exactly equivalent to per-pixel clustering (weighted

@@ -209,6 +209,12 @@ SegHdcSession::SegHdcSession(const SegHdcConfig& config,
 
 SegHdcSession::~SegHdcSession() = default;
 
+SegHdcSession::Scratch::Scratch() : impl_(std::make_unique<EncodeScratch>()) {}
+SegHdcSession::Scratch::~Scratch() = default;
+SegHdcSession::Scratch::Scratch(Scratch&&) noexcept = default;
+SegHdcSession::Scratch& SegHdcSession::Scratch::operator=(Scratch&&) noexcept =
+    default;
+
 std::size_t SegHdcSession::tile_rows_for(std::size_t height) const {
   if (tile_rows_ != 0) {
     // Clamp to the image height so "any value >= height means one
@@ -267,6 +273,30 @@ EncodedImage SegHdcSession::encode(const img::ImageU8& image) const {
   }
   EncodeScratch scratch;
   return encode_impl(image, state_for(image), scratch);
+}
+
+EncodedImage SegHdcSession::encode(const img::ImageU8& image,
+                                   Scratch& scratch) const {
+  validate_image(image);
+  return encode_impl(image, state_for(image), *scratch.impl_);
+}
+
+SegmentationResult SegHdcSession::segment(const img::ImageU8& image,
+                                          Scratch& scratch) const {
+  validate_image(image);
+  return segment_impl(image, *scratch.impl_);
+}
+
+SegmentationResult SegHdcSession::cluster_and_finalize(
+    EncodedImage&& encoded) const {
+  util::expects(encoded.width > 0 && encoded.height > 0,
+                "cluster_and_finalize needs a non-empty encode");
+  util::expects(
+      encoded.pixel_to_unique.size() == encoded.width * encoded.height,
+      "cluster_and_finalize: pixel_to_unique does not cover the image");
+  util::expects(encoded.unique_hvs.dim() == config_.dim,
+                "cluster_and_finalize: encode dim != session config dim");
+  return finalize_impl(std::move(encoded));
 }
 
 /// The session-owned scratch used by single-image segment()/encode()
@@ -541,12 +571,21 @@ SegmentationResult SegHdcSession::segment(const img::ImageU8& image) const {
 SegmentationResult SegHdcSession::segment_impl(const img::ImageU8& image,
                                                EncodeScratch& scratch) const {
   const util::Stopwatch total_watch;
+  const util::Stopwatch encode_watch;
+  EncodedImage encoded = encode_impl(image, state_for(image), scratch);
+  const double encode_seconds = encode_watch.seconds();
+
+  SegmentationResult result = finalize_impl(std::move(encoded));
+  result.timings.encode_seconds = encode_seconds;
+  result.timings.total_seconds = total_watch.seconds();
+  return result;
+}
+
+SegmentationResult SegHdcSession::finalize_impl(EncodedImage encoded) const {
+  const util::Stopwatch finalize_watch;
   util::Stopwatch phase_watch;
 
-  EncodedImage encoded = encode_impl(image, state_for(image), scratch);
-
   SegmentationResult result;
-  result.timings.encode_seconds = phase_watch.seconds();
   result.clusters = config_.clusters;
   result.unique_points = encoded.unique_hvs.size();
 
@@ -568,12 +607,12 @@ SegmentationResult SegHdcSession::segment_impl(const img::ImageU8& image,
   result.timings.cluster_seconds = phase_watch.seconds();
 
   // --- Label map + per-cluster pixel counts. ---
-  result.labels = img::LabelMap(image.width(), image.height(), 1, 0);
+  result.labels = img::LabelMap(encoded.width, encoded.height, 1, 0);
   result.cluster_pixel_counts.assign(config_.clusters, 0);
-  for (std::size_t y = 0; y < image.height(); ++y) {
-    for (std::size_t x = 0; x < image.width(); ++x) {
+  for (std::size_t y = 0; y < encoded.height; ++y) {
+    for (std::size_t x = 0; x < encoded.width; ++x) {
       const std::uint32_t unique =
-          encoded.pixel_to_unique[y * image.width() + x];
+          encoded.pixel_to_unique[y * encoded.width + x];
       const std::uint32_t label = clustering.assignment[unique];
       result.labels(x, y) = label;
       ++result.cluster_pixel_counts[label];
@@ -620,7 +659,7 @@ SegmentationResult SegHdcSession::segment_impl(const img::ImageU8& image,
           unique_margin[u] = static_cast<float>(second - best);
         },
         /*grain=*/64);
-    result.margins = img::ImageF32(image.width(), image.height(), 1);
+    result.margins = img::ImageF32(encoded.width, encoded.height, 1);
     for (std::size_t p = 0; p < encoded.pixel_to_unique.size(); ++p) {
       result.margins.pixels()[p] =
           unique_margin[encoded.pixel_to_unique[p]];
@@ -633,9 +672,13 @@ SegmentationResult SegHdcSession::segment_impl(const img::ImageU8& image,
 
   result.iterations_run = clustering.iterations_run;
   result.paper_equivalent_ops = analytic_seghdc_ops(
-      image.pixel_count(), config_.dim, config_.clusters,
+      encoded.width * encoded.height, config_.dim, config_.clusters,
       config_.iterations);
-  result.timings.total_seconds = total_watch.seconds();
+  // Everything this function did — seeds, K-Means, label map, margins —
+  // so stage drivers can compose encode + finalize into a true compute
+  // total. cluster_seconds stays K-Means-only, matching the historical
+  // phase split.
+  result.timings.total_seconds = finalize_watch.seconds();
   return result;
 }
 

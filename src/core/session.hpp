@@ -31,6 +31,10 @@
 //     images never share mutable state).
 //   - const methods are safe to call concurrently; the encoder-state
 //     cache is internally synchronised.
+//   - the pipeline splits at the EncodedImage seam: `encode(image,
+//     scratch)` then `cluster_and_finalize(encoded)` equals
+//     `segment(image)` bit for bit — the contract the async serving
+//     layer (src/serve/) pipelines on.
 #ifndef SEGHDC_CORE_SESSION_HPP
 #define SEGHDC_CORE_SESSION_HPP
 
@@ -50,6 +54,9 @@
 namespace seghdc::core {
 
 class SegHdcSession {
+  struct EncoderState;   // per-geometry item memories (private)
+  struct EncodeScratch;  // per-worker encode arena (private)
+
  public:
   struct Options {
     /// Pool for every parallel loop the session issues (image sharding
@@ -69,13 +76,54 @@ class SegHdcSession {
 
   const SegHdcConfig& config() const { return config_; }
 
+  /// Opaque reusable encode arena for external pipeline drivers (the
+  /// serving layer in src/serve/): one per worker thread, passed to the
+  /// `encode`/`segment` overloads below, it keeps the dedup tables and
+  /// memoised position/color HVs warm across that worker's images
+  /// without contending on the session-owned shared scratch. Movable,
+  /// not copyable; NOT safe to share between concurrent calls. A
+  /// default-constructed Scratch is cold but valid.
+  class Scratch {
+   public:
+    Scratch();
+    ~Scratch();
+    Scratch(Scratch&&) noexcept;
+    Scratch& operator=(Scratch&&) noexcept;
+    Scratch(const Scratch&) = delete;
+    Scratch& operator=(const Scratch&) = delete;
+
+   private:
+    friend class SegHdcSession;
+    std::unique_ptr<EncodeScratch> impl_;
+  };
+
   /// Encodes every pixel of `image` (1 or 3 channels) into pixel HVs,
   /// reusing the cached encoder state for the image's geometry.
   EncodedImage encode(const img::ImageU8& image) const;
 
+  /// Same, through a caller-owned arena (stage 1 of the serving
+  /// pipeline). Deterministic: output is bit-identical whether the
+  /// arena is cold, warm, or the session-shared one. Safe to call
+  /// concurrently as long as each call uses a distinct Scratch.
+  EncodedImage encode(const img::ImageU8& image, Scratch& scratch) const;
+
+  /// Stage 2 of the serving pipeline: clusters an `encode` result and
+  /// builds the label map (+ margins when configured). Consumes
+  /// `encoded`. `segment(image)` == `cluster_and_finalize(encode(image))`
+  /// bit for bit — splitting the stages never changes the output, so a
+  /// pipelined server can overlap the encode of one image with the
+  /// clustering of another. Thread-safe (no mutable session state);
+  /// `timings.encode_seconds` is 0 here, the driver measured that stage.
+  SegmentationResult cluster_and_finalize(EncodedImage&& encoded) const;
+
   /// Full pipeline: encode + cluster + label map. Bitwise-identical to
   /// `SegHdc::segment` with the same config.
   SegmentationResult segment(const img::ImageU8& image) const;
+
+  /// Full pipeline through a caller-owned arena; same guarantees as the
+  /// Scratch `encode` overload.
+  SegmentationResult segment(const img::ImageU8& image,
+                             Scratch& scratch) const;
 
   /// Segments a batch: images are sharded across the pool, one worker
   /// per pool thread, each with its own scratch arena; the per-image
@@ -112,9 +160,6 @@ class SegHdcSession {
   std::size_t tile_rows_override() const { return tile_rows_; }
 
  private:
-  struct EncoderState;
-  struct EncodeScratch;
-
   /// Returns the encoder state for the image's geometry, building and
   /// caching it on first use (thread-safe; concurrent same-geometry
   /// builds resolve to one winner).
@@ -125,6 +170,10 @@ class SegHdcSession {
                            EncodeScratch& scratch) const;
   SegmentationResult segment_impl(const img::ImageU8& image,
                                   EncodeScratch& scratch) const;
+  /// Cluster + label map + margins over a finished encode. Fills
+  /// `timings.cluster_seconds` (and total = cluster); callers stitch in
+  /// the encode time they measured.
+  SegmentationResult finalize_impl(EncodedImage encoded) const;
 
   /// Band height used to tile this image's encode passes (>= 1).
   std::size_t tile_rows_for(std::size_t height) const;

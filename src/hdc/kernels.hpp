@@ -22,6 +22,12 @@
 // Invariants mirror `HyperVector`: bits are little-endian within each
 // word and the padding bits of a row's last word are zero. Kernels rely
 // on that invariant exactly like `HyperVector::popcount` does.
+//
+// Thread-safety: the free kernels are pure functions of their operands
+// (plus the process-wide backend selection) — safe to call concurrently
+// on any spans that don't alias a concurrent write. HvBlock and
+// CountPlanes are plain containers: concurrent const access is safe,
+// mutation is the caller's to synchronise.
 #ifndef SEGHDC_HDC_KERNELS_HPP
 #define SEGHDC_HDC_KERNELS_HPP
 
@@ -103,10 +109,12 @@ class CountPlanes {
   /// once warm.
   void build(std::span<const std::int64_t> counts);
 
+  /// Count-vector length of the last build (0 before any build).
   std::size_t dim() const { return dim_; }
   /// Bit width of the largest count seen by the last build (0 for an
   /// all-zero or empty vector: the dot is 0 with no passes).
   std::size_t plane_count() const { return planes_; }
+  /// Packed words per plane: words_for_dim(dim()).
   std::size_t words_per_plane() const { return words_per_plane_; }
 
   /// Packed bitmask of bit `b` of every count. Padding bits are zero.
@@ -153,13 +161,16 @@ class HvBlock {
   /// Packs existing HyperVectors (all of equal dimension) into a block.
   static HvBlock from_hvs(std::span<const HyperVector> hvs);
 
+  /// Shared dimensionality of every row (bits per HV).
   std::size_t dim() const { return dim_; }
   /// Number of HVs in the block.
   std::size_t count() const { return count_; }
   /// Alias for count(), so the block drops into container-style call
   /// sites (`encoded.unique_hvs.size()`).
   std::size_t size() const { return count_; }
+  /// True when the block holds no HVs.
   bool empty() const { return count_ == 0; }
+  /// Packed words per row: words_for_dim(dim()).
   std::size_t words_per_hv() const { return words_per_hv_; }
 
   /// Packed words of HV `i`. Padding bits of the last word are zero as

@@ -113,7 +113,10 @@ const KernelBackend& active_backend();
 /// ignoring the environment). Throws std::invalid_argument when `name`
 /// is unknown or unavailable on this CPU. Returns the now-active
 /// backend. Process-global; intended for config plumbing, bench
-/// `--backend` flags, and the per-backend test matrix.
+/// `--backend` flags, and the per-backend test matrix. Thread-safe —
+/// the switch is one atomic store, and because every backend computes
+/// identical integers, kernels in flight during the switch still
+/// return correct results.
 const KernelBackend& force_backend(std::string_view name);
 
 /// Clears any forced/resolved selection so the next active_backend()

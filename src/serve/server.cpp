@@ -1,0 +1,229 @@
+#include "src/serve/server.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+namespace seghdc::serve {
+
+namespace {
+
+ServerOptions validate_options(ServerOptions options) {
+  if (options.encode_workers == 0) {
+    throw std::invalid_argument("ServerOptions.encode_workers must be >= 1");
+  }
+  if (options.cluster_workers == 0) {
+    throw std::invalid_argument("ServerOptions.cluster_workers must be >= 1");
+  }
+  if (options.latency_window == 0) {
+    throw std::invalid_argument("ServerOptions.latency_window must be >= 1");
+  }
+  return options;
+}
+
+}  // namespace
+
+SegHdcServer::SegHdcServer(const core::SegHdcConfig& config,
+                           const ServerOptions& options)
+    : session_(config, core::SegHdcSession::Options{options.pool}),
+      options_(validate_options(options)),
+      submit_queue_(options_.queue_capacity),
+      // Two encoded images of headroom per cluster worker: enough to keep
+      // the stage busy, small enough that a slow cluster stage promptly
+      // backpressures the encode stage instead of buffering the batch.
+      encoded_queue_(std::max<std::size_t>(1, options_.cluster_workers * 2)),
+      latency_(options_.latency_window) {
+  encode_threads_.reserve(options_.encode_workers);
+  cluster_threads_.reserve(options_.cluster_workers);
+  live_encoders_.store(options_.encode_workers, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < options_.encode_workers; ++i) {
+    encode_threads_.emplace_back([this] { encode_loop(); });
+  }
+  for (std::size_t i = 0; i < options_.cluster_workers; ++i) {
+    cluster_threads_.emplace_back([this] { cluster_loop(); });
+  }
+}
+
+SegHdcServer::~SegHdcServer() { shutdown(ShutdownMode::kDrain); }
+
+std::future<core::SegmentationResult> SegHdcServer::submit(
+    img::ImageU8 image) {
+  Completion completion;
+  completion.use_promise = true;
+  return enqueue(std::move(image), std::move(completion));
+}
+
+void SegHdcServer::submit(
+    img::ImageU8 image,
+    std::function<void(core::SegmentationResult&&)> sink) {
+  if (!sink) {
+    throw std::invalid_argument("SegHdcServer::submit sink must be callable");
+  }
+  Completion completion;
+  completion.use_promise = false;
+  completion.sink = std::move(sink);
+  enqueue(std::move(image), std::move(completion));
+}
+
+std::future<core::SegmentationResult> SegHdcServer::enqueue(
+    img::ImageU8&& image, Completion&& completion) {
+  std::future<core::SegmentationResult> future;
+  if (completion.use_promise) {
+    future = completion.promise.get_future();
+  }
+  Request request{std::move(image), std::move(completion)};
+  if (options_.backpressure == BackpressurePolicy::kReject) {
+    switch (submit_queue_.try_push(request)) {
+      case util::QueuePush::kOk:
+        break;
+      case util::QueuePush::kFull:
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        throw RejectedError();
+      case util::QueuePush::kClosed:
+        throw ShutdownError();
+    }
+  } else if (!submit_queue_.push(request)) {
+    throw ShutdownError();
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+void SegHdcServer::deliver(Completion&& completion,
+                           core::SegmentationResult&& result) {
+  // Record before signalling: a caller woken by future.get() must see
+  // its own request in the counters and the latency window.
+  latency_.record(completion.accepted.seconds());
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (completion.use_promise) {
+    completion.promise.set_value(std::move(result));
+  } else {
+    // Serialised like the segment_many sink, so a user callback shared
+    // across requests needs no locking of its own. A throwing sink is a
+    // contract violation (sinks are success-only, documented noexcept-
+    // in-spirit); contain it here so it cannot double-count the request
+    // as failed or kill the stage thread.
+    try {
+      const std::lock_guard<std::mutex> lock(sink_mutex_);
+      completion.sink(std::move(result));
+    } catch (...) {
+    }
+  }
+}
+
+void SegHdcServer::fail(Completion&& completion, std::exception_ptr error,
+                        std::atomic<std::uint64_t>& counter) {
+  counter.fetch_add(1, std::memory_order_relaxed);
+  if (completion.use_promise) {
+    completion.promise.set_exception(std::move(error));
+  }
+  // Callback sinks are success-only by contract; a failed or cancelled
+  // sink request is dropped.
+}
+
+void SegHdcServer::encode_loop() {
+  core::SegHdcSession::Scratch scratch;  // warm arena, one per worker
+  for (;;) {
+    std::optional<Request> request = submit_queue_.pop();
+    if (!request) {
+      break;  // closed and drained
+    }
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    EncodedJob job;
+    job.completion = std::move(request->completion);
+    bool encoded_ok = true;
+    const util::Stopwatch encode_watch;
+    try {
+      job.encoded = session_.encode(request->image, scratch);
+      job.encode_seconds = encode_watch.seconds();
+    } catch (...) {
+      encoded_ok = false;
+      fail(std::move(job.completion), std::current_exception(), failed_);
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    if (!encoded_ok) {
+      continue;
+    }
+    request.reset();  // free the image before the hand-off blocks
+    if (!encoded_queue_.push(job)) {
+      // Only possible if the encoded queue was force-closed, which the
+      // normal shutdown path never does while an encoder is live.
+      // CancelledError to match the cancelled_ counter it pairs with.
+      fail(std::move(job.completion),
+           std::make_exception_ptr(CancelledError()), cancelled_);
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  // Last encoder out closes the stage hand-off so the cluster workers
+  // drain what is left and exit.
+  if (live_encoders_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    encoded_queue_.close();
+  }
+}
+
+void SegHdcServer::cluster_loop() {
+  for (;;) {
+    std::optional<EncodedJob> job = encoded_queue_.pop();
+    if (!job) {
+      break;  // closed and drained
+    }
+    try {
+      core::SegmentationResult result =
+          session_.cluster_and_finalize(std::move(job->encoded));
+      // Stage-true timings: the encode stage measured itself, finalize
+      // set total_seconds to its whole stage (K-Means + label map +
+      // margins); their sum is pipeline compute, not queue wait (the
+      // latency recorder tracks submit-to-done separately).
+      result.timings.encode_seconds = job->encode_seconds;
+      result.timings.total_seconds += job->encode_seconds;
+      deliver(std::move(job->completion), std::move(result));
+    } catch (...) {
+      fail(std::move(job->completion), std::current_exception(), failed_);
+    }
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void SegHdcServer::shutdown(ShutdownMode mode) {
+  const std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  if (threads_joined_) {
+    return;
+  }
+  if (mode == ShutdownMode::kCancel) {
+    std::vector<Request> dropped = submit_queue_.close_and_drain();
+    for (auto& request : dropped) {
+      fail(std::move(request.completion),
+           std::make_exception_ptr(CancelledError()), cancelled_);
+    }
+  } else {
+    submit_queue_.close();
+  }
+  for (auto& thread : encode_threads_) {
+    thread.join();
+  }
+  for (auto& thread : cluster_threads_) {
+    thread.join();
+  }
+  threads_joined_ = true;
+}
+
+ServerStats SegHdcServer::stats() const {
+  ServerStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.queued = submit_queue_.size();
+  stats.in_flight = in_flight_.load(std::memory_order_relaxed);
+  stats.uptime_seconds = uptime_.seconds();
+  stats.throughput_images_per_sec =
+      stats.uptime_seconds > 0.0
+          ? static_cast<double>(stats.completed) / stats.uptime_seconds
+          : 0.0;
+  stats.latency = latency_.snapshot();
+  return stats;
+}
+
+}  // namespace seghdc::serve

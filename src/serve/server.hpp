@@ -1,0 +1,218 @@
+// SegHdcServer: the asynchronous, pipelined serving layer on top of
+// SegHdcSession — the request-level shape the ROADMAP's "heavy traffic"
+// north star needs, where `segment_many` is the batch/barrier shape.
+//
+//   serve::SegHdcServer server(config, {.queue_capacity = 64});
+//   std::future<core::SegmentationResult> f = server.submit(image);
+//   ...                                   // submit more, do other work
+//   const auto result = f.get();          // == SegHdc(config).segment(image)
+//   const auto stats = server.stats();    // p50/p95/p99, images/sec
+//
+// Architecture (one request flows left to right):
+//
+//   submit ──> [bounded MPMC queue] ──> encode stage ──> [encoded queue]
+//                (backpressure)          workers             (bounded)
+//                                                      ──> cluster stage ──> future /
+//                                                           workers           sink
+//
+// The two stages run on dedicated threads, so the encode of one image
+// overlaps the clustering of another; inside a stage the session fans
+// the per-image work (tiled encode bands, K-Means assignment/update)
+// out onto the configured util::ThreadPool. Each encode worker owns a
+// reusable SegHdcSession::Scratch arena, so sustained traffic stops
+// re-deriving position/color HVs exactly like `segment_many` workers do.
+//
+// Guarantees:
+//   - Determinism: every delivered result is bit-identical to
+//     `SegHdc(config).segment(image)` — at every queue capacity, worker
+//     count, pool size, and backpressure policy. Scheduling changes
+//     completion order, never content.
+//   - Backpressure: a full submit queue either blocks the submitter
+//     (kBlock, the default) or fails fast (kReject -> RejectedError).
+//   - Shutdown: kDrain completes everything accepted; kCancel fails
+//     still-queued requests with CancelledError and completes only what
+//     a stage already picked up. The destructor drains.
+#ifndef SEGHDC_SERVE_SERVER_HPP
+#define SEGHDC_SERVE_SERVER_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/core/session.hpp"
+#include "src/imaging/image.hpp"
+#include "src/serve/stats.hpp"
+#include "src/util/bounded_queue.hpp"
+#include "src/util/parallel.hpp"
+#include "src/util/stopwatch.hpp"
+
+namespace seghdc::serve {
+
+/// What a full submit queue does to the next submitter.
+enum class BackpressurePolicy {
+  kBlock,   ///< submit() blocks until a slot frees (default)
+  kReject,  ///< submit() throws RejectedError immediately
+};
+
+/// How shutdown treats requests still waiting in the submit queue.
+enum class ShutdownMode {
+  kDrain,   ///< finish everything accepted, then stop (default, ~dtor)
+  kCancel,  ///< fail queued requests with CancelledError; finish in-flight
+};
+
+/// Thrown by submit() when the queue is full under kReject. The request
+/// was NOT accepted: no future exists and no counter besides `rejected`
+/// moves.
+class RejectedError : public std::runtime_error {
+ public:
+  RejectedError() : std::runtime_error("SegHdcServer queue full") {}
+};
+
+/// Delivered through the future of a request that shutdown(kCancel)
+/// removed from the queue before any stage picked it up.
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError() : std::runtime_error("SegHdcServer request cancelled") {}
+};
+
+/// Thrown by submit() after shutdown has begun.
+class ShutdownError : public std::runtime_error {
+ public:
+  ShutdownError() : std::runtime_error("SegHdcServer is shut down") {}
+};
+
+/// Server construction knobs. The queue/backpressure pair is the
+/// admission policy; the worker counts shape the pipeline; none of them
+/// affect result content, only latency and throughput.
+struct ServerOptions {
+  /// Submit-queue capacity; 0 = unbounded (kBlock never blocks and
+  /// kReject never rejects).
+  std::size_t queue_capacity = 0;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Dedicated encode-stage threads (>= 1). Each owns a warm
+  /// SegHdcSession::Scratch arena.
+  std::size_t encode_workers = 1;
+  /// Dedicated cluster/finalize-stage threads (>= 1).
+  std::size_t cluster_workers = 1;
+  /// Pool for the intra-stage data parallelism (tiled encode bands,
+  /// K-Means). nullptr = the process-wide shared pool.
+  util::ThreadPool* pool = nullptr;
+  /// Sliding-window size of the latency recorder (see LatencyRecorder).
+  std::size_t latency_window = 65536;
+};
+
+class SegHdcServer {
+ public:
+  /// Validates the config and options (std::invalid_argument on bad
+  /// values) and starts the stage threads; the server accepts requests
+  /// as soon as the constructor returns.
+  explicit SegHdcServer(const core::SegHdcConfig& config,
+                        const ServerOptions& options = {});
+
+  /// Drains: blocks until every accepted request has completed, then
+  /// stops the stage threads.
+  ~SegHdcServer();
+
+  SegHdcServer(const SegHdcServer&) = delete;
+  SegHdcServer& operator=(const SegHdcServer&) = delete;
+
+  const core::SegHdcConfig& config() const { return session_.config(); }
+  const ServerOptions& options() const { return options_; }
+
+  /// Enqueues one image; the future delivers the segmentation (bit-
+  /// identical to the synchronous path) or the stage's exception (e.g.
+  /// std::invalid_argument for an unsupported image, CancelledError
+  /// under shutdown(kCancel)). The image is owned by the server until
+  /// completion; pass by value and move when the caller's copy is not
+  /// needed. Thread-safe; blocks or throws RejectedError on a full
+  /// queue per the backpressure policy, throws ShutdownError once
+  /// shutdown has begun.
+  std::future<core::SegmentationResult> submit(img::ImageU8 image);
+
+  /// Callback form: `sink` is invoked exactly once with the result when
+  /// the request completes successfully; it is dropped (never invoked)
+  /// if the request is cancelled or a stage throws — use the future form
+  /// when failures must be observed. Sink invocations are serialised
+  /// across requests but run on cluster-stage threads; keep them short
+  /// or the pipeline stalls. Sinks must not throw: an exception escaping
+  /// the sink is swallowed by the server (the request still counts as
+  /// completed).
+  void submit(img::ImageU8 image,
+              std::function<void(core::SegmentationResult&&)> sink);
+
+  /// Stops the server. kDrain completes every accepted request first;
+  /// kCancel fails still-queued requests with CancelledError and lets
+  /// requests a stage already picked up finish. Blocks until the stage
+  /// threads have exited. Idempotent and thread-safe; the first caller's
+  /// mode wins, later calls just wait for the stop to finish.
+  void shutdown(ShutdownMode mode = ShutdownMode::kDrain);
+
+  /// Counter + latency snapshot (see ServerStats). Safe to call from
+  /// any thread at any time, including after shutdown.
+  ServerStats stats() const;
+
+  /// The underlying session — read-only access for diagnostics
+  /// (encoder_states_built, tile_rows_override).
+  const core::SegHdcSession& session() const { return session_; }
+
+ private:
+  /// How a finished request reports back: exactly one of `promise`
+  /// (future form) or `sink` (callback form) is armed.
+  struct Completion {
+    std::promise<core::SegmentationResult> promise;
+    std::function<void(core::SegmentationResult&&)> sink;
+    bool use_promise = true;
+    util::Stopwatch accepted;  ///< starts the submit-to-done latency clock
+  };
+  struct Request {
+    img::ImageU8 image;
+    Completion completion;
+  };
+  struct EncodedJob {
+    core::EncodedImage encoded;
+    double encode_seconds = 0.0;
+    Completion completion;
+  };
+
+  std::future<core::SegmentationResult> enqueue(img::ImageU8&& image,
+                                                Completion&& completion);
+  void encode_loop();
+  void cluster_loop();
+  void deliver(Completion&& completion, core::SegmentationResult&& result);
+  void fail(Completion&& completion, std::exception_ptr error,
+            std::atomic<std::uint64_t>& counter);
+
+  core::SegHdcSession session_;
+  ServerOptions options_;
+  util::Stopwatch uptime_;
+  util::BoundedQueue<Request> submit_queue_;
+  /// Stage hand-off; bounded so a slow cluster stage backpressures the
+  /// encode stage (and through it the submit queue) instead of piling
+  /// encoded images up in memory.
+  util::BoundedQueue<EncodedJob> encoded_queue_;
+  std::vector<std::thread> encode_threads_;
+  std::vector<std::thread> cluster_threads_;
+  std::atomic<std::size_t> live_encoders_{0};
+
+  LatencyRecorder latency_;
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::size_t> in_flight_{0};
+
+  std::mutex sink_mutex_;      ///< serialises callback-sink invocations
+  std::mutex shutdown_mutex_;  ///< one thread performs the join
+  bool threads_joined_ = false;
+};
+
+}  // namespace seghdc::serve
+
+#endif  // SEGHDC_SERVE_SERVER_HPP

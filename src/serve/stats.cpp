@@ -1,0 +1,66 @@
+#include "src/serve/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/contracts.hpp"
+
+namespace seghdc::serve {
+
+double percentile_nearest_rank(std::span<const double> sorted, double q) {
+  util::expects(!sorted.empty(),
+                "percentile_nearest_rank needs at least one sample");
+  util::expects(q > 0.0 && q <= 100.0,
+                "percentile_nearest_rank needs q in (0, 100]");
+  const double exact_rank =
+      q / 100.0 * static_cast<double>(sorted.size());
+  // Nearest rank = ceil(exact), floored at 1 so q -> 0+ still indexes
+  // the smallest sample; clamp against rounding at q = 100.
+  const std::size_t rank = std::min<std::size_t>(
+      sorted.size(),
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   std::ceil(exact_rank - 1e-9))));
+  return sorted[rank - 1];
+}
+
+LatencyRecorder::LatencyRecorder(std::size_t window_capacity)
+    : window_capacity_(window_capacity) {
+  util::expects(window_capacity >= 1,
+                "LatencyRecorder window_capacity must be >= 1");
+  window_.reserve(std::min<std::size_t>(window_capacity, 1024));
+}
+
+void LatencyRecorder::record(double seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++total_count_;
+  total_seconds_ += seconds;
+  if (window_.size() < window_capacity_) {
+    window_.push_back(seconds);
+  } else {
+    window_[next_slot_] = seconds;
+  }
+  next_slot_ = (next_slot_ + 1) % window_capacity_;
+}
+
+LatencyPercentiles LatencyRecorder::snapshot() const {
+  std::vector<double> sorted;
+  LatencyPercentiles result;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (total_count_ == 0) {
+      return result;
+    }
+    sorted = window_;
+    result.count = total_count_;
+    result.mean_seconds = total_seconds_ / static_cast<double>(total_count_);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  result.min_seconds = sorted.front();
+  result.max_seconds = sorted.back();
+  result.p50_seconds = percentile_nearest_rank(sorted, 50.0);
+  result.p95_seconds = percentile_nearest_rank(sorted, 95.0);
+  result.p99_seconds = percentile_nearest_rank(sorted, 99.0);
+  return result;
+}
+
+}  // namespace seghdc::serve

@@ -1,0 +1,85 @@
+// Serving observability: per-request latency recording and the
+// ServerStats snapshot SegHdcServer exposes. Kept separate from the
+// server so the percentile math is testable against known sequences
+// without spinning up a pipeline.
+#ifndef SEGHDC_SERVE_STATS_HPP
+#define SEGHDC_SERVE_STATS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace seghdc::serve {
+
+/// Latency percentiles over a set of samples, in seconds. All zero when
+/// no sample was recorded.
+struct LatencyPercentiles {
+  std::uint64_t count = 0;  ///< samples the percentiles were computed over
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+  double mean_seconds = 0.0;
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+};
+
+/// Nearest-rank percentile: the ceil(q/100 * n)-th smallest sample
+/// (1-indexed), the classical definition — p100 is the maximum, p50 of
+/// {1..100} is 50. `sorted` must be ascending and non-empty; `q` in
+/// (0, 100].
+double percentile_nearest_rank(std::span<const double> sorted, double q);
+
+/// Thread-safe latency accumulator. Percentiles and min/max are computed
+/// over a sliding window of the most recent `window_capacity` samples
+/// (bounded memory under sustained traffic); count and mean cover every
+/// sample ever recorded. All methods are safe to call concurrently.
+class LatencyRecorder {
+ public:
+  /// `window_capacity` must be >= 1; the default keeps the last 64k
+  /// request latencies, plenty for p99 stability.
+  explicit LatencyRecorder(std::size_t window_capacity = 65536);
+
+  /// Records one request latency (seconds, >= 0).
+  void record(double seconds);
+
+  /// Snapshot of the current percentiles (sorts a copy of the window;
+  /// O(window log window), intended for dashboards and tests, not per
+  /// request).
+  LatencyPercentiles snapshot() const;
+
+ private:
+  const std::size_t window_capacity_;
+  mutable std::mutex mutex_;
+  std::vector<double> window_;  ///< ring buffer, size <= window_capacity_
+  std::size_t next_slot_ = 0;   ///< ring write cursor
+  std::uint64_t total_count_ = 0;
+  double total_seconds_ = 0.0;
+};
+
+/// Snapshot of a SegHdcServer's counters and latency distribution.
+/// Counters increase monotonically over the server's lifetime; once the
+/// pipeline is idle, `submitted == completed + failed + cancelled` (a
+/// rejected request was never accepted, so `rejected` counts separately).
+/// Mid-flight snapshots read each counter atomically but not the set of
+/// them together, so transient sums may be off by in-transit requests.
+struct ServerStats {
+  std::uint64_t submitted = 0;  ///< requests accepted into the queue
+  std::uint64_t completed = 0;  ///< results delivered (future/sink set)
+  std::uint64_t rejected = 0;   ///< refused by the kReject backpressure
+  std::uint64_t cancelled = 0;  ///< failed by shutdown(kCancel)
+  std::uint64_t failed = 0;     ///< stage threw (bad image, OOM, ...)
+  std::size_t queued = 0;       ///< waiting in the submit queue right now
+  std::size_t in_flight = 0;    ///< popped by a stage, not yet completed
+  double uptime_seconds = 0.0;  ///< since server construction
+  /// completed / uptime — the sustained rate since construction, not a
+  /// windowed instantaneous rate.
+  double throughput_images_per_sec = 0.0;
+  /// Submit-to-completion wall latency of completed requests.
+  LatencyPercentiles latency;
+};
+
+}  // namespace seghdc::serve
+
+#endif  // SEGHDC_SERVE_STATS_HPP

@@ -1,0 +1,155 @@
+// Bounded MPMC FIFO queue — the backpressure primitive under the
+// serving layer (src/serve/). Multiple producers push, multiple
+// consumers pop; a full queue blocks producers (or reports kFull so the
+// caller can reject), an empty queue blocks consumers, and close()
+// starts a clean drain: pops keep succeeding until the queue is empty,
+// then return nullopt forever.
+//
+// Thread-safety: every member is safe to call concurrently from any
+// thread. Ordering: values pop in push order (FIFO); when several
+// producers block on a full queue, the order they resume in is
+// unspecified, like any condition-variable wait.
+#ifndef SEGHDC_UTIL_BOUNDED_QUEUE_HPP
+#define SEGHDC_UTIL_BOUNDED_QUEUE_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace seghdc::util {
+
+/// Outcome of a non-blocking push attempt.
+enum class QueuePush {
+  kOk,      ///< value enqueued
+  kFull,    ///< bounded queue at capacity (value returned to caller)
+  kClosed,  ///< queue closed; no further pushes will ever succeed
+};
+
+/// Bounded multi-producer multi-consumer FIFO. `capacity` 0 means
+/// unbounded (pushes never block or report kFull). T needs to be
+/// movable; values are moved in and out, never copied.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// 0 = unbounded.
+  std::size_t capacity() const { return capacity_; }
+
+  /// Current element count (a snapshot; racy by nature).
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  /// Blocks while the queue is full, then enqueues. Returns false when
+  /// the queue is or becomes closed while waiting — the shutdown path
+  /// for blocked producers. `value` is moved from only on success, so a
+  /// failed push leaves it in the caller's hands (e.g. to fail its
+  /// completion).
+  bool push(T& value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    space_.wait(lock, [this] { return closed_ || has_space(); });
+    if (closed_) {
+      return false;
+    }
+    items_.push_back(std::move(value));
+    lock.unlock();
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push: kFull leaves `value` untouched in the caller's
+  /// hands (it is only moved from on kOk), which is what a
+  /// reject-with-error policy needs to report the failure upstream.
+  QueuePush try_push(T& value) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) {
+        return QueuePush::kClosed;
+      }
+      if (!has_space()) {
+        return QueuePush::kFull;
+      }
+      items_.push_back(std::move(value));
+    }
+    ready_.notify_one();
+    return QueuePush::kOk;
+  }
+
+  /// Blocks while the queue is empty, then dequeues the oldest value.
+  /// Returns nullopt once the queue is closed AND drained — the
+  /// consumer-loop termination signal.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) {
+      return std::nullopt;  // closed and drained
+    }
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    space_.notify_one();
+    return value;
+  }
+
+  /// Closes the queue: subsequent pushes fail, blocked producers wake
+  /// with false, and consumers drain the remaining values before seeing
+  /// nullopt. Idempotent.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+    space_.notify_all();
+  }
+
+  /// Closes the queue and removes everything still enqueued, returning
+  /// it in FIFO order — the cancel path: the caller owns the unprocessed
+  /// values (e.g. to fail their completions). Consumers see nullopt on
+  /// their next pop.
+  std::vector<T> close_and_drain() {
+    std::vector<T> drained;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+      drained.reserve(items_.size());
+      for (auto& item : items_) {
+        drained.push_back(std::move(item));
+      }
+      items_.clear();
+    }
+    ready_.notify_all();
+    space_.notify_all();
+    return drained;
+  }
+
+  bool closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  bool has_space() const {
+    return capacity_ == 0 || items_.size() < capacity_;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;  ///< signalled when a value arrives
+  std::condition_variable space_;  ///< signalled when a slot frees up
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace seghdc::util
+
+#endif  // SEGHDC_UTIL_BOUNDED_QUEUE_HPP

@@ -114,4 +114,27 @@ void Cli::reject_unknown(const std::vector<std::string>& known) const {
   }
 }
 
+std::vector<std::size_t> Cli::parse_size_list(const std::string& spec,
+                                              bool allow_zero) {
+  std::vector<std::size_t> values;
+  std::size_t value = 0;
+  bool in_number = false;
+  for (const char c : spec) {
+    if (c >= '0' && c <= '9') {
+      value = value * 10 + static_cast<std::size_t>(c - '0');
+      in_number = true;
+    } else {
+      if (in_number && (allow_zero || value > 0)) {
+        values.push_back(value);
+      }
+      value = 0;
+      in_number = false;
+    }
+  }
+  if (in_number && (allow_zero || value > 0)) {
+    values.push_back(value);
+  }
+  return values;
+}
+
 }  // namespace seghdc::util

@@ -3,6 +3,7 @@
 #ifndef SEGHDC_UTIL_CLI_HPP
 #define SEGHDC_UTIL_CLI_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -43,6 +44,13 @@ class Cli {
   /// Throws std::invalid_argument when any parsed option is not in
   /// `known` — call after all get() calls with the full option list.
   void reject_unknown(const std::vector<std::string>& known) const;
+
+  /// Parses a comma/space-separated size list ("1,2,4"). Zeros are kept
+  /// when `allow_zero` (e.g. tile-rows/queue lists use 0 to mean
+  /// auto/unbounded) and dropped otherwise (thread lists). Shared by the
+  /// bench sweep flags; non-digit separators of any kind are accepted.
+  static std::vector<std::size_t> parse_size_list(const std::string& spec,
+                                                  bool allow_zero);
 
  private:
   std::string program_;

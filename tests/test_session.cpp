@@ -13,11 +13,13 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
+#include <future>
 #include <vector>
 
 #include "src/core/seghdc.hpp"
 #include "src/core/session.hpp"
 #include "src/metrics/segmentation_metrics.hpp"
+#include "src/serve/server.hpp"
 #include "src/util/parallel.hpp"
 
 namespace {
@@ -248,6 +250,52 @@ TEST(SegHdcSession, SegmentManyGoldenLabelHash) {
   static constexpr std::uint64_t kGoldenBatchHash = 13206585988845182882ULL;
   EXPECT_EQ(hash, kGoldenBatchHash)
       << "segment_many combined label hash drifted";
+}
+
+TEST(SegHdcSession, ServerMatchesSegmentManyOnTheGoldenBatch) {
+  // Satellite equivalence gate for the serving layer: the async
+  // pipelined SegHdcServer (src/serve/) must reproduce segment_many's
+  // combined label hash — and therefore the golden constant — on the
+  // exact batch above. Pipelining changes completion order, never
+  // content.
+  std::vector<img::ImageU8> images;
+  images.push_back(make_gray_card(32, 30, 200));
+  images.push_back(make_rgb_card(36, 28));
+  images.push_back(make_gray_card(24, 20, 235));
+
+  core::SegHdcConfig config;  // fixed seed on purpose (not env-driven)
+  config.dim = 512;
+  config.beta = 4;
+  config.iterations = 4;
+  config.seed = 42;
+
+  util::ThreadPool pool(3);
+  const core::SegHdcSession session(config,
+                                    core::SegHdcSession::Options{&pool});
+  const auto batch = session.segment_many(images);
+
+  serve::ServerOptions options;
+  options.queue_capacity = 2;
+  options.encode_workers = 2;
+  options.cluster_workers = 2;
+  options.pool = &pool;
+  serve::SegHdcServer server(config, options);
+  std::vector<std::future<core::SegmentationResult>> futures;
+  for (const auto& image : images) {
+    futures.push_back(server.submit(image));
+  }
+
+  std::uint64_t batch_hash = 14695981039346656037ULL;
+  std::uint64_t server_hash = 14695981039346656037ULL;
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    batch_hash = metrics::label_map_hash(batch[i].labels, batch_hash);
+    server_hash =
+        metrics::label_map_hash(futures[i].get().labels, server_hash);
+  }
+  EXPECT_EQ(server_hash, batch_hash)
+      << "SegHdcServer labels diverged from segment_many";
+  static constexpr std::uint64_t kGoldenBatchHash = 13206585988845182882ULL;
+  EXPECT_EQ(server_hash, kGoldenBatchHash);
 }
 
 TEST(SegHdcSession, SegmentManyEmptyBatch) {

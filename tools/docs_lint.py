@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Docs link lint: fail on broken relative links in README.md and docs/.
+
+Checks every markdown link/image target in README.md and docs/*.md:
+  - relative file targets must exist (resolved against the linking file;
+    an optional #anchor suffix is stripped before the check),
+  - http(s)/mailto targets are skipped (no network in CI),
+  - bare #anchor self-links are skipped.
+
+Exit 0 when every link resolves, 1 otherwise (one line per broken link:
+file:line: target). Run from anywhere; paths resolve relative to the
+repo root (this script's parent directory).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# [text](target) and ![alt](target); target ends at the first ')' or
+# space (titles like (file.md "Title") keep only the path part).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*([^)\s]+)[^)]*\)")
+
+# Inline code spans may contain (...) that are not links.
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+
+
+def lint_file(path: Path) -> list[str]:
+    errors = []
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(CODE_SPAN_RE.sub("", line)):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(REPO_ROOT)}:{lineno}: "
+                              f"broken link target '{target}'")
+    return errors
+
+
+def main() -> int:
+    files = [REPO_ROOT / "README.md"]
+    files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    missing = [f for f in files if not f.exists()]
+    if missing:
+        for f in missing:
+            print(f"docs_lint: expected file missing: {f}", file=sys.stderr)
+        return 1
+    errors = []
+    for f in files:
+        errors.extend(lint_file(f))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"docs_lint: {len(errors)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"docs_lint: {len(files)} file(s) OK "
+          f"({', '.join(str(f.relative_to(REPO_ROOT)) for f in files)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
