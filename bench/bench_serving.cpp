@@ -9,6 +9,7 @@
 //                   [--encode-workers 2] [--cluster-workers 2]
 //                   [--repeats 3] [--csv]
 //                   [--backend scalar|harley-seal|avx2|neon|auto]
+//                   [--tenants N] [--max-in-flight-total 0]
 //
 // For each pool size T in --threads, the barrier path `many@T` is timed
 // first; then for each queue capacity C in --queue (0 = unbounded) the
@@ -22,6 +23,15 @@
 // the sequential session loop; ANY divergence between the server and
 // segment_many paths is a hard failure (exit 1). The speedup table of a
 // wrong result is worthless.
+//
+// --tenants N switches to the fleet bench: one SegHdcFleet carrying N
+// tenants (configs differing by seed) on a shared pool, every tenant
+// fed the whole batch with submissions interleaved across tenants. For
+// each pool size T and per-tenant queue capacity C, the row reports
+// fleet throughput and admission-to-done tail latency; every tenant's
+// hash is checked against its own solo sequential loop, and ANY
+// per-tenant divergence is a hard failure (exit 1) — multi-tenancy must
+// change who waits, never what anyone gets.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -35,6 +45,7 @@
 #include "src/hdc/simd/backend.hpp"
 #include "src/hdc/simd/cpu_features.hpp"
 #include "src/metrics/segmentation_metrics.hpp"
+#include "src/serve/fleet.hpp"
 #include "src/serve/server.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/parallel.hpp"
@@ -59,6 +70,151 @@ struct Row {
   bool has_latency = false;
   double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
 };
+
+/// The fleet bench: N tenants on one shared pool, every tenant fed the
+/// whole batch, per-tenant hashes gated against each tenant's own solo
+/// sequential loop. Returns the process exit code.
+int run_fleet_bench(const util::Cli& cli, const core::SegHdcConfig& base,
+                    const std::vector<img::ImageU8>& images,
+                    const std::vector<std::size_t>& thread_list,
+                    const std::vector<std::size_t>& queue_list,
+                    std::size_t tenant_count, std::size_t repeats,
+                    bool csv) {
+  const auto encode_workers =
+      static_cast<std::size_t>(cli.get_int("encode-workers", 2));
+  const auto cluster_workers =
+      static_cast<std::size_t>(cli.get_int("cluster-workers", 2));
+  const auto max_in_flight_total =
+      static_cast<std::size_t>(cli.get_int("max-in-flight-total", 0));
+
+  // Tenant configs differ by seed, so a cross-tenant mix-up cannot
+  // hash-collide; each tenant's answer key is its own sequential loop.
+  std::vector<core::SegHdcConfig> configs;
+  std::vector<std::uint64_t> expected;
+  configs.reserve(tenant_count);
+  expected.reserve(tenant_count);
+  for (std::size_t t = 0; t < tenant_count; ++t) {
+    core::SegHdcConfig config = base;
+    config.seed = base.seed + t;
+    util::ThreadPool one(1);
+    const core::SegHdcSession session(config,
+                                      core::SegHdcSession::Options{&one});
+    std::vector<core::SegmentationResult> results;
+    results.reserve(images.size());
+    for (const auto& image : images) {
+      results.push_back(session.segment(image));
+    }
+    configs.push_back(config);
+    expected.push_back(batch_hash(results));
+  }
+
+  bool hashes_match = true;
+  std::vector<Row> rows;
+  serve::LatencyPercentiles last_latency;
+  for (const std::size_t threads : thread_list) {
+    util::ThreadPool pool(threads);
+    for (const std::size_t capacity : queue_list) {
+      Row row;
+      row.name = "fleet@" + std::to_string(threads) + "/q" +
+                 (capacity == 0 ? std::string("inf")
+                                : std::to_string(capacity)) +
+                 "/x" + std::to_string(tenant_count);
+      row.has_latency = true;
+      for (std::size_t r = 0; r < repeats; ++r) {
+        serve::FleetOptions fleet_options;
+        fleet_options.pool = &pool;
+        fleet_options.max_in_flight_total = max_in_flight_total;
+        serve::SegHdcFleet fleet(fleet_options);
+        std::vector<std::string> names;
+        for (std::size_t t = 0; t < tenant_count; ++t) {
+          names.push_back("tenant" + std::to_string(t));
+          serve::TenantOptions tenant_options;
+          tenant_options.max_queued = capacity;
+          tenant_options.encode_workers = encode_workers;
+          tenant_options.cluster_workers = cluster_workers;
+          fleet.add_tenant(names.back(), configs[t], tenant_options);
+        }
+        const util::Stopwatch watch;
+        std::vector<std::vector<std::future<core::SegmentationResult>>>
+            futures(tenant_count);
+        for (const auto& image : images) {
+          for (std::size_t t = 0; t < tenant_count; ++t) {
+            futures[t].push_back(fleet.submit(names[t], image));
+          }
+        }
+        std::uint64_t combined = 14695981039346656037ULL;
+        for (std::size_t t = 0; t < tenant_count; ++t) {
+          std::vector<core::SegmentationResult> results;
+          results.reserve(images.size());
+          for (auto& future : futures[t]) {
+            results.push_back(future.get());
+          }
+          const std::uint64_t hash = batch_hash(results);
+          if (hash != expected[t]) {
+            hashes_match = false;
+            std::fprintf(stderr,
+                         "FAIL: %s tenant%zu hash %016llx != solo "
+                         "%016llx\n",
+                         row.name.c_str(), t,
+                         static_cast<unsigned long long>(hash),
+                         static_cast<unsigned long long>(expected[t]));
+          }
+          combined ^= hash;
+        }
+        const double seconds = watch.seconds();
+        row.hash = combined;
+        if (r == 0 || seconds < row.seconds) {
+          row.seconds = seconds;
+          const auto stats = fleet.stats();
+          row.p50_ms = stats.latency.p50_seconds * 1e3;
+          row.p95_ms = stats.latency.p95_seconds * 1e3;
+          row.p99_ms = stats.latency.p99_seconds * 1e3;
+          last_latency = stats.latency;
+        }
+      }
+      rows.push_back(row);
+    }
+  }
+
+  const double total =
+      static_cast<double>(images.size()) * static_cast<double>(tenant_count);
+  if (csv) {
+    std::printf("mode,seconds,images_per_sec,p50_ms,p95_ms,p99_ms,hash\n");
+  } else {
+    std::printf("%-16s %10s %12s %9s %9s %9s  %s\n", "mode", "seconds",
+                "images/sec", "p50 ms", "p95 ms", "p99 ms",
+                "combined hash");
+  }
+  for (const auto& row : rows) {
+    const double ips = total / row.seconds;
+    if (csv) {
+      std::printf("%s,%.4f,%.2f,%.2f,%.2f,%.2f,%016llx\n", row.name.c_str(),
+                  row.seconds, ips, row.p50_ms, row.p95_ms, row.p99_ms,
+                  static_cast<unsigned long long>(row.hash));
+    } else {
+      std::printf("%-16s %10.4f %12.2f %9.2f %9.2f %9.2f  %016llx\n",
+                  row.name.c_str(), row.seconds, ips, row.p50_ms,
+                  row.p95_ms, row.p99_ms,
+                  static_cast<unsigned long long>(row.hash));
+    }
+  }
+  if (!hashes_match) {
+    std::fprintf(stderr,
+                 "FAIL: at least one tenant's label hashes diverge from "
+                 "its solo sequential loop\n");
+    return 1;
+  }
+  // Honest window note: percentiles cover the sliding window, the mean
+  // covers the lifetime count — say which is which.
+  std::printf("latency percentiles over last %llu of %llu requests "
+              "(fastest pass)\n",
+              static_cast<unsigned long long>(last_latency.window_count),
+              static_cast<unsigned long long>(last_latency.count));
+  std::printf("all %zu tenants bit-identical to their solo loops at every "
+              "pool size and queue capacity\n",
+              tenant_count);
+  return 0;
+}
 
 }  // namespace
 
@@ -122,6 +278,13 @@ int main(int argc, char** argv) try {
               hdc::simd::active_backend().name,
               hdc::simd::cpu_feature_string().c_str());
 
+  const auto tenant_count =
+      static_cast<std::size_t>(cli.get_int("tenants", 0));
+  if (tenant_count > 0) {
+    return run_fleet_bench(cli, config, images, thread_list, queue_list,
+                           tenant_count, repeats, csv);
+  }
+
   // Reference: a sequential session loop pins the expected hash.
   std::uint64_t expected_hash = 0;
   {
@@ -137,6 +300,7 @@ int main(int argc, char** argv) try {
   }
 
   std::vector<Row> rows;
+  serve::LatencyPercentiles last_latency;
   for (const std::size_t threads : thread_list) {
     {
       // Barrier path: segment_many blocks the caller for the batch.
@@ -191,6 +355,7 @@ int main(int argc, char** argv) try {
           row.p50_ms = stats.latency.p50_seconds * 1e3;
           row.p95_ms = stats.latency.p95_seconds * 1e3;
           row.p99_ms = stats.latency.p99_seconds * 1e3;
+          last_latency = stats.latency;
         }
       }
       rows.push_back(row);
@@ -232,6 +397,12 @@ int main(int argc, char** argv) try {
                  "segment_many paths\n");
     return 1;
   }
+  // Honest window note: percentiles cover the sliding window, the mean
+  // covers the lifetime count — say which is which.
+  std::printf("latency percentiles over last %llu of %llu requests "
+              "(final row's fastest pass)\n",
+              static_cast<unsigned long long>(last_latency.window_count),
+              static_cast<unsigned long long>(last_latency.count));
   std::printf("all label hashes identical across server and barrier "
               "paths at every queue capacity and pool size\n");
   return 0;

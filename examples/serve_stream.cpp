@@ -78,12 +78,16 @@ int main(int argc, char** argv) try {
               static_cast<std::size_t>(stats.completed), shed);
   std::printf("throughput: %.1f images/sec sustained\n",
               stats.throughput_images_per_sec);
+  // Percentiles/max cover the recorder's sliding window, not the whole
+  // lifetime — cite the window count next to them (they differ once the
+  // window wraps under sustained traffic).
   std::printf("latency: p50 %.1f ms  p95 %.1f ms  p99 %.1f ms  "
-              "(max %.1f ms over %llu requests)\n",
+              "(max %.1f ms over last %llu of %llu requests)\n",
               stats.latency.p50_seconds * 1e3,
               stats.latency.p95_seconds * 1e3,
               stats.latency.p99_seconds * 1e3,
               stats.latency.max_seconds * 1e3,
+              static_cast<unsigned long long>(stats.latency.window_count),
               static_cast<unsigned long long>(stats.latency.count));
   std::printf("%zu of %zu frames were foreground-heavy\n",
               foreground_heavy, in_flight.size());

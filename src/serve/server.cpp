@@ -54,6 +54,19 @@ std::future<core::SegmentationResult> SegHdcServer::submit(
   return enqueue(std::move(image), std::move(completion));
 }
 
+void SegHdcServer::submit(img::ImageU8 image,
+                          std::promise<core::SegmentationResult> promise,
+                          std::function<void()> on_done,
+                          util::Stopwatch accepted) {
+  Completion completion;
+  completion.use_promise = true;
+  completion.promise = std::move(promise);
+  completion.on_done = std::move(on_done);
+  completion.future_taken = true;
+  completion.accepted = accepted;
+  enqueue(std::move(image), std::move(completion));
+}
+
 void SegHdcServer::submit(
     img::ImageU8 image,
     std::function<void(core::SegmentationResult&&)> sink) {
@@ -69,7 +82,7 @@ void SegHdcServer::submit(
 std::future<core::SegmentationResult> SegHdcServer::enqueue(
     img::ImageU8&& image, Completion&& completion) {
   std::future<core::SegmentationResult> future;
-  if (completion.use_promise) {
+  if (completion.use_promise && !completion.future_taken) {
     future = completion.promise.get_future();
   }
   Request request{std::move(image), std::move(completion)};
@@ -93,9 +106,14 @@ std::future<core::SegmentationResult> SegHdcServer::enqueue(
 void SegHdcServer::deliver(Completion&& completion,
                            core::SegmentationResult&& result) {
   // Record before signalling: a caller woken by future.get() must see
-  // its own request in the counters and the latency window.
+  // its own request in the counters and the latency window. The fleet's
+  // on_done hook keeps books too (its latency recorder, quota slots) —
+  // same rule, so it fires before the promise as well.
   latency_.record(completion.accepted.seconds());
   completed_.fetch_add(1, std::memory_order_relaxed);
+  if (completion.on_done) {
+    completion.on_done();
+  }
   if (completion.use_promise) {
     completion.promise.set_value(std::move(result));
   } else {
@@ -115,11 +133,17 @@ void SegHdcServer::deliver(Completion&& completion,
 void SegHdcServer::fail(Completion&& completion, std::exception_ptr error,
                         std::atomic<std::uint64_t>& counter) {
   counter.fetch_add(1, std::memory_order_relaxed);
+  // Callback sinks are success-only by contract; a failed or cancelled
+  // sink request is dropped. The fleet's on_done hook fires on every
+  // outcome, though — quota slots must come back even for failures —
+  // and before the promise, so a caller unblocked by the exception
+  // already finds the books settled.
+  if (completion.on_done) {
+    completion.on_done();
+  }
   if (completion.use_promise) {
     completion.promise.set_exception(std::move(error));
   }
-  // Callback sinks are success-only by contract; a failed or cancelled
-  // sink request is dropped.
 }
 
 void SegHdcServer::encode_loop() {

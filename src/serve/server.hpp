@@ -68,10 +68,12 @@ enum class ShutdownMode {
 
 /// Thrown by submit() when the queue is full under kReject. The request
 /// was NOT accepted: no future exists and no counter besides `rejected`
-/// moves.
+/// moves. Also thrown (with a tenant-naming message) by the fleet layer
+/// when a tenant's admission quota refuses a request.
 class RejectedError : public std::runtime_error {
  public:
   RejectedError() : std::runtime_error("SegHdcServer queue full") {}
+  explicit RejectedError(const std::string& what) : std::runtime_error(what) {}
 };
 
 /// Delivered through the future of a request that shutdown(kCancel)
@@ -81,10 +83,12 @@ class CancelledError : public std::runtime_error {
   CancelledError() : std::runtime_error("SegHdcServer request cancelled") {}
 };
 
-/// Thrown by submit() after shutdown has begun.
+/// Thrown by submit() after shutdown has begun — also by the fleet layer
+/// (with a tenant-naming message) for submits racing a tenant's retire.
 class ShutdownError : public std::runtime_error {
  public:
   ShutdownError() : std::runtime_error("SegHdcServer is shut down") {}
+  explicit ShutdownError(const std::string& what) : std::runtime_error(what) {}
 };
 
 /// Server construction knobs. The queue/backpressure pair is the
@@ -135,6 +139,25 @@ class SegHdcServer {
   /// shutdown has begun.
   std::future<core::SegmentationResult> submit(img::ImageU8 image);
 
+  /// Fleet hook: like the future form, but the caller supplies the
+  /// promise (whose future it already handed out when it admitted the
+  /// request), an `on_done` callback, and the admission stopwatch. The
+  /// promise receives the result or the failure exactly as the future
+  /// form's would; `on_done` is invoked exactly once per request — on
+  /// success, stage failure, and cancellation alike — so an admission
+  /// layer (serve::SegHdcFleet) can release quota slots and reschedule.
+  /// It fires immediately BEFORE the promise is fulfilled, mirroring
+  /// the counter rule: by the time any future.get() returns, the
+  /// admission layer's books already include the request. It runs on
+  /// stage threads (or the shutdown thread for cancelled requests):
+  /// keep it short and never let it throw.
+  /// `accepted` starts the latency clock, so a request that waited in a
+  /// fleet queue before reaching this server is measured from fleet
+  /// admission, not from this call.
+  void submit(img::ImageU8 image,
+              std::promise<core::SegmentationResult> promise,
+              std::function<void()> on_done, util::Stopwatch accepted);
+
   /// Callback form: `sink` is invoked exactly once with the result when
   /// the request completes successfully; it is dropped (never invoked)
   /// if the request is cancelled or a stage throws — use the future form
@@ -163,11 +186,17 @@ class SegHdcServer {
 
  private:
   /// How a finished request reports back: exactly one of `promise`
-  /// (future form) or `sink` (callback form) is armed.
+  /// (future form) or `sink` (callback form) is armed. `on_done`, when
+  /// set, fires after either outcome path (the fleet's quota-release
+  /// hook).
   struct Completion {
     std::promise<core::SegmentationResult> promise;
     std::function<void(core::SegmentationResult&&)> sink;
+    std::function<void()> on_done;
     bool use_promise = true;
+    /// The fleet hook hands over a promise whose future the fleet
+    /// already retrieved at admission; enqueue must not get_future again.
+    bool future_taken = false;
     util::Stopwatch accepted;  ///< starts the submit-to-done latency clock
   };
   struct Request {

@@ -52,6 +52,7 @@ LatencyPercentiles LatencyRecorder::snapshot() const {
     }
     sorted = window_;
     result.count = total_count_;
+    result.window_count = window_.size();
     result.mean_seconds = total_seconds_ / static_cast<double>(total_count_);
   }
   std::sort(sorted.begin(), sorted.end());

@@ -15,8 +15,16 @@ namespace seghdc::serve {
 
 /// Latency percentiles over a set of samples, in seconds. All zero when
 /// no sample was recorded.
+///
+/// Two sample counts on purpose: `count` is every sample ever recorded
+/// (what `mean_seconds` covers), `window_count` is how many of them are
+/// still in the sliding window (what min/max/p50/p95/p99 cover). They
+/// are equal until the recorder's window wraps; after that, reading the
+/// percentiles as if they covered `count` samples overstates their
+/// support — display code must cite `window_count` next to percentiles.
 struct LatencyPercentiles {
-  std::uint64_t count = 0;  ///< samples the percentiles were computed over
+  std::uint64_t count = 0;         ///< lifetime samples (mean covers these)
+  std::uint64_t window_count = 0;  ///< samples behind min/max/percentiles
   double min_seconds = 0.0;
   double max_seconds = 0.0;
   double mean_seconds = 0.0;

@@ -1,0 +1,105 @@
+// Counting admission gate — the quota primitive under the multi-tenant
+// fleet layer (src/serve/fleet.*), sibling of BoundedQueue. A BoundedQueue
+// caps how many values *wait*; an AdmissionGate caps how many units are
+// *in flight*: acquire a slot before dispatching work, release it when the
+// work completes, and the gate refuses (or blocks) dispatch past the
+// limit. The fleet pairs one gate per tenant (max_in_flight) with a
+// BoundedQueue per tenant (max_queued) to form the full admission quota.
+//
+// Thread-safety: every member is safe to call concurrently from any
+// thread. Like BoundedQueue, when several acquirers block on a full gate
+// the order they resume in is unspecified.
+#ifndef SEGHDC_UTIL_ADMISSION_GATE_HPP
+#define SEGHDC_UTIL_ADMISSION_GATE_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "src/util/contracts.hpp"
+
+namespace seghdc::util {
+
+/// Counting gate over concurrent in-flight units. `limit` 0 means
+/// unlimited (acquires always succeed immediately); the gate still
+/// counts, so `in_use()` stays meaningful for stats.
+class AdmissionGate {
+ public:
+  explicit AdmissionGate(std::size_t limit = 0) : limit_(limit) {}
+
+  AdmissionGate(const AdmissionGate&) = delete;
+  AdmissionGate& operator=(const AdmissionGate&) = delete;
+
+  /// 0 = unlimited.
+  std::size_t limit() const { return limit_; }
+
+  /// Slots currently held (a snapshot; racy by nature).
+  std::size_t in_use() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return in_use_;
+  }
+
+  /// Non-blocking: takes a slot when one is free and the gate is open.
+  /// The dispatcher-side primitive — a fair-share scheduler must never
+  /// park on one tenant's full gate while another tenant has work.
+  bool try_acquire() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || !has_slot()) {
+      return false;
+    }
+    ++in_use_;
+    return true;
+  }
+
+  /// Blocks until a slot frees, then takes it. Returns false when the
+  /// gate is or becomes closed while waiting — the shutdown path for
+  /// blocked acquirers.
+  bool acquire() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    freed_.wait(lock, [this] { return closed_ || has_slot(); });
+    if (closed_) {
+      return false;
+    }
+    ++in_use_;
+    return true;
+  }
+
+  /// Returns a slot taken by a successful acquire. Releasing more than
+  /// was acquired is a contract violation (std::logic_error).
+  void release() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ensures(in_use_ > 0, "AdmissionGate::release without acquire");
+      --in_use_;
+    }
+    freed_.notify_one();
+  }
+
+  /// Closes the gate: subsequent and blocked acquires fail. Held slots
+  /// stay valid and must still be released. Idempotent.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    freed_.notify_all();
+  }
+
+  bool closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  bool has_slot() const { return limit_ == 0 || in_use_ < limit_; }
+
+  const std::size_t limit_;
+  mutable std::mutex mutex_;
+  std::condition_variable freed_;  ///< signalled when a slot is released
+  std::size_t in_use_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace seghdc::util
+
+#endif  // SEGHDC_UTIL_ADMISSION_GATE_HPP

@@ -84,6 +84,24 @@ class BoundedQueue {
     return QueuePush::kOk;
   }
 
+  /// Non-blocking pop: dequeues the oldest value when one is there,
+  /// nullopt when the queue is empty (closed or not). The fair-share
+  /// dispatcher's primitive — a scheduler scanning many queues must
+  /// never park on an empty one while another has work.
+  std::optional<T> try_pop() {
+    std::optional<T> value;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (items_.empty()) {
+        return std::nullopt;
+      }
+      value = std::move(items_.front());
+      items_.pop_front();
+    }
+    space_.notify_one();
+    return value;
+  }
+
   /// Blocks while the queue is empty, then dequeues the oldest value.
   /// Returns nullopt once the queue is closed AND drained — the
   /// consumer-loop termination signal.

@@ -1,6 +1,7 @@
 #include "src/util/cli.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace seghdc::util {
@@ -19,9 +20,16 @@ Cli::Cli(int argc, const char* const* argv) {
   if (argc > 0) {
     program_ = argv[0];
   }
+  bool options_ended = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) {
+    if (arg == "--" && !options_ended) {
+      // End-of-options sentinel: everything after it is positional, so
+      // file names starting with "--" stay representable.
+      options_ended = true;
+      continue;
+    }
+    if (options_ended || arg.rfind("--", 0) != 0) {
       positional_.push_back(arg);
       continue;
     }
@@ -57,6 +65,13 @@ std::int64_t Cli::get_int(const std::string& name,
   if (it == options_.end()) {
     return fallback;
   }
+  if (it->second.empty()) {
+    // A bare `--name` read through a value getter is almost always a
+    // swallowed value: `--name --other ...` parses as two flags.
+    throw std::invalid_argument(
+        "--" + name + " expects an integer value but none was given "
+        "(a following --option? use --" + name + "=value)");
+  }
   try {
     std::size_t used = 0;
     const std::int64_t value = std::stoll(it->second, &used);
@@ -74,6 +89,11 @@ double Cli::get_double(const std::string& name, double fallback) const {
   const auto it = options_.find(name);
   if (it == options_.end()) {
     return fallback;
+  }
+  if (it->second.empty()) {
+    throw std::invalid_argument(
+        "--" + name + " expects a numeric value but none was given "
+        "(a following --option? use --" + name + "=value)");
   }
   try {
     std::size_t used = 0;
@@ -116,23 +136,45 @@ void Cli::reject_unknown(const std::vector<std::string>& known) const {
 
 std::vector<std::size_t> Cli::parse_size_list(const std::string& spec,
                                               bool allow_zero) {
+  // Malformed tokens and overflow are hard errors, matching the
+  // no-silent-fallback convention of the forced knobs
+  // (SEGHDC_KERNEL_BACKEND, SEGHDC_TILE_ROWS): a sweep list that
+  // quietly dropped "x" from "4,x,8" would run a different sweep than
+  // the one the caller asked for.
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
   std::vector<std::size_t> values;
-  std::size_t value = 0;
-  bool in_number = false;
-  for (const char c : spec) {
-    if (c >= '0' && c <= '9') {
-      value = value * 10 + static_cast<std::size_t>(c - '0');
-      in_number = true;
-    } else {
-      if (in_number && (allow_zero || value > 0)) {
-        values.push_back(value);
-      }
-      value = 0;
-      in_number = false;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = begin;
+    while (end < spec.size() && spec[end] != ',' && spec[end] != ' ' &&
+           spec[end] != '\t') {
+      ++end;
     }
-  }
-  if (in_number && (allow_zero || value > 0)) {
-    values.push_back(value);
+    if (end > begin) {
+      const std::string token = spec.substr(begin, end - begin);
+      std::size_t value = 0;
+      for (const char c : token) {
+        if (c < '0' || c > '9') {
+          throw std::invalid_argument("size list '" + spec +
+                                      "' contains malformed token '" +
+                                      token + "' (digits only)");
+        }
+        const auto digit = static_cast<std::size_t>(c - '0');
+        if (value > (kMax - digit) / 10) {
+          throw std::invalid_argument("size list '" + spec +
+                                      "' token '" + token +
+                                      "' overflows size_t");
+        }
+        value = value * 10 + digit;
+      }
+      if (value == 0 && !allow_zero) {
+        throw std::invalid_argument("size list '" + spec +
+                                    "' contains '0' where zero is not "
+                                    "a legal value");
+      }
+      values.push_back(value);
+    }
+    begin = end + 1;
   }
   return values;
 }

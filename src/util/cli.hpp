@@ -13,7 +13,8 @@ namespace seghdc::util {
 
 /// Parsed command line. Unknown options are collected rather than rejected
 /// so a caller can forward them; call `reject_unknown()` to enforce strict
-/// parsing.
+/// parsing. A bare `--` ends option parsing: every later token is
+/// positional, even ones starting with `--`.
 class Cli {
  public:
   Cli(int argc, const char* const* argv);
@@ -25,10 +26,14 @@ class Cli {
   std::string get(const std::string& name, const std::string& fallback) const;
 
   /// Integer value of `--name`, or `fallback` if absent. Throws
-  /// std::invalid_argument when present but not parseable.
+  /// std::invalid_argument when present but not parseable — including
+  /// when present with an empty value (`--name --other` parses as two
+  /// flags, so the swallowed value is a hard error here, not a silent
+  /// fallback).
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
 
-  /// Floating-point value of `--name`, or `fallback` if absent.
+  /// Floating-point value of `--name`, or `fallback` if absent. Same
+  /// empty-value hard error as get_int.
   double get_double(const std::string& name, double fallback) const;
 
   /// Boolean flag: present without value, or with value in
@@ -45,12 +50,14 @@ class Cli {
   /// `known` — call after all get() calls with the full option list.
   void reject_unknown(const std::vector<std::string>& known) const;
 
-  /// Parses a comma/space-separated size list ("1,2,4"). Zeros are kept
-  /// when `allow_zero` (e.g. tile-rows/queue lists use 0 to mean
-  /// auto/unbounded) and dropped otherwise (thread lists). Shared by the
-  /// bench sweep flags; non-digit separators of any kind are accepted.
+  /// Parses a comma/space/tab-separated size list ("1,2,4"). Zeros are
+  /// legal when `allow_zero` (e.g. tile-rows/queue lists use 0 to mean
+  /// auto/unbounded) and a hard error otherwise (thread lists). Shared
+  /// by the bench sweep flags. Malformed tokens ("4,x,8") and values
+  /// overflowing size_t throw std::invalid_argument — a sweep must run
+  /// exactly the list it was given, never a silently filtered one.
   static std::vector<std::size_t> parse_size_list(const std::string& spec,
-                                                  bool allow_zero);
+                                                  bool allow_zero = true);
 
  private:
   std::string program_;

@@ -258,10 +258,24 @@ TEST(LatencyRecorder, WindowSlidesButTotalsCoverEverything) {
   }
   const auto p = recorder.snapshot();
   EXPECT_EQ(p.count, 8u);                  // all samples counted
+  // Regression: `count` is lifetime, but min/max/percentiles only cover
+  // the sliding window — `window_count` says how many samples that is,
+  // so a display can no longer claim "max over 8 requests" when the
+  // window held 4.
+  EXPECT_EQ(p.window_count, 4u);
   EXPECT_DOUBLE_EQ(p.mean_seconds, 4.5);   // mean over all 8
   EXPECT_DOUBLE_EQ(p.min_seconds, 5.0);    // window holds {5,6,7,8}
   EXPECT_DOUBLE_EQ(p.max_seconds, 8.0);
   EXPECT_DOUBLE_EQ(p.p50_seconds, 6.0);    // ceil(0.5*4)=2nd of window
+}
+
+TEST(LatencyRecorder, WindowCountMatchesCountBeforeTheWindowWraps) {
+  serve::LatencyRecorder recorder(4);
+  recorder.record(1.0);
+  recorder.record(2.0);
+  const auto p = recorder.snapshot();
+  EXPECT_EQ(p.count, 2u);
+  EXPECT_EQ(p.window_count, 2u);
 }
 
 TEST(LatencyRecorder, EmptySnapshotIsAllZero) {

@@ -90,6 +90,96 @@ TEST(Cli, RejectUnknownThrowsOnStray) {
   EXPECT_NO_THROW(cli.reject_unknown({"oops"}));
 }
 
+TEST(Cli, EmptyValueThroughIntGetterIsAHardError) {
+  // `--dim --paper` parses as two flags (value swallowed); reading dim
+  // through a value getter must not silently become the fallback.
+  const auto cli = make_cli({"--dim", "--paper"});
+  try {
+    cli.get_int("dim", 512);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(),
+                 "--dim expects an integer value but none was given "
+                 "(a following --option? use --dim=value)");
+  }
+}
+
+TEST(Cli, EmptyValueThroughDoubleGetterIsAHardError) {
+  const auto cli = make_cli({"--beta", "--paper"});
+  try {
+    cli.get_double("beta", 4.0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(),
+                 "--beta expects a numeric value but none was given "
+                 "(a following --option? use --beta=value)");
+  }
+}
+
+TEST(Cli, ExplicitEmptyEqualsValueAlsoThrowsThroughValueGetters) {
+  EXPECT_THROW(make_cli({"--dim="}).get_int("dim", 1),
+               std::invalid_argument);
+  EXPECT_THROW(make_cli({"--d="}).get_double("d", 1.0),
+               std::invalid_argument);
+  // ...but is still a perfectly fine bare flag.
+  EXPECT_TRUE(make_cli({"--dim="}).get_flag("dim"));
+}
+
+TEST(Cli, DoubleDashEndsOptionParsing) {
+  const auto cli = make_cli({"--dim", "8", "--", "--weird-file.pgm", "--x"});
+  EXPECT_EQ(cli.get_int("dim", 0), 8);
+  EXPECT_FALSE(cli.has("x"));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "--weird-file.pgm");
+  EXPECT_EQ(cli.positional()[1], "--x");
+}
+
+TEST(Cli, ParseSizeListHappyPath) {
+  EXPECT_EQ(Cli::parse_size_list("1,2, 8\t16"),
+            (std::vector<std::size_t>{1, 2, 8, 16}));
+  EXPECT_TRUE(Cli::parse_size_list("").empty());
+  EXPECT_TRUE(Cli::parse_size_list(" ,, ").empty());
+}
+
+TEST(Cli, ParseSizeListMalformedTokenIsAHardError) {
+  // Silently dropping "x" from "4,x,8" would run a different sweep than
+  // the one asked for — must hard-error, message naming the token.
+  try {
+    Cli::parse_size_list("4,x,8");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(),
+                 "size list '4,x,8' contains malformed token 'x' "
+                 "(digits only)");
+  }
+  EXPECT_THROW(Cli::parse_size_list("1,2x,3"), std::invalid_argument);
+  EXPECT_THROW(Cli::parse_size_list("-1"), std::invalid_argument);
+  EXPECT_THROW(Cli::parse_size_list("1.5"), std::invalid_argument);
+}
+
+TEST(Cli, ParseSizeListOverflowIsAHardError) {
+  // 2^64 = 18446744073709551616 overflows 64-bit size_t; the previous
+  // parser wrapped it around without complaint.
+  try {
+    Cli::parse_size_list("18446744073709551616");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(),
+                 "size list '18446744073709551616' token "
+                 "'18446744073709551616' overflows size_t");
+  }
+  // The exact maximum still parses.
+  EXPECT_EQ(Cli::parse_size_list("18446744073709551615"),
+            (std::vector<std::size_t>{18446744073709551615ULL}));
+}
+
+TEST(Cli, ParseSizeListZeroPolicy) {
+  EXPECT_EQ(Cli::parse_size_list("0,2", /*allow_zero=*/true),
+            (std::vector<std::size_t>{0, 2}));
+  EXPECT_THROW(Cli::parse_size_list("0,2", /*allow_zero=*/false),
+               std::invalid_argument);
+}
+
 TEST(Csv, WritesHeaderAndRows) {
   const auto path =
       (std::filesystem::temp_directory_path() / "seghdc_csv_test.csv")
