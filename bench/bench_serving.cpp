@@ -9,7 +9,7 @@
 //                   [--encode-workers 2] [--cluster-workers 2]
 //                   [--repeats 3] [--csv]
 //                   [--backend scalar|harley-seal|avx2|neon|auto]
-//                   [--tenants N] [--max-in-flight-total 0]
+//                   [--tenants N] [--max-in-flight-total 0] [--stream]
 //
 // For each pool size T in --threads, the barrier path `many@T` is timed
 // first; then for each queue capacity C in --queue (0 = unbounded) the
@@ -32,6 +32,16 @@
 // hash is checked against its own solo sequential loop, and ANY
 // per-tenant divergence is a hard failure (exit 1) — multi-tenancy must
 // change who waits, never what anyone gets.
+//
+// --stream switches to the temporal bench: a static-prefix / pan /
+// static-tail frame sequence (the warm-start shape) segmented three
+// ways per pool size — cold per-frame, session segment_stream, and a
+// server stream handle. Hard gates (exit 1): frame 0 of every stream
+// is hash-equal to the cold reference, the session-stream and
+// server-stream hashes are identical at every pool size, the stream
+// hash itself is identical across pool sizes, and a cold re-run AFTER
+// streaming still matches the cold reference — warm-start drift is
+// opt-in per stream, never a side effect on the cold path.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -216,6 +226,259 @@ int run_fleet_bench(const util::Cli& cli, const core::SegHdcConfig& base,
   return 0;
 }
 
+/// One synthetic stream frame: gradient background, a fixed noisy
+/// texture row, and a dark square at `square_x` (what moves during the
+/// pan phase).
+img::ImageU8 stream_frame(std::size_t width, std::size_t height,
+                          std::size_t square_x) {
+  img::ImageU8 frame(width, height, 3);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const auto base = static_cast<std::uint8_t>(160 + (y * 40) / height);
+      frame.at(x, y, 0) = base;
+      frame.at(x, y, 1) = base;
+      frame.at(x, y, 2) = static_cast<std::uint8_t>(base - 10);
+    }
+  }
+  for (std::size_t x = 0; x < width; ++x) {
+    frame.at(x, 0, 0) = static_cast<std::uint8_t>((x * 199) % 256);
+  }
+  const std::size_t side = height / 4;
+  for (std::size_t dy = 0; dy < side; ++dy) {
+    for (std::size_t dx = 0; dx < side; ++dx) {
+      const std::size_t x = square_x + dx;
+      const std::size_t y = height / 3 + dy;
+      if (x < width && y < height) {
+        frame.at(x, y, 0) = 40;
+        frame.at(x, y, 1) = 45;
+        frame.at(x, y, 2) = 50;
+      }
+    }
+  }
+  return frame;
+}
+
+std::uint64_t frame_seq_hash(
+    const std::vector<core::StreamFrameResult>& outcomes) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const auto& outcome : outcomes) {
+    hash = metrics::label_map_hash(outcome.result.labels, hash);
+  }
+  return hash;
+}
+
+/// The temporal bench: warm-start streaming vs the cold per-frame loop,
+/// with hard hash gates on every invariant the stream path promises.
+/// Returns the process exit code.
+int run_stream_bench(const util::Cli& cli, const core::SegHdcConfig& config,
+                     const std::vector<std::size_t>& thread_list,
+                     std::size_t frame_count, std::size_t repeats,
+                     bool csv) {
+  const auto width = static_cast<std::size_t>(cli.get_int("width", 128));
+  const auto height = static_cast<std::size_t>(cli.get_int("height", 96));
+
+  // Static prefix, 1-px/frame pan, static tail: replay, band reuse, and
+  // warm convergence each get frames that exercise them.
+  std::vector<img::ImageU8> frames;
+  frames.reserve(frame_count);
+  const std::size_t prefix = frame_count / 4;
+  const std::size_t tail = frame_count / 4;
+  for (std::size_t f = 0; f < frame_count; ++f) {
+    const std::size_t pan =
+        f < prefix ? 0 : std::min(f - prefix, frame_count - prefix - tail);
+    frames.push_back(stream_frame(width, height, width / 8 + pan));
+  }
+
+  // Cold per-frame reference on a 1-thread pool: the answer key for
+  // frame 0, for replayed frames, and for the post-stream cold re-run.
+  std::vector<std::uint64_t> cold_hashes;
+  std::size_t cold_iterations = 0;
+  {
+    util::ThreadPool one(1);
+    const core::SegHdcSession session(config,
+                                      core::SegHdcSession::Options{&one});
+    for (const auto& frame : frames) {
+      const auto result = session.segment(frame);
+      cold_hashes.push_back(metrics::label_map_hash(result.labels));
+      cold_iterations += result.iterations_run;
+    }
+  }
+
+  bool gates_pass = true;
+  std::uint64_t stream_hash_all_rows = 0;
+  bool have_stream_hash = false;
+  struct StreamRow {
+    std::string name;
+    double seconds = 0.0;
+    std::uint64_t hash = 0;
+    std::size_t iterations = 0;
+    std::size_t tiles_reused = 0, tiles_encoded = 0, replayed = 0;
+  };
+  std::vector<StreamRow> rows;
+
+  for (const std::size_t threads : thread_list) {
+    util::ThreadPool pool(threads);
+    const core::SegHdcSession session(config,
+                                      core::SegHdcSession::Options{&pool});
+
+    {  // Cold row: what a per-image deployment pays for this feed.
+      StreamRow row;
+      row.name = "cold@" + std::to_string(threads);
+      row.iterations = cold_iterations;
+      for (std::size_t r = 0; r < repeats; ++r) {
+        const util::Stopwatch watch;
+        std::uint64_t hash = 14695981039346656037ULL;
+        for (const auto& frame : frames) {
+          hash = metrics::label_map_hash(session.segment(frame).labels, hash);
+        }
+        row.hash = hash;
+        const double seconds = watch.seconds();
+        row.seconds = r == 0 ? seconds : std::min(row.seconds, seconds);
+      }
+      rows.push_back(row);
+    }
+
+    {  // Session-stream row: segment_stream, fresh Stream per repeat.
+      StreamRow row;
+      row.name = "stream@" + std::to_string(threads);
+      for (std::size_t r = 0; r < repeats; ++r) {
+        core::SegHdcSession::Stream stream;
+        const util::Stopwatch watch;
+        std::vector<core::StreamFrameResult> outcomes;
+        outcomes.reserve(frames.size());
+        for (const auto& frame : frames) {
+          outcomes.push_back(session.segment_stream(frame, stream));
+        }
+        const double seconds = watch.seconds();
+        row.hash = frame_seq_hash(outcomes);
+        if (r == 0 || seconds < row.seconds) {
+          row.seconds = seconds;
+          row.iterations = row.tiles_reused = row.tiles_encoded = 0;
+          row.replayed = 0;
+          for (const auto& outcome : outcomes) {
+            row.iterations += outcome.stats.kmeans_iterations;
+            row.tiles_reused += outcome.stats.tiles_reused;
+            row.tiles_encoded += outcome.stats.tiles_encoded;
+            row.replayed += outcome.stats.replayed ? 1 : 0;
+          }
+        }
+        if (metrics::label_map_hash(outcomes[0].result.labels) !=
+            cold_hashes[0]) {
+          gates_pass = false;
+          std::fprintf(stderr,
+                       "FAIL: %s frame 0 diverges from the cold path\n",
+                       row.name.c_str());
+        }
+      }
+      if (have_stream_hash && row.hash != stream_hash_all_rows) {
+        gates_pass = false;
+        std::fprintf(stderr,
+                     "FAIL: %s stream hash %016llx differs across pool "
+                     "sizes (expected %016llx)\n",
+                     row.name.c_str(),
+                     static_cast<unsigned long long>(row.hash),
+                     static_cast<unsigned long long>(stream_hash_all_rows));
+      }
+      stream_hash_all_rows = row.hash;
+      have_stream_hash = true;
+      rows.push_back(row);
+    }
+
+    {  // Server-stream row: the same frames through a stream handle.
+      StreamRow row;
+      row.name = "serve-str@" + std::to_string(threads);
+      for (std::size_t r = 0; r < repeats; ++r) {
+        serve::ServerOptions options;
+        options.queue_capacity = 8;
+        options.backpressure = serve::BackpressurePolicy::kBlock;
+        options.pool = &pool;
+        serve::SegHdcServer server(config, options);
+        auto handle = server.open_stream();
+        const util::Stopwatch watch;
+        std::vector<std::future<core::StreamFrameResult>> futures;
+        futures.reserve(frames.size());
+        for (const auto& frame : frames) {
+          futures.push_back(server.submit(handle, frame));
+        }
+        std::vector<core::StreamFrameResult> outcomes;
+        outcomes.reserve(frames.size());
+        for (auto& future : futures) {
+          outcomes.push_back(future.get());
+        }
+        const double seconds = watch.seconds();
+        row.hash = frame_seq_hash(outcomes);
+        if (r == 0 || seconds < row.seconds) {
+          row.seconds = seconds;
+          const auto stats = server.stats();
+          row.iterations =
+              static_cast<std::size_t>(stats.stream.kmeans_iterations);
+          row.tiles_reused =
+              static_cast<std::size_t>(stats.stream.tiles_reused);
+          row.tiles_encoded =
+              static_cast<std::size_t>(stats.stream.tiles_encoded);
+          row.replayed =
+              static_cast<std::size_t>(stats.stream.replayed_frames);
+        }
+      }
+      if (row.hash != stream_hash_all_rows) {
+        gates_pass = false;
+        std::fprintf(stderr,
+                     "FAIL: %s server-stream hash %016llx != session "
+                     "stream hash %016llx\n",
+                     row.name.c_str(),
+                     static_cast<unsigned long long>(row.hash),
+                     static_cast<unsigned long long>(stream_hash_all_rows));
+      }
+      rows.push_back(row);
+    }
+
+    // Cold re-run gate: streaming must leave the cold path untouched.
+    for (std::size_t f = 0; f < frames.size(); ++f) {
+      if (metrics::label_map_hash(session.segment(frames[f]).labels) !=
+          cold_hashes[f]) {
+        gates_pass = false;
+        std::fprintf(stderr,
+                     "FAIL: cold re-run of frame %zu after streaming "
+                     "diverges from the cold reference (@%zu threads)\n",
+                     f, threads);
+        break;
+      }
+    }
+  }
+
+  if (csv) {
+    std::printf(
+        "mode,seconds,frames_per_sec,kmeans_iters,tiles_reused,"
+        "tiles_encoded,replayed,hash\n");
+  } else {
+    std::printf("%-14s %9s %11s %11s %13s %8s  %s\n", "mode", "seconds",
+                "frames/sec", "km iters", "tiles r/e", "replays",
+                "label hash");
+  }
+  for (const auto& row : rows) {
+    const double fps = static_cast<double>(frames.size()) / row.seconds;
+    if (csv) {
+      std::printf("%s,%.4f,%.2f,%zu,%zu,%zu,%zu,%016llx\n", row.name.c_str(),
+                  row.seconds, fps, row.iterations, row.tiles_reused,
+                  row.tiles_encoded, row.replayed,
+                  static_cast<unsigned long long>(row.hash));
+    } else {
+      std::printf("%-14s %9.4f %11.2f %11zu %6zu/%-6zu %8zu  %016llx\n",
+                  row.name.c_str(), row.seconds, fps, row.iterations,
+                  row.tiles_reused, row.tiles_encoded, row.replayed,
+                  static_cast<unsigned long long>(row.hash));
+    }
+  }
+  if (!gates_pass) {
+    std::fprintf(stderr,
+                 "FAIL: at least one stream determinism gate tripped\n");
+    return 1;
+  }
+  std::printf("stream hashes identical across pool sizes and across the "
+              "session/server paths; cold path unaffected by streaming\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -256,6 +519,20 @@ int main(int argc, char** argv) try {
   const std::string backend_flag = cli.get("backend", "");
   if (!backend_flag.empty()) {
     hdc::simd::force_backend(backend_flag);
+  }
+
+  if (cli.get_flag("stream")) {
+    std::printf("bench_serving --stream: %zu frames %llux%llu, dim=%zu, "
+                "iterations=%zu, best of %zu repeats\n",
+                image_count,
+                static_cast<unsigned long long>(cli.get_int("width", 128)),
+                static_cast<unsigned long long>(cli.get_int("height", 96)),
+                config.dim, config.iterations, repeats);
+    std::printf("kernel backend: %s | cpu: %s\n",
+                hdc::simd::active_backend().name,
+                hdc::simd::cpu_feature_string().c_str());
+    return run_stream_bench(cli, config, thread_list, image_count, repeats,
+                            csv);
   }
 
   data::Dsb2018Config dataset_config;

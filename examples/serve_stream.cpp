@@ -1,31 +1,79 @@
-// Serving a live stream: push a synthetic camera feed through the async
-// pipelined SegHdcServer and watch backpressure, tail latency, and
-// throughput — the request-level shape of the ROADMAP's "heavy traffic"
-// target, in ~60 lines of user code.
+// Serving a temporal stream: synthetic camera frames are written to disk
+// as PPM, read back through `img::read_pnm` (the same path a real camera
+// pipeline or ffmpeg dump would take), and pushed through a
+// SegHdcServer stream handle so consecutive frames warm-start each
+// other — previous-frame centroid seeding, unchanged-band encode reuse,
+// and bit-for-bit replay of byte-identical frames.
 //
-//   ./serve_stream [--frames 32] [--dim 1000] [--queue 4]
-//                  [--reject] [--threads 4]
+//   ./serve_stream [--frames 24] [--width 96] [--height 72]
+//                  [--dim 1000] [--threads 4] [--queue 8] [--keep]
 //
-// Frames are submitted as fast as the source produces them. With the
-// default kBlock policy a full queue throttles the producer (a camera
-// would drop frames itself); with --reject the server sheds load
-// explicitly and the example counts the shed frames — the two
-// backpressure strategies an edge deployment chooses between.
+// The feed is a static prefix (a parked camera), a slow pan, then a
+// static tail — the shape warm-start is built for. A cold per-frame
+// loop over the same files is timed first; the per-frame table then
+// shows what the stream path skipped (reused tiles, fewer K-Means
+// iterations, replayed frames) and the measured speedup. Frame 0 of the
+// stream is hash-checked against the cold loop: the first frame of a
+// stream IS the cold path.
+#include <algorithm>
 #include <cstdio>
 #include <exception>
+#include <filesystem>
 #include <future>
+#include <string>
 #include <vector>
 
 #include "src/core/session.hpp"
-#include "src/datasets/dsb2018.hpp"
+#include "src/imaging/pnm.hpp"
+#include "src/metrics/segmentation_metrics.hpp"
 #include "src/serve/server.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/parallel.hpp"
+#include "src/util/stopwatch.hpp"
+
+namespace {
+
+// One synthetic camera frame: a gradient background, a fixed noisy
+// texture band (so dedup has real work), and a dark square parked at
+// `square_x` — the thing that moves when the camera pans.
+seghdc::img::ImageU8 render_frame(std::size_t width, std::size_t height,
+                                  std::size_t square_x) {
+  seghdc::img::ImageU8 frame(width, height, 3);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const auto base = static_cast<std::uint8_t>(160 + (y * 40) / height);
+      frame.at(x, y, 0) = base;
+      frame.at(x, y, 1) = base;
+      frame.at(x, y, 2) = static_cast<std::uint8_t>(base - 10);
+    }
+  }
+  for (std::size_t x = 0; x < width; ++x) {  // static texture band
+    frame.at(x, 0, 0) = static_cast<std::uint8_t>((x * 199) % 256);
+  }
+  const std::size_t side = height / 4;
+  for (std::size_t dy = 0; dy < side; ++dy) {
+    for (std::size_t dx = 0; dx < side; ++dx) {
+      const std::size_t x = square_x + dx;
+      const std::size_t y = height / 3 + dy;
+      if (x < width && y < height) {
+        frame.at(x, y, 0) = 40;
+        frame.at(x, y, 1) = 45;
+        frame.at(x, y, 2) = 50;
+      }
+    }
+  }
+  return frame;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) try {
+  namespace fs = std::filesystem;
   const seghdc::util::Cli cli(argc, argv);
-  const auto frames = static_cast<std::size_t>(cli.get_int("frames", 32));
-  const bool reject = cli.get_flag("reject");
+  const auto frames = static_cast<std::size_t>(cli.get_int("frames", 24));
+  const auto width = static_cast<std::size_t>(cli.get_int("width", 96));
+  const auto height = static_cast<std::size_t>(cli.get_int("height", 72));
+  const bool keep = cli.get_flag("keep");
 
   seghdc::core::SegHdcConfig config;
   config.dim = static_cast<std::size_t>(cli.get_int("dim", 1000));
@@ -33,65 +81,106 @@ int main(int argc, char** argv) try {
   config.iterations = 6;
   config.color_quantization_shift = 2;
 
-  // 1. The serving pipeline: bounded admission queue, one encode and one
-  // cluster stage thread (different frames overlap across the stages),
-  // intra-stage data parallelism on the pool.
+  // 1. The "recording": a static prefix, a 1-px/frame pan, a static
+  // tail — written as P6 PPM files and read back through read_pnm, the
+  // loader any external frame source would hit.
+  const fs::path dir = fs::temp_directory_path() / "seghdc_stream_frames";
+  fs::create_directories(dir);
+  std::vector<std::string> paths;
+  const std::size_t prefix = frames / 4;
+  const std::size_t tail = frames / 4;
+  for (std::size_t f = 0; f < frames; ++f) {
+    const std::size_t pan =
+        f < prefix ? 0 : std::min(f - prefix, frames - prefix - tail);
+    const auto frame = render_frame(width, height, width / 8 + pan);
+    char name[32];
+    std::snprintf(name, sizeof(name), "frame_%03zu.ppm",
+                  static_cast<std::size_t>(f));
+    paths.push_back((dir / name).string());
+    seghdc::img::write_pnm(frame, paths.back());
+  }
+
   seghdc::util::ThreadPool pool(
       static_cast<std::size_t>(cli.get_int("threads", 4)));
+
+  // 2. Cold reference: every frame segmented from scratch, no temporal
+  // state. This is what a per-image deployment would pay.
+  const seghdc::core::SegHdcSession session(
+      config, seghdc::core::SegHdcSession::Options{&pool});
+  std::vector<double> cold_ms;
+  std::vector<std::size_t> cold_iters;
+  std::vector<std::uint64_t> cold_hash;
+  for (const auto& path : paths) {
+    const auto frame = seghdc::img::read_pnm(path);
+    const seghdc::util::Stopwatch watch;
+    const auto result = session.segment(frame);
+    cold_ms.push_back(watch.seconds() * 1e3);
+    cold_iters.push_back(result.iterations_run);
+    cold_hash.push_back(seghdc::metrics::label_map_hash(result.labels));
+  }
+
+  // 3. Stream path: the same files through a server stream handle.
+  // Submission is async (futures keep frame identity); the server keeps
+  // per-stream FIFO order so frame N always warms frame N+1.
   seghdc::serve::ServerOptions options;
-  options.queue_capacity = static_cast<std::size_t>(cli.get_int("queue", 4));
-  options.backpressure = reject
-                             ? seghdc::serve::BackpressurePolicy::kReject
-                             : seghdc::serve::BackpressurePolicy::kBlock;
+  options.queue_capacity = static_cast<std::size_t>(cli.get_int("queue", 8));
   options.pool = &pool;
   seghdc::serve::SegHdcServer server(config, options);
-
-  // 2. The "camera": synthetic DSB2018-like frames, submitted as fast as
-  // they arrive. Futures keep frame identity; completion is async.
-  const seghdc::data::Dsb2018Generator camera;
-  std::vector<std::future<seghdc::core::SegmentationResult>> in_flight;
-  std::size_t shed = 0;
-  for (std::size_t f = 0; f < frames; ++f) {
-    try {
-      in_flight.push_back(server.submit(camera.generate(f).image));
-    } catch (const seghdc::serve::RejectedError&) {
-      ++shed;  // load shed: the frame is dropped, the pipeline is full
-    }
+  auto stream = server.open_stream();
+  const seghdc::util::Stopwatch stream_watch;
+  std::vector<std::future<seghdc::core::StreamFrameResult>> in_flight;
+  for (const auto& path : paths) {
+    in_flight.push_back(server.submit(stream, seghdc::img::read_pnm(path)));
   }
 
-  // 3. Consume completions (a UI thread would poll or use the sink
-  // overload instead of blocking).
-  std::size_t foreground_heavy = 0;
-  for (auto& future : in_flight) {
-    const auto result = future.get();
-    if (result.cluster_pixel_counts[1] * 3 >
-        result.labels.width() * result.labels.height()) {
-      ++foreground_heavy;  // pretend downstream logic looks at frames
+  // 4. Per-frame table: what warm-start actually skipped.
+  std::printf("%5s %5s %6s %13s %12s %9s %9s\n", "frame", "warm",
+              "replay", "tiles reused", "iters(cold)", "cold ms", "warm ms");
+  double warm_total_ms = 0.0, cold_total_ms = 0.0;
+  bool frame0_matches = true;
+  for (std::size_t f = 0; f < in_flight.size(); ++f) {
+    const auto outcome = in_flight[f].get();
+    const auto& s = outcome.stats;
+    if (f == 0) {
+      frame0_matches =
+          seghdc::metrics::label_map_hash(outcome.result.labels) ==
+          cold_hash[0];
     }
+    warm_total_ms += s.seconds * 1e3;
+    cold_total_ms += cold_ms[f];
+    std::printf("%5zu %5s %6s %7zu/%-5zu %6zu (%zu) %9.2f %9.2f\n",
+                s.frame_index, s.warm ? "yes" : "-",
+                s.replayed ? "yes" : "-", s.tiles_reused, s.tiles_total,
+                s.kmeans_iterations, cold_iters[f], cold_ms[f],
+                s.seconds * 1e3);
   }
+  const double wall = stream_watch.seconds();
 
-  // 4. The serving dashboard: one stats() snapshot.
+  // 5. The stream dashboard: one stats() snapshot.
   const auto stats = server.stats();
-  std::printf("frames: %zu produced, %zu accepted, %zu completed, "
-              "%zu shed\n",
-              frames, in_flight.size(),
-              static_cast<std::size_t>(stats.completed), shed);
-  std::printf("throughput: %.1f images/sec sustained\n",
-              stats.throughput_images_per_sec);
-  // Percentiles/max cover the recorder's sliding window, not the whole
-  // lifetime — cite the window count next to them (they differ once the
-  // window wraps under sustained traffic).
-  std::printf("latency: p50 %.1f ms  p95 %.1f ms  p99 %.1f ms  "
-              "(max %.1f ms over last %llu of %llu requests)\n",
-              stats.latency.p50_seconds * 1e3,
-              stats.latency.p95_seconds * 1e3,
-              stats.latency.p99_seconds * 1e3,
-              stats.latency.max_seconds * 1e3,
-              static_cast<unsigned long long>(stats.latency.window_count),
-              static_cast<unsigned long long>(stats.latency.count));
-  std::printf("%zu of %zu frames were foreground-heavy\n",
-              foreground_heavy, in_flight.size());
-  return 0;
+  std::printf("\nstream: %llu frames (%llu warm, %llu replayed), "
+              "%llu of %llu tiles re-encoded, %llu K-Means iterations\n",
+              static_cast<unsigned long long>(stats.stream.frames),
+              static_cast<unsigned long long>(stats.stream.warm_frames),
+              static_cast<unsigned long long>(stats.stream.replayed_frames),
+              static_cast<unsigned long long>(stats.stream.tiles_encoded),
+              static_cast<unsigned long long>(stats.stream.tiles_encoded +
+                                              stats.stream.tiles_reused),
+              static_cast<unsigned long long>(
+                  stats.stream.kmeans_iterations));
+  std::printf("per-frame compute: %.1f ms cold -> %.1f ms warm "
+              "(%.2fx); stream wall time %.1f ms\n",
+              cold_total_ms, warm_total_ms, cold_total_ms / warm_total_ms,
+              wall * 1e3);
+  std::printf("frame 0 labels %s the cold path\n",
+              frame0_matches ? "bit-identical to" : "DIVERGE from");
+
+  if (keep) {
+    std::printf("frames kept in %s\n", dir.string().c_str());
+  } else {
+    fs::remove_all(dir);
+  }
+  return frame0_matches ? 0 : 1;
 } catch (const std::exception& error) {
   std::fprintf(stderr, "serve_stream failed: %s\n", error.what());
   return 1;

@@ -28,13 +28,49 @@ HvKMeansResult HvKMeans::run(std::span<const hdc::HyperVector> points,
 HvKMeansResult HvKMeans::run(const hdc::HvBlock& points,
                              std::span<const std::uint32_t> weights,
                              std::span<const std::size_t> seed_points) const {
+  util::expects(seed_points.size() == config_.clusters,
+                "HvKMeans::run needs exactly `clusters` seed points");
+  return run_impl(points, weights,
+                  [&](std::vector<hdc::Accumulator>& centroids) {
+                    // Initial centroids: the seed points themselves
+                    // (weight 1 — a seed defines a direction, not a
+                    // mass).
+                    for (std::size_t c = 0; c < centroids.size(); ++c) {
+                      util::expects(seed_points[c] < points.count(),
+                                    "HvKMeans seed index in range");
+                      centroids[c].add(points.row(seed_points[c]), 1);
+                    }
+                  });
+}
+
+HvKMeansResult HvKMeans::run_from_centroids(
+    const hdc::HvBlock& points, std::span<const std::uint32_t> weights,
+    std::span<const hdc::HyperVector> seed_centroids) const {
+  util::expects(seed_centroids.size() == config_.clusters,
+                "HvKMeans::run_from_centroids needs exactly `clusters` "
+                "seed centroids");
+  for (const auto& seed : seed_centroids) {
+    util::expects(seed.dim() == points.dim(),
+                  "HvKMeans::run_from_centroids seed centroid dimension "
+                  "must match the points");
+  }
+  return run_impl(points, weights,
+                  [&](std::vector<hdc::Accumulator>& centroids) {
+                    for (std::size_t c = 0; c < centroids.size(); ++c) {
+                      centroids[c].add(seed_centroids[c], 1);
+                    }
+                  });
+}
+
+HvKMeansResult HvKMeans::run_impl(
+    const hdc::HvBlock& points, std::span<const std::uint32_t> weights,
+    const std::function<void(std::vector<hdc::Accumulator>&)>&
+        init_centroids) const {
   util::expects(!points.empty(), "HvKMeans::run needs at least one point");
   util::expects(points.count() >= config_.clusters,
                 "HvKMeans::run needs at least as many points as clusters");
   util::expects(weights.empty() || weights.size() == points.count(),
                 "HvKMeans::run weights must be empty or match points");
-  util::expects(seed_points.size() == config_.clusters,
-                "HvKMeans::run needs exactly `clusters` seed points");
   // The distance kernels index centroid counts by set-bit position, so a
   // stray bit above dim would read out of bounds; enforce the padding
   // invariant once up front (one word test per row).
@@ -60,12 +96,7 @@ HvKMeansResult HvKMeans::run(const hdc::HvBlock& points,
   result.centroids.assign(k, hdc::Accumulator(dim));
   result.cluster_weights.assign(k, 0);
 
-  // Initial centroids: the seed points themselves (weight 1 — a seed
-  // defines a direction, not a mass).
-  for (std::size_t c = 0; c < k; ++c) {
-    util::expects(seed_points[c] < n, "HvKMeans seed index in range");
-    result.centroids[c].add(points.row(seed_points[c]), 1);
-  }
+  init_centroids(result.centroids);
 
   // Cached per-point norms (sqrt popcount) for the cosine distance.
   std::vector<double> point_norm(n);

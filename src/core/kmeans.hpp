@@ -22,6 +22,7 @@
 #define SEGHDC_CORE_KMEANS_HPP
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -87,7 +88,31 @@ class HvKMeans {
                      std::span<const std::uint32_t> weights,
                      std::span<const std::size_t> seed_points) const;
 
+  /// Warm-start entry point: the initial centroids are given DIRECTLY as
+  /// binary HVs instead of as indices into `points`. Each seed HV is
+  /// added with weight 1, exactly the seed-point semantics of `run` (a
+  /// seed defines a direction, not a mass), so the two entry points
+  /// differ only in where the initial directions come from. This is the
+  /// temporal/video serving hook: seeding from the previous frame's
+  /// majority-binarized centroids starts the iteration near the previous
+  /// solution, so near-identical frames converge in a fraction of the
+  /// iterations (bank the saving with stop_on_convergence). Requires
+  /// exactly `clusters` seed HVs of the points' dimension, zero-padded
+  /// like every HyperVector. Deterministic like `run`: same points,
+  /// weights, and seed centroids give bit-identical assignments at every
+  /// pool size and backend.
+  HvKMeansResult run_from_centroids(
+      const hdc::HvBlock& points, std::span<const std::uint32_t> weights,
+      std::span<const hdc::HyperVector> seed_centroids) const;
+
  private:
+  /// Shared iteration core; `init_centroids` seeds `centroids` (already
+  /// sized to `clusters`, all zero) with the initial directions.
+  HvKMeansResult run_impl(
+      const hdc::HvBlock& points, std::span<const std::uint32_t> weights,
+      const std::function<void(std::vector<hdc::Accumulator>&)>&
+          init_centroids) const;
+
   HvKMeansConfig config_;
 };
 

@@ -48,14 +48,50 @@
 
 #include "src/core/config.hpp"
 #include "src/core/seghdc.hpp"
+#include "src/hdc/hypervector.hpp"
 #include "src/imaging/image.hpp"
 #include "src/util/parallel.hpp"
 
 namespace seghdc::core {
 
+/// Per-frame observability for the temporal stream path
+/// (`SegHdcSession::segment_stream`): what the warm-start machinery
+/// actually did for this frame, so serving dashboards and the bench can
+/// report measured reuse instead of assumed reuse.
+struct StreamFrameStats {
+  /// 0-based index of this frame within its stream.
+  std::size_t frame_index = 0;
+  /// True when K-Means was seeded from the previous frame's centroids
+  /// (false on the first frame of a stream / after a geometry change).
+  bool warm = false;
+  /// True when the frame was byte-identical to its predecessor and the
+  /// cached previous result was replayed without any pipeline work.
+  bool replayed = false;
+  /// Row-band tiles in the stream cache layout (0 when the band cache
+  /// is inactive: dedup disabled or fault injection on).
+  std::size_t tiles_total = 0;
+  /// Bands whose pixel bytes were unchanged — dedup table and encoded
+  /// HVs reused from the previous frame.
+  std::size_t tiles_reused = 0;
+  /// Bands re-encoded because their pixels changed.
+  std::size_t tiles_encoded = 0;
+  /// K-Means iterations this frame actually ran (0 on replay).
+  std::size_t kmeans_iterations = 0;
+  /// Wall time of the whole segment_stream call.
+  double seconds = 0.0;
+};
+
+/// A segmented stream frame: the segmentation itself plus the stream
+/// stats describing how much of it was reused from the previous frame.
+struct StreamFrameResult {
+  SegmentationResult result;
+  StreamFrameStats stats;
+};
+
 class SegHdcSession {
   struct EncoderState;   // per-geometry item memories (private)
   struct EncodeScratch;  // per-worker encode arena (private)
+  struct StreamState;    // per-stream temporal cache (private)
 
  public:
   struct Options {
@@ -95,6 +131,36 @@ class SegHdcSession {
    private:
     friend class SegHdcSession;
     std::unique_ptr<EncodeScratch> impl_;
+  };
+
+  /// Temporal state for one ordered frame sequence (camera feed, video):
+  /// the previous frame's pixel bytes, the per-band dedup/HV caches, the
+  /// previous result (for byte-identical replay), and the previous
+  /// K-Means centroids (for warm seeding). Create one per stream and
+  /// feed it consecutive frames through `segment_stream`; `reset()`
+  /// drops all temporal state so the next frame runs cold. Movable, not
+  /// copyable; NOT safe to share between concurrent calls — frames of
+  /// one stream are ordered by definition.
+  class Stream {
+   public:
+    Stream();
+    ~Stream();
+    Stream(Stream&&) noexcept;
+    Stream& operator=(Stream&&) noexcept;
+    Stream(const Stream&) = delete;
+    Stream& operator=(const Stream&) = delete;
+
+    /// Forgets everything about previous frames: the next
+    /// `segment_stream` call is a cold first frame.
+    void reset();
+
+    /// Stats of the most recent frame through this stream (all zeros
+    /// before the first frame).
+    const StreamFrameStats& last_stats() const;
+
+   private:
+    friend class SegHdcSession;
+    std::unique_ptr<StreamState> impl_;
   };
 
   /// Encodes every pixel of `image` (1 or 3 channels) into pixel HVs,
@@ -148,6 +214,33 @@ class SegHdcSession {
       const std::function<void(std::size_t, SegmentationResult&&)>& sink)
       const;
 
+  /// Temporal/video serving: segments `frame` as the next frame of
+  /// `stream`, warm-starting from the stream's previous frame. Opt-in
+  /// semantics — warm-started labels may differ from a cold `segment`
+  /// of the same frame (by design; the drift is bounded by tests):
+  ///   - K-Means is seeded from the previous frame's majority-binarized
+  ///     centroids instead of `largest_color_difference_seeds`, and
+  ///     stops on convergence, so near-identical frames converge in a
+  ///     fraction of the iteration budget.
+  ///   - Row bands whose pixel bytes are unchanged since the previous
+  ///     frame (content hash + exact byte compare) reuse their cached
+  ///     dedup table and encoded HVs instead of re-encoding.
+  ///   - A frame byte-identical to its predecessor replays the cached
+  ///     previous result outright (bit-for-bit equal labels, zero
+  ///     pipeline work).
+  /// The FIRST frame of a stream (and the first after `reset()` or a
+  /// geometry change) runs the exact cold path: bit-identical to
+  /// `segment(frame)`. Deterministic: the same frame sequence produces
+  /// bit-identical labels at every pool size, tile size, and kernel
+  /// backend (band caches change what is recomputed, never what is
+  /// computed). Thread-safe across *streams* (const session state is
+  /// internally synchronised); calls on one Stream must be externally
+  /// ordered. Falls back to full re-encode per frame (no band cache,
+  /// tiles_total = 0) when deduplication is off or fault injection is
+  /// on; replay and warm seeding still apply.
+  StreamFrameResult segment_stream(const img::ImageU8& frame,
+                                   Stream& stream) const;
+
   /// Number of distinct (height, width, channels) encoder states built
   /// so far — observability for tests and serving dashboards.
   std::size_t encoder_states_built() const;
@@ -170,13 +263,47 @@ class SegHdcSession {
                            EncodeScratch& scratch) const;
   SegmentationResult segment_impl(const img::ImageU8& image,
                                   EncodeScratch& scratch) const;
+  /// Finalize-stage knobs for the stream path. Defaults reproduce the
+  /// cold `segment` behaviour exactly.
+  struct FinalizeOptions {
+    /// Non-empty = warm start: seed K-Means from these binary HVs
+    /// (previous frame's majority centroids) instead of
+    /// `largest_color_difference_seeds`.
+    std::span<const hdc::HyperVector> warm_centroids{};
+    /// Force `stop_on_convergence` regardless of config — semantics-free
+    /// (a converged assignment is a fixed point), it only banks unused
+    /// iterations on warm frames.
+    bool force_stop_on_convergence = false;
+    /// When non-null, receives the final centroids' majority-binarized
+    /// snapshots (the warm seeds for the next frame).
+    std::vector<hdc::HyperVector>* centroids_out = nullptr;
+  };
+
   /// Cluster + label map + margins over a finished encode. Fills
   /// `timings.cluster_seconds` (and total = cluster); callers stitch in
   /// the encode time they measured.
   SegmentationResult finalize_impl(EncodedImage encoded) const;
+  SegmentationResult finalize_impl(EncodedImage encoded,
+                                   const FinalizeOptions& options) const;
+
+  /// Stream-banded encode: like `encode_impl` but rides the per-band
+  /// caches in `stream`, re-encoding only bands whose bytes changed.
+  /// Output is bit-identical to `encode_impl` (op counts reflect work
+  /// actually done). Fills the tile fields of `stats`.
+  EncodedImage encode_stream_impl(const img::ImageU8& image,
+                                  const EncoderState& state,
+                                  StreamState& stream,
+                                  StreamFrameStats& stats) const;
 
   /// Band height used to tile this image's encode passes (>= 1).
   std::size_t tile_rows_for(std::size_t height) const;
+
+  /// Band height for the STREAM cache layout. Streams never collapse to
+  /// one band on small pools: bands are the reuse granularity there —
+  /// a single band can only ever reuse a byte-identical frame, which
+  /// the replay shortcut already covers. Purely a performance knob like
+  /// tile_rows_for: labels are identical for every value.
+  std::size_t stream_tile_rows_for(std::size_t height) const;
 
   EncodeScratch& shared_scratch() const;
   util::ThreadPool& pool() const;

@@ -1,6 +1,7 @@
 #include "src/imaging/pnm.hpp"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -25,7 +26,13 @@ void write_binary(const ImageU8& image, const std::string& path,
   }
 }
 
-/// Reads the next whitespace/comment-delimited token.
+/// Reads the next whitespace/comment-delimited token. A `#` starts a
+/// comment running to end of line and acts as a token DELIMITER, like
+/// netpbm's own parser: "2#note\n55" is the tokens "2" then "55", never
+/// the joined "255". Comments are only recognised here, i.e. between
+/// header tokens — a binary raster starts immediately after the single
+/// whitespace byte terminating the maxval token, so a 0x23 ('#') there
+/// is pixel data, never a comment (pinned by test).
 std::string next_token(std::istream& in) {
   std::string token;
   for (;;) {
@@ -33,9 +40,12 @@ std::string next_token(std::istream& in) {
     if (ch == EOF) {
       break;
     }
-    if (ch == '#') {  // comment to end of line
+    if (ch == '#') {  // comment to end of line, delimits any open token
       std::string skip;
       std::getline(in, skip);
+      if (!token.empty()) {
+        break;
+      }
       continue;
     }
     if (std::isspace(ch) != 0) {
@@ -49,17 +59,31 @@ std::string next_token(std::istream& in) {
   return token;
 }
 
+/// Strict non-negative integer parse, matching the no-silent-fallback
+/// convention of util::Cli::parse_size_list: every character must be a
+/// digit (std::stoull would accept "64x" as 64 and "-1" as a wrapped
+/// huge value) and overflow is a hard error, so a malformed header
+/// fails with an honest message instead of a misleading downstream one.
 std::size_t next_size(std::istream& in, const char* what) {
   const std::string token = next_token(in);
   if (token.empty()) {
     throw std::runtime_error(std::string("read_pnm: missing ") + what);
   }
-  try {
-    return static_cast<std::size_t>(std::stoull(token));
-  } catch (const std::exception&) {
-    throw std::runtime_error(std::string("read_pnm: bad ") + what + " '" +
-                             token + "'");
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  std::size_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') {
+      throw std::runtime_error(std::string("read_pnm: bad ") + what + " '" +
+                               token + "' (digits only)");
+    }
+    const auto digit = static_cast<std::size_t>(c - '0');
+    if (value > (kMax - digit) / 10) {
+      throw std::runtime_error(std::string("read_pnm: bad ") + what + " '" +
+                               token + "' (overflows size_t)");
+    }
+    value = value * 10 + digit;
   }
+  return value;
 }
 
 }  // namespace
@@ -115,6 +139,23 @@ ImageU8 read_pnm(const std::string& path) {
   if (maxval == 0 || maxval > 255) {
     throw std::runtime_error("read_pnm: unsupported maxval " +
                              std::to_string(maxval));
+  }
+  // Allocation guard: width * height * channels must not wrap (a wrapped
+  // product would allocate a tiny buffer and then index past it), and an
+  // absurd-but-unwrapped header must fail with an honest message instead
+  // of whatever std::bad_alloc the allocator feels like throwing.
+  constexpr std::size_t kMaxBytes = std::size_t{1} << 31;  // 2 GiB
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  if (height > kMax / width || width * height > kMax / channels) {
+    throw std::runtime_error("read_pnm: image dimensions " +
+                             std::to_string(width) + "x" +
+                             std::to_string(height) + " overflow size_t");
+  }
+  if (width * height * channels > kMaxBytes) {
+    throw std::runtime_error(
+        "read_pnm: image " + std::to_string(width) + "x" +
+        std::to_string(height) + "x" + std::to_string(channels) +
+        " exceeds the 2 GiB loader limit");
   }
 
   ImageU8 image(width, height, channels);

@@ -24,6 +24,29 @@ ServerOptions validate_options(ServerOptions options) {
 
 }  // namespace
 
+/// Shared state of one temporal stream. Two locks with disjoint jobs:
+/// `submit_mutex` makes (assign seq, push to the submit queue) atomic,
+/// so queue order always equals seq order — which is what guarantees a
+/// frame's predecessor is already popped (FIFO) and therefore in flight
+/// whenever the frame waits for its turn, i.e. the turn wait can never
+/// deadlock. `run_mutex` + `run_cv` implement the turn itself:
+/// `next_run_seq` advances exactly once per frame — success, stage
+/// failure, and cancellation alike.
+struct SegHdcServer::StreamHandle::StreamShared {
+  core::SegHdcSession::Stream stream;
+  std::mutex submit_mutex;
+  std::uint64_t next_submit_seq = 0;
+  std::mutex run_mutex;
+  std::condition_variable run_cv;
+  std::uint64_t next_run_seq = 0;
+};
+
+SegHdcServer::StreamHandle SegHdcServer::open_stream() {
+  StreamHandle handle;
+  handle.impl_ = std::make_shared<StreamHandle::StreamShared>();
+  return handle;
+}
+
 SegHdcServer::SegHdcServer(const core::SegHdcConfig& config,
                            const ServerOptions& options)
     : session_(config, core::SegHdcSession::Options{options.pool}),
@@ -77,6 +100,43 @@ void SegHdcServer::submit(
   completion.use_promise = false;
   completion.sink = std::move(sink);
   enqueue(std::move(image), std::move(completion));
+}
+
+std::future<core::StreamFrameResult> SegHdcServer::submit(
+    StreamHandle& stream, img::ImageU8 frame) {
+  if (!stream.impl_) {
+    throw std::invalid_argument(
+        "SegHdcServer::submit stream handle is empty (use open_stream)");
+  }
+  const std::shared_ptr<StreamHandle::StreamShared> shared = stream.impl_;
+  // Seq assignment and queue push are atomic together, so queue FIFO
+  // order equals seq order for every stream (see StreamShared). The seq
+  // counter only advances on a successful push: a rejected frame leaves
+  // no gap in the turn sequence.
+  const std::lock_guard<std::mutex> lock(shared->submit_mutex);
+  Request request;
+  request.image = std::move(frame);
+  request.stream.emplace();
+  request.stream->stream = shared;
+  request.stream->seq = shared->next_submit_seq;
+  std::future<core::StreamFrameResult> future =
+      request.stream->promise.get_future();
+  if (options_.backpressure == BackpressurePolicy::kReject) {
+    switch (submit_queue_.try_push(request)) {
+      case util::QueuePush::kOk:
+        break;
+      case util::QueuePush::kFull:
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        throw RejectedError();
+      case util::QueuePush::kClosed:
+        throw ShutdownError();
+    }
+  } else if (!submit_queue_.push(request)) {
+    throw ShutdownError();
+  }
+  ++shared->next_submit_seq;
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return future;
 }
 
 std::future<core::SegmentationResult> SegHdcServer::enqueue(
@@ -154,6 +214,15 @@ void SegHdcServer::encode_loop() {
       break;  // closed and drained
     }
     in_flight_.fetch_add(1, std::memory_order_relaxed);
+    if (request->stream.has_value()) {
+      // Stream frames are stage-fused here: the next frame's encode
+      // depends on this frame's clustering (band caches AND centroids),
+      // so splitting the stages buys no overlap within a stream. Other
+      // streams and batch requests overlap with it on other workers.
+      process_stream_frame(std::move(*request));
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
     EncodedJob job;
     job.completion = std::move(request->completion);
     bool encoded_ok = true;
@@ -184,6 +253,69 @@ void SegHdcServer::encode_loop() {
   if (live_encoders_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     encoded_queue_.close();
   }
+}
+
+void SegHdcServer::process_stream_frame(Request&& request) {
+  StreamJob job = std::move(*request.stream);
+  const std::shared_ptr<StreamHandle::StreamShared> shared = job.stream;
+  // Wait for this frame's turn. The predecessor is guaranteed to be in
+  // flight already (queue FIFO + atomic seq/push), so this wait always
+  // terminates. The lock is held across segment_stream: the only other
+  // contenders are same-stream successors, which must wait for this
+  // frame anyway (cv waits release the mutex).
+  std::unique_lock<std::mutex> lock(shared->run_mutex);
+  shared->run_cv.wait(lock,
+                      [&] { return shared->next_run_seq == job.seq; });
+  try {
+    core::StreamFrameResult frame =
+        session_.segment_stream(request.image, shared->stream);
+    ++shared->next_run_seq;
+    lock.unlock();
+    shared->run_cv.notify_all();
+    // Counters before the promise, like deliver(): a caller woken by
+    // future.get() sees its own frame in the stats.
+    latency_.record(job.accepted.seconds());
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    stream_frames_.fetch_add(1, std::memory_order_relaxed);
+    if (frame.stats.warm) {
+      stream_warm_frames_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (frame.stats.replayed) {
+      stream_replayed_frames_.fetch_add(1, std::memory_order_relaxed);
+    }
+    stream_tiles_reused_.fetch_add(frame.stats.tiles_reused,
+                                   std::memory_order_relaxed);
+    stream_tiles_encoded_.fetch_add(frame.stats.tiles_encoded,
+                                    std::memory_order_relaxed);
+    stream_kmeans_iterations_.fetch_add(frame.stats.kmeans_iterations,
+                                        std::memory_order_relaxed);
+    job.promise.set_value(std::move(frame));
+  } catch (...) {
+    // The turn advances on failure too — a dead frame must not wedge
+    // its successors (they warm-start from the last completed frame).
+    ++shared->next_run_seq;
+    lock.unlock();
+    shared->run_cv.notify_all();
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    job.promise.set_exception(std::current_exception());
+  }
+}
+
+void SegHdcServer::cancel_stream_frame(StreamJob&& job) {
+  const std::shared_ptr<StreamHandle::StreamShared> shared = job.stream;
+  {
+    // Release the turn in order: predecessors are either in flight
+    // (they advance the turn themselves) or earlier in the cancelled
+    // batch (shutdown processes it in FIFO order), so this wait always
+    // terminates.
+    std::unique_lock<std::mutex> lock(shared->run_mutex);
+    shared->run_cv.wait(lock,
+                        [&] { return shared->next_run_seq == job.seq; });
+    ++shared->next_run_seq;
+  }
+  shared->run_cv.notify_all();
+  cancelled_.fetch_add(1, std::memory_order_relaxed);
+  job.promise.set_exception(std::make_exception_ptr(CancelledError()));
 }
 
 void SegHdcServer::cluster_loop() {
@@ -217,6 +349,10 @@ void SegHdcServer::shutdown(ShutdownMode mode) {
   if (mode == ShutdownMode::kCancel) {
     std::vector<Request> dropped = submit_queue_.close_and_drain();
     for (auto& request : dropped) {
+      if (request.stream.has_value()) {
+        cancel_stream_frame(std::move(*request.stream));
+        continue;
+      }
       fail(std::move(request.completion),
            std::make_exception_ptr(CancelledError()), cancelled_);
     }
@@ -247,6 +383,17 @@ ServerStats SegHdcServer::stats() const {
           ? static_cast<double>(stats.completed) / stats.uptime_seconds
           : 0.0;
   stats.latency = latency_.snapshot();
+  stats.stream.frames = stream_frames_.load(std::memory_order_relaxed);
+  stats.stream.warm_frames =
+      stream_warm_frames_.load(std::memory_order_relaxed);
+  stats.stream.replayed_frames =
+      stream_replayed_frames_.load(std::memory_order_relaxed);
+  stats.stream.tiles_reused =
+      stream_tiles_reused_.load(std::memory_order_relaxed);
+  stats.stream.tiles_encoded =
+      stream_tiles_encoded_.load(std::memory_order_relaxed);
+  stats.stream.kmeans_iterations =
+      stream_kmeans_iterations_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -36,11 +36,14 @@
 #define SEGHDC_SERVE_SERVER_HPP
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -169,6 +172,43 @@ class SegHdcServer {
   void submit(img::ImageU8 image,
               std::function<void(core::SegmentationResult&&)> sink);
 
+  /// A temporal stream registered with this server (see open_stream).
+  /// Cheap handle over shared state: copying it refers to the SAME
+  /// stream; destroying every copy while frames are in flight is safe
+  /// (in-flight frames keep the state alive). Thread-safe to submit
+  /// through from multiple threads — the server orders frames by
+  /// submission and processes them strictly in that order.
+  class StreamHandle {
+   public:
+    StreamHandle() = default;
+
+   private:
+    friend class SegHdcServer;
+    struct StreamShared;
+    std::shared_ptr<StreamShared> impl_;
+  };
+
+  /// Registers a new temporal stream (camera feed, video). Frames
+  /// submitted through the returned handle ride the warm-start path
+  /// (`SegHdcSession::segment_stream`): previous-frame centroid seeding,
+  /// unchanged-band reuse, byte-identical replay. Streams are
+  /// independent — open one per camera; batch `submit` traffic on the
+  /// same server is unaffected.
+  StreamHandle open_stream();
+
+  /// Enqueues the next frame of `stream`. Frames of one stream are
+  /// processed strictly in submission order (frame N+1 warm-starts from
+  /// frame N by definition), so one stream never pipelines against
+  /// itself; different streams and batch requests interleave freely
+  /// across the encode workers. The future delivers the segmentation
+  /// plus the per-frame StreamFrameStats, or the failure (stage
+  /// exception / CancelledError under shutdown(kCancel) — either way
+  /// the stream stays usable and later frames still run, warm-starting
+  /// from the last frame that completed). Backpressure and shutdown
+  /// behave exactly like the batch `submit`.
+  std::future<core::StreamFrameResult> submit(StreamHandle& stream,
+                                              img::ImageU8 frame);
+
   /// Stops the server. kDrain completes every accepted request first;
   /// kCancel fails still-queued requests with CancelledError and lets
   /// requests a stage already picked up finish. Blocks until the stage
@@ -199,9 +239,22 @@ class SegHdcServer {
     bool future_taken = false;
     util::Stopwatch accepted;  ///< starts the submit-to-done latency clock
   };
+  /// A stream frame in flight: which stream, its turn number, and its
+  /// own promise (stream results carry StreamFrameStats, so they do not
+  /// reuse Completion's SegmentationResult promise).
+  struct StreamJob {
+    std::shared_ptr<StreamHandle::StreamShared> stream;
+    std::uint64_t seq = 0;
+    std::promise<core::StreamFrameResult> promise;
+    util::Stopwatch accepted;
+  };
   struct Request {
     img::ImageU8 image;
     Completion completion;
+    /// Set for stream frames; they are stage-fused on the encode worker
+    /// (frame N+1's encode depends on frame N's clustering, so there is
+    /// nothing to pipeline within a stream).
+    std::optional<StreamJob> stream;
   };
   struct EncodedJob {
     core::EncodedImage encoded;
@@ -213,6 +266,12 @@ class SegHdcServer {
                                                 Completion&& completion);
   void encode_loop();
   void cluster_loop();
+  /// Runs one stream frame end to end on the calling encode worker:
+  /// waits for the frame's turn, segments, advances the turn, delivers.
+  void process_stream_frame(Request&& request);
+  /// Releases a cancelled (never-run) stream frame's turn in order and
+  /// fails its promise with CancelledError.
+  void cancel_stream_frame(StreamJob&& job);
   void deliver(Completion&& completion, core::SegmentationResult&& result);
   void fail(Completion&& completion, std::exception_ptr error,
             std::atomic<std::uint64_t>& counter);
@@ -230,6 +289,14 @@ class SegHdcServer {
   std::atomic<std::size_t> live_encoders_{0};
 
   LatencyRecorder latency_;
+  // Stream-path breakdown (see StreamServingStats); stream frames also
+  // move the request counters below.
+  std::atomic<std::uint64_t> stream_frames_{0};
+  std::atomic<std::uint64_t> stream_warm_frames_{0};
+  std::atomic<std::uint64_t> stream_replayed_frames_{0};
+  std::atomic<std::uint64_t> stream_tiles_reused_{0};
+  std::atomic<std::uint64_t> stream_tiles_encoded_{0};
+  std::atomic<std::uint64_t> stream_kmeans_iterations_{0};
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> rejected_{0};

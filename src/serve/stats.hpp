@@ -66,6 +66,21 @@ class LatencyRecorder {
   double total_seconds_ = 0.0;
 };
 
+/// Aggregate counters for the temporal stream path (see
+/// SegHdcServer::open_stream): how much work the warm-start machinery
+/// actually saved, summed over every stream frame this server served.
+/// Stream frames ALSO count in the ServerStats request counters and the
+/// latency window — these totals break down what kind of frames they
+/// were, they do not add a separate population.
+struct StreamServingStats {
+  std::uint64_t frames = 0;           ///< stream frames completed
+  std::uint64_t warm_frames = 0;      ///< seeded from previous centroids
+  std::uint64_t replayed_frames = 0;  ///< byte-identical, result replayed
+  std::uint64_t tiles_reused = 0;     ///< row bands served from cache
+  std::uint64_t tiles_encoded = 0;    ///< row bands re-encoded
+  std::uint64_t kmeans_iterations = 0;  ///< iterations actually run
+};
+
 /// Snapshot of a SegHdcServer's counters and latency distribution.
 /// Counters increase monotonically over the server's lifetime; once the
 /// pipeline is idle, `submitted == completed + failed + cancelled` (a
@@ -86,6 +101,8 @@ struct ServerStats {
   double throughput_images_per_sec = 0.0;
   /// Submit-to-completion wall latency of completed requests.
   LatencyPercentiles latency;
+  /// Temporal stream-path breakdown (all zero when no stream was used).
+  StreamServingStats stream;
 };
 
 }  // namespace seghdc::serve

@@ -143,4 +143,117 @@ TEST(Pnm, MissingFileThrows) {
   EXPECT_THROW(read_pnm("/definitely/not/here.pgm"), std::runtime_error);
 }
 
+// --- Malformed-input hardening: strict header/pixel token parsing. ---
+
+/// Writes `contents` verbatim and expects read_pnm to throw a
+/// runtime_error whose message contains `needle` — the messages are part
+/// of the loader's contract (they are what a user debugging a broken
+/// file actually sees), so they are pinned, not just the throw.
+void expect_read_error(const std::string& path, const std::string& contents,
+                       const std::string& needle) {
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << contents;
+  }
+  try {
+    read_pnm(path);
+    FAIL() << "expected read_pnm to reject: " << needle;
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+        << "actual message: " << error.what();
+  }
+}
+
+TEST_F(PnmCleanup, RejectsWidthWithTrailingGarbage) {
+  // std::stoull would silently parse "64x" as 64; the strict parser
+  // hard-errors naming the token.
+  expect_read_error(track(temp_path("seghdc_badwidth.pgm")),
+                    "P5\n64x 4\n255\n", "bad width '64x'");
+}
+
+TEST_F(PnmCleanup, RejectsSignedHeaderToken) {
+  expect_read_error(track(temp_path("seghdc_negheight.pgm")),
+                    "P5\n4 -4\n255\n", "bad height '-4'");
+}
+
+TEST_F(PnmCleanup, RejectsOverflowingHeaderToken) {
+  expect_read_error(track(temp_path("seghdc_hugewidth.pgm")),
+                    "P5\n99999999999999999999999999 4\n255\n",
+                    "overflows size_t");
+}
+
+TEST_F(PnmCleanup, RejectsNegativeAsciiPixelHonestly) {
+  // "-1" used to wrap through stoull into a huge value and die with the
+  // misleading "pixel value exceeds maxval"; the honest error names the
+  // bad token.
+  expect_read_error(track(temp_path("seghdc_negpixel.pgm")),
+                    "P2\n2 1\n255\n-1 7\n", "bad pixel value '-1'");
+}
+
+TEST_F(PnmCleanup, RejectsNonNumericAsciiPixel) {
+  expect_read_error(track(temp_path("seghdc_alphapixel.pgm")),
+                    "P2\n2 1\n255\nab 7\n", "bad pixel value 'ab'");
+}
+
+TEST_F(PnmCleanup, RejectsOverflowingPixelDimensionProduct) {
+  // width * height * channels would wrap size_t on 64-bit only with
+  // absurd tokens; both the wrap and the merely-absurd case must fail
+  // cleanly (runtime_error, never bad_alloc) before any allocation.
+  expect_read_error(track(temp_path("seghdc_wrap.ppm")),
+                    "P6\n8589934592 8589934592\n255\n", "overflow size_t");
+}
+
+TEST_F(PnmCleanup, RejectsAbsurdHeaderBeforeAllocating) {
+  // 65000 * 65000 * 3 bytes = ~12.7 GB: unwrapped but way past the 2 GiB
+  // loader limit.
+  expect_read_error(track(temp_path("seghdc_absurd.ppm")),
+                    "P6\n65000 65000\n255\n", "exceeds the 2 GiB loader limit");
+}
+
+// --- Comment handling: supported between header tokens, delimiter
+// semantics inside a token, never inside a binary raster. ---
+
+TEST_F(PnmCleanup, CommentDelimitsHeaderToken) {
+  // netpbm semantics: "2#note\n55" is the tokens "2" then "55". The old
+  // parser resumed the token after the comment and read height 255.
+  const auto path = track(temp_path("seghdc_comment_split.pgm"));
+  {
+    std::ofstream out(path);
+    out << "P2\n3 2#trailing note\n255\n1 2 3\n4 5 6\n";
+  }
+  const auto image = read_pnm(path);
+  EXPECT_EQ(image.width(), 3u);
+  EXPECT_EQ(image.height(), 2u);
+  EXPECT_EQ(image.at(2, 1), 6);
+}
+
+TEST_F(PnmCleanup, CommentBetweenMagicAndWidth) {
+  // Where GIMP and ImageMagick actually put their comments.
+  const auto path = track(temp_path("seghdc_comment_gimp.pgm"));
+  {
+    std::ofstream out(path);
+    out << "P2\n# Created by GIMP\n# another line\n2 1\n255\n9 8\n";
+  }
+  const auto image = read_pnm(path);
+  EXPECT_EQ(image.width(), 2u);
+  EXPECT_EQ(image.at(0, 0), 9);
+  EXPECT_EQ(image.at(1, 0), 8);
+}
+
+TEST_F(PnmCleanup, BinaryRasterStartingWithHashByteIsPixelData) {
+  // The raster begins right after the single whitespace terminating the
+  // maxval token (PNM spec), so a first pixel byte of 0x23 ('#') must
+  // round-trip as data — comment stripping applies to header tokens
+  // only. This pins the documented limitation: a comment between maxval
+  // and a binary raster is indistinguishable from pixel data and is NOT
+  // supported.
+  ImageU8 image(4, 2, 1, 0);
+  image(0, 0) = '#';
+  image(1, 0) = '\n';
+  image(2, 0) = '#';
+  const auto path = track(temp_path("seghdc_hash_pixel.pgm"));
+  write_pgm(image, path);
+  EXPECT_EQ(read_pnm(path), image);
+}
+
 }  // namespace
