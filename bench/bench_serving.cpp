@@ -47,14 +47,17 @@
 #include <cstdio>
 #include <exception>
 #include <future>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "src/core/session.hpp"
 #include "src/datasets/dsb2018.hpp"
 #include "src/hdc/simd/backend.hpp"
 #include "src/hdc/simd/cpu_features.hpp"
 #include "src/metrics/segmentation_metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/serve/fleet.hpp"
 #include "src/serve/server.hpp"
 #include "src/util/cli.hpp"
@@ -79,6 +82,7 @@ struct Row {
   std::uint64_t hash = 0;
   bool has_latency = false;
   double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  serve::LatencyPercentiles latency;
 };
 
 /// The fleet bench: N tenants on one shared pool, every tenant fed the
@@ -521,6 +525,25 @@ int main(int argc, char** argv) try {
     hdc::simd::force_backend(backend_flag);
   }
 
+  // --trace <path>: capture every span of the whole bench run (reference
+  // loops included) and export Chrome-trace JSON on the way out — the
+  // artifact tools/trace_lint.py validates in CI.
+  const std::string trace_path = cli.get("trace", "");
+  std::optional<obs::TraceSession> trace;
+  if (!trace_path.empty()) {
+    trace.emplace();
+  }
+  const auto finish = [&](int code) {
+    if (trace.has_value()) {
+      trace->write_json(trace_path);
+      std::printf("trace json -> %s (%zu events, %llu dropped)\n",
+                  trace_path.c_str(), trace->events().size(),
+                  static_cast<unsigned long long>(
+                      obs::Tracer::instance().dropped()));
+    }
+    return code;
+  };
+
   if (cli.get_flag("stream")) {
     std::printf("bench_serving --stream: %zu frames %llux%llu, dim=%zu, "
                 "iterations=%zu, best of %zu repeats\n",
@@ -531,8 +554,8 @@ int main(int argc, char** argv) try {
     std::printf("kernel backend: %s | cpu: %s\n",
                 hdc::simd::active_backend().name,
                 hdc::simd::cpu_feature_string().c_str());
-    return run_stream_bench(cli, config, thread_list, image_count, repeats,
-                            csv);
+    return finish(run_stream_bench(cli, config, thread_list, image_count,
+                                   repeats, csv));
   }
 
   data::Dsb2018Config dataset_config;
@@ -558,8 +581,8 @@ int main(int argc, char** argv) try {
   const auto tenant_count =
       static_cast<std::size_t>(cli.get_int("tenants", 0));
   if (tenant_count > 0) {
-    return run_fleet_bench(cli, config, images, thread_list, queue_list,
-                           tenant_count, repeats, csv);
+    return finish(run_fleet_bench(cli, config, images, thread_list,
+                                  queue_list, tenant_count, repeats, csv));
   }
 
   // Reference: a sequential session loop pins the expected hash.
@@ -632,6 +655,7 @@ int main(int argc, char** argv) try {
           row.p50_ms = stats.latency.p50_seconds * 1e3;
           row.p95_ms = stats.latency.p95_seconds * 1e3;
           row.p99_ms = stats.latency.p99_seconds * 1e3;
+          row.latency = stats.latency;
           last_latency = stats.latency;
         }
       }
@@ -672,7 +696,7 @@ int main(int argc, char** argv) try {
     std::fprintf(stderr,
                  "FAIL: label hashes diverge between the server and "
                  "segment_many paths\n");
-    return 1;
+    return finish(1);
   }
   // Honest window note: percentiles cover the sliding window, the mean
   // covers the lifetime count — say which is which.
@@ -682,7 +706,33 @@ int main(int argc, char** argv) try {
               static_cast<unsigned long long>(last_latency.count));
   std::printf("all label hashes identical across server and barrier "
               "paths at every queue capacity and pool size\n");
-  return 0;
+
+  // Machine-readable headline: the fastest pipelined (server) row, with
+  // that row's own registry-backed latency percentiles.
+  const Row* best = nullptr;
+  double best_ips = 0.0;
+  for (const auto& row : rows) {
+    if (!row.has_latency) {
+      continue;
+    }
+    const double ips = static_cast<double>(images.size()) / row.seconds;
+    if (best == nullptr || ips > best_ips) {
+      best = &row;
+      best_ips = ips;
+    }
+  }
+  if (best != nullptr) {
+    char hash_hex[32];
+    std::snprintf(hash_hex, sizeof hash_hex, "\"%016llx\"",
+                  static_cast<unsigned long long>(expected_hash));
+    bench::write_bench_json(
+        "BENCH_serving.json", "bench_serving", best_ips, best->latency,
+        {{"mode", "\"" + best->name + "\""},
+         {"images", std::to_string(images.size())},
+         {"repeats", std::to_string(repeats)},
+         {"label_hash", hash_hex}});
+  }
+  return finish(0);
 } catch (const std::exception& error) {
   std::fprintf(stderr, "bench_serving failed: %s\n", error.what());
   return 1;

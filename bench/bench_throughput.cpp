@@ -36,11 +36,13 @@
 #include <string>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "src/core/session.hpp"
 #include "src/datasets/dsb2018.hpp"
 #include "src/hdc/simd/backend.hpp"
 #include "src/hdc/simd/cpu_features.hpp"
 #include "src/metrics/segmentation_metrics.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/parallel.hpp"
 #include "src/util/stopwatch.hpp"
@@ -270,6 +272,15 @@ int main(int argc, char** argv) try {
     rows.push_back(row);
   }
 
+  // Per-image latency of the serving baseline, recorded through the
+  // same registry/histogram machinery the server exports — so the
+  // percentiles in BENCH_throughput.json mean the same thing as the
+  // ones in BENCH_serving.json.
+  obs::MetricsRegistry registry;
+  obs::Histogram& per_image_seconds = registry.histogram(
+      "seghdc_bench_image_seconds",
+      "Per-image segment() latency of the sequential session loop", "",
+      images.size() * repeats);
   {
     util::ThreadPool one(1);
     const core::SegHdcSession session(config,
@@ -278,7 +289,9 @@ int main(int argc, char** argv) try {
       std::vector<core::SegmentationResult> results;
       results.reserve(images.size());
       for (const auto& image : images) {
+        const util::Stopwatch image_watch;
         results.push_back(session.segment(image));
+        per_image_seconds.record(image_watch.seconds());
       }
       return results;
     });
@@ -326,6 +339,33 @@ int main(int argc, char** argv) try {
     return 1;
   }
   std::printf("all label hashes identical across modes and thread counts\n");
+
+  // Machine-readable headline: the fastest segment_many row for
+  // throughput, the sequential loop's histogram for per-image latency.
+  const Row* best = nullptr;
+  double best_ips = 0.0;
+  for (const auto& row : rows) {
+    if (row.name.rfind("many@", 0) != 0) {
+      continue;
+    }
+    const double ips = static_cast<double>(images.size()) / row.seconds;
+    if (best == nullptr || ips > best_ips) {
+      best = &row;
+      best_ips = ips;
+    }
+  }
+  if (best != nullptr) {
+    char hash_hex[32];
+    std::snprintf(hash_hex, sizeof hash_hex, "\"%016llx\"",
+                  static_cast<unsigned long long>(expected_hash));
+    bench::write_bench_json(
+        "BENCH_throughput.json", "bench_throughput", best_ips,
+        per_image_seconds.percentiles(),
+        {{"mode", "\"" + best->name + "\""},
+         {"images", std::to_string(images.size())},
+         {"repeats", std::to_string(repeats)},
+         {"label_hash", hash_hex}});
+  }
   return 0;
 } catch (const std::exception& error) {
   std::fprintf(stderr, "bench_throughput failed: %s\n", error.what());

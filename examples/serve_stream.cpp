@@ -7,6 +7,12 @@
 //
 //   ./serve_stream [--frames 24] [--width 96] [--height 72]
 //                  [--dim 1000] [--threads 4] [--queue 8] [--keep]
+//                  [--trace stream.json]
+//
+// --trace captures a span timeline of the whole run (queue waits,
+// encode bands, K-Means iterations, tile-reuse decisions) and writes
+// Chrome-trace JSON — drop it on https://ui.perfetto.dev to see where
+// each frame spent its time.
 //
 // The feed is a static prefix (a parked camera), a slow pan, then a
 // static tail — the shape warm-start is built for. A cold per-frame
@@ -20,12 +26,14 @@
 #include <exception>
 #include <filesystem>
 #include <future>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/core/session.hpp"
 #include "src/imaging/pnm.hpp"
 #include "src/metrics/segmentation_metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/serve/server.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/parallel.hpp"
@@ -74,6 +82,14 @@ int main(int argc, char** argv) try {
   const auto width = static_cast<std::size_t>(cli.get_int("width", 96));
   const auto height = static_cast<std::size_t>(cli.get_int("height", 72));
   const bool keep = cli.get_flag("keep");
+
+  // --trace <path>: record spans for the whole run (cold loop included)
+  // and export Chrome-trace JSON before exiting.
+  const std::string trace_path = cli.get("trace", "");
+  std::optional<seghdc::obs::TraceSession> trace;
+  if (!trace_path.empty()) {
+    trace.emplace();
+  }
 
   seghdc::core::SegHdcConfig config;
   config.dim = static_cast<std::size_t>(cli.get_int("dim", 1000));
@@ -179,6 +195,12 @@ int main(int argc, char** argv) try {
     std::printf("frames kept in %s\n", dir.string().c_str());
   } else {
     fs::remove_all(dir);
+  }
+  if (trace.has_value()) {
+    trace->write_json(trace_path);
+    std::printf("trace json -> %s (%zu events) — open in "
+                "https://ui.perfetto.dev\n",
+                trace_path.c_str(), trace->events().size());
   }
   return frame0_matches ? 0 : 1;
 } catch (const std::exception& error) {

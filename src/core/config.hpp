@@ -143,6 +143,13 @@ struct SegHdcConfig {
   /// height means one band, i.e. the untiled serial scan. A performance
   /// knob, never a semantics knob.
   std::size_t tile_rows = 0;
+  /// Forces the process-wide span tracer (src/obs/trace.hpp) on when a
+  /// session/pipeline is constructed with this config. false (the
+  /// default) defers to the SEGHDC_TRACE environment variable ("1" =
+  /// on, "0"/unset = leave off, anything else is a hard error). Tracing
+  /// is purely observational: labels are bit-identical with it on or
+  /// off, at every backend and pool size.
+  bool trace = false;
   /// SIMD kernel-backend override (src/hdc/simd/): "" leaves the
   /// process-wide selection alone (SEGHDC_KERNEL_BACKEND environment
   /// variable, else automatic CPU detection); otherwise a registered

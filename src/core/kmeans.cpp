@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "src/obs/trace.hpp"
 #include "src/util/contracts.hpp"
 #include "src/util/parallel.hpp"
 
@@ -150,6 +151,7 @@ HvKMeansResult HvKMeans::run_impl(
   std::vector<std::span<const std::uint64_t>> binary_centroid_rows(k);
 
   for (std::size_t iter = 0; iter < config_.iterations; ++iter) {
+    const obs::SpanScope iter_span("kmeans_iter", "core", "iter", iter);
     if (config_.distance == ClusterDistance::kHamming) {
       for (std::size_t c = 0; c < k; ++c) {
         const auto majority = result.centroids[c].to_majority();

@@ -19,6 +19,7 @@
 #include "src/hdc/fault.hpp"
 #include "src/hdc/simd/backend.hpp"
 #include "src/imaging/color.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/contracts.hpp"
 #include "src/util/stopwatch.hpp"
 
@@ -275,6 +276,11 @@ SegHdcSession::SegHdcSession(const SegHdcConfig& config,
   if (!config_.kernel_backend.empty()) {
     hdc::simd::force_backend(config_.kernel_backend);
   }
+  // Tracing opt-in plumbing, same shape as the backend override: the
+  // config can force the process-wide tracer on, otherwise SEGHDC_TRACE
+  // is consulted (hard error on malformed values). Observational only —
+  // results are bit-identical either way.
+  obs::apply_trace_config(config_.trace);
   // Tile-rows resolution order: explicit config value, else the
   // SEGHDC_TILE_ROWS environment variable (read once here), else 0 =
   // auto-sized per image from the pool. Purely a performance knob —
@@ -512,6 +518,7 @@ EncodedImage SegHdcSession::encode_impl(const img::ImageU8& image,
     pool().parallel_for(
         0, tile_count,
         [&](std::size_t t) {
+          const obs::SpanScope span("encode_band", "core", "band", t);
           auto& tile = scratch.tiles[t];
           const std::size_t y_begin = t * tile_rows;
           const std::size_t y_end = std::min(height, y_begin + tile_rows);
@@ -701,18 +708,23 @@ SegmentationResult SegHdcSession::finalize_impl(
       .pool = pool_,
   });
   HvKMeansResult clustering;
-  if (!options.warm_centroids.empty()) {
-    // Warm start (stream path): seed from the previous frame's majority
-    // centroids — the seed-selection scan is skipped entirely.
-    clustering = kmeans.run_from_centroids(encoded.unique_hvs,
-                                           encoded.weights,
-                                           options.warm_centroids);
-  } else {
-    // Initial centroids: pixels with the largest color difference
-    // (Section III-④).
-    const auto seeds = largest_color_difference_seeds(
-        encoded.intensities, config_.clusters);
-    clustering = kmeans.run(encoded.unique_hvs, encoded.weights, seeds);
+  {
+    obs::SpanScope span("kmeans", "core", "unique_points",
+                        encoded.unique_hvs.size());
+    if (!options.warm_centroids.empty()) {
+      // Warm start (stream path): seed from the previous frame's majority
+      // centroids — the seed-selection scan is skipped entirely.
+      clustering = kmeans.run_from_centroids(encoded.unique_hvs,
+                                             encoded.weights,
+                                             options.warm_centroids);
+      span.arg("warm", 1);
+    } else {
+      // Initial centroids: pixels with the largest color difference
+      // (Section III-④).
+      const auto seeds = largest_color_difference_seeds(
+          encoded.intensities, config_.clusters);
+      clustering = kmeans.run(encoded.unique_hvs, encoded.weights, seeds);
+    }
   }
   result.timings.cluster_seconds = phase_watch.seconds();
 
@@ -725,15 +737,18 @@ SegmentationResult SegHdcSession::finalize_impl(
   }
 
   // --- Label map + per-cluster pixel counts. ---
-  result.labels = img::LabelMap(encoded.width, encoded.height, 1, 0);
-  result.cluster_pixel_counts.assign(config_.clusters, 0);
-  for (std::size_t y = 0; y < encoded.height; ++y) {
-    for (std::size_t x = 0; x < encoded.width; ++x) {
-      const std::uint32_t unique =
-          encoded.pixel_to_unique[y * encoded.width + x];
-      const std::uint32_t label = clustering.assignment[unique];
-      result.labels(x, y) = label;
-      ++result.cluster_pixel_counts[label];
+  {
+    const obs::SpanScope label_span("label_map", "core");
+    result.labels = img::LabelMap(encoded.width, encoded.height, 1, 0);
+    result.cluster_pixel_counts.assign(config_.clusters, 0);
+    for (std::size_t y = 0; y < encoded.height; ++y) {
+      for (std::size_t x = 0; x < encoded.width; ++x) {
+        const std::uint32_t unique =
+            encoded.pixel_to_unique[y * encoded.width + x];
+        const std::uint32_t label = clustering.assignment[unique];
+        result.labels(x, y) = label;
+        ++result.cluster_pixel_counts[label];
+      }
     }
   }
 
@@ -834,6 +849,8 @@ StreamFrameResult SegHdcSession::segment_stream(const img::ImageU8& frame,
   // so a frame byte-identical to its predecessor replays the cached
   // result — bit-for-bit equal labels with zero pipeline work.
   if (s.has_result && s.has_prev && frame == s.prev_frame) {
+    const obs::SpanScope span("stream_replay", "stream", "frame",
+                              s.frame_index);
     stats.warm = true;
     stats.replayed = true;
     stats.tiles_total = band_cache_active ? s.tile_count : 0;
@@ -912,6 +929,7 @@ EncodedImage SegHdcSession::encode_stream_impl(const img::ImageU8& image,
   pool().parallel_for(
       0, tile_count,
       [&](std::size_t t) {
+        obs::SpanScope span("band_reuse_check", "stream", "band", t);
         auto& band = stream.bands[t];
         const std::size_t y_begin = t * tile_rows;
         const std::size_t y_end = std::min(height, y_begin + tile_rows);
@@ -923,8 +941,10 @@ EncodedImage SegHdcSession::encode_stream_impl(const img::ImageU8& image,
             std::memcmp(bytes, stream.prev_frame.data() + byte_begin,
                         byte_count) == 0) {
           reused[t] = 1;
+          span.arg("reused", 1);
           return;
         }
+        span.arg("reused", 0);
         band.hash = hash;
         band.valid = false;  // until the HVs are rebuilt in phase S2
         band.key_to_local.clear();

@@ -17,10 +17,47 @@ FleetOptions validate_options(FleetOptions options) {
 
 }  // namespace
 
+std::string SegHdcFleet::Tenant::label_for(const std::string& name) {
+  std::string value;
+  value.reserve(name.size());
+  for (const char c : name) {
+    if (c == '\\' || c == '"') {
+      value.push_back('\\');
+    }
+    value.push_back(c);
+  }
+  return "tenant=\"" + value + "\"";
+}
+
+SegHdcFleet::Tenant::Tenant(std::string tenant_name,
+                            const TenantOptions& tenant_options)
+    : name(std::move(tenant_name)),
+      options(tenant_options),
+      pending(tenant_options.max_queued),
+      in_flight(tenant_options.max_in_flight),
+      accepted(gate_metrics.counter(
+          "seghdc_fleet_accepted_total",
+          "Requests accepted into the tenant's pending queue",
+          label_for(name))),
+      rejected(gate_metrics.counter(
+          "seghdc_fleet_rejected_total",
+          "Requests refused by the tenant's kReject admission",
+          label_for(name))),
+      dispatched(gate_metrics.counter(
+          "seghdc_fleet_dispatched_total",
+          "Requests forwarded to the tenant's server", label_for(name))),
+      cancelled_at_gate(gate_metrics.counter(
+          "seghdc_fleet_cancelled_at_gate_total",
+          "Pending requests failed by retire(kCancel) before dispatch",
+          label_for(name))) {}
+
 SegHdcFleet::SegHdcFleet(const FleetOptions& options)
     : options_(validate_options(options)),
       total_in_flight_(options_.max_in_flight_total),
-      latency_(options_.latency_window) {
+      latency_(metrics_.histogram(
+          "seghdc_fleet_latency_seconds",
+          "Admission-to-done latency across all tenants", "",
+          options_.latency_window)) {
   dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
 
@@ -112,7 +149,7 @@ std::future<core::SegmentationResult> SegHdcFleet::submit(
       case util::QueuePush::kOk:
         break;
       case util::QueuePush::kFull:
-        tenant->rejected.fetch_add(1, std::memory_order_relaxed);
+        tenant->rejected.add();
         throw RejectedError("SegHdcFleet tenant '" + tenant_name +
                             "' admission queue full");
       case util::QueuePush::kClosed:
@@ -126,7 +163,7 @@ std::future<core::SegmentationResult> SegHdcFleet::submit(
     throw ShutdownError("SegHdcFleet tenant '" + tenant_name +
                         "' is retired");
   }
-  tenant->accepted.fetch_add(1, std::memory_order_relaxed);
+  tenant->accepted.add();
   notify_progress();
   return future;
 }
@@ -162,7 +199,7 @@ bool SegHdcFleet::dispatch_one_locked() {
         total_in_flight_.release();
         break;  // nothing pending for this tenant
       }
-      tenant->dispatched.fetch_add(1, std::memory_order_relaxed);
+      tenant->dispatched.add();
       // on_done fires exactly once per request — success, stage failure,
       // and server-side cancellation alike — so the quota slots always
       // come back and the dispatcher (plus any retire waiter) wakes.
@@ -249,7 +286,7 @@ void SegHdcFleet::retire_tenant(const std::string& name, ShutdownMode mode) {
     }
   }
   for (auto& request : dropped) {
-    tenant->cancelled_at_gate.fetch_add(1, std::memory_order_relaxed);
+    tenant->cancelled_at_gate.add();
     request.promise.set_exception(std::make_exception_ptr(CancelledError()));
   }
   // Outside the fleet lock: draining/cancelling the tenant's server can
@@ -289,11 +326,10 @@ TenantStats SegHdcFleet::tenant_stats_unlocked(const Tenant& tenant) const {
   TenantStats stats;
   stats.name = tenant.name;
   stats.retiring = tenant.retiring.load(std::memory_order_acquire);
-  stats.accepted = tenant.accepted.load(std::memory_order_relaxed);
-  stats.rejected = tenant.rejected.load(std::memory_order_relaxed);
-  stats.dispatched = tenant.dispatched.load(std::memory_order_relaxed);
-  stats.cancelled_at_gate =
-      tenant.cancelled_at_gate.load(std::memory_order_relaxed);
+  stats.accepted = tenant.accepted.value();
+  stats.rejected = tenant.rejected.value();
+  stats.dispatched = tenant.dispatched.value();
+  stats.cancelled_at_gate = tenant.cancelled_at_gate.value();
   stats.pending = tenant.pending.size();
   stats.in_flight = tenant.in_flight.in_use();
   stats.server = tenant.server->stats();
@@ -329,7 +365,7 @@ FleetStats SegHdcFleet::stats() const {
       stats.uptime_seconds > 0.0
           ? static_cast<double>(stats.completed) / stats.uptime_seconds
           : 0.0;
-  stats.latency = latency_.snapshot();
+  stats.latency = latency_.percentiles();
   return stats;
 }
 

@@ -57,6 +57,7 @@
 
 #include "src/core/config.hpp"
 #include "src/imaging/image.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/serve/server.hpp"
 #include "src/serve/stats.hpp"
 #include "src/util/admission_gate.hpp"
@@ -216,6 +217,14 @@ class SegHdcFleet {
   /// One tenant's snapshot (UnknownTenantError when absent).
   TenantStats tenant_stats(const std::string& name) const;
 
+  /// The fleet-wide metric registry (the admission-to-done latency
+  /// histogram spanning every tenant). Per-tenant gate counters live in
+  /// each tenant's own registry (rendered with a `tenant="..."` label)
+  /// and leave the fleet with the tenant; per-server metrics are at
+  /// tenant_server.metrics().
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   /// A request admitted at the fleet gate, waiting for dispatch. The
   /// stopwatch starts at admission, so latency covers gate wait.
@@ -231,17 +240,21 @@ class SegHdcFleet {
     util::BoundedQueue<PendingRequest> pending;
     util::AdmissionGate in_flight;
     std::unique_ptr<SegHdcServer> server;
-    std::atomic<std::uint64_t> accepted{0};
-    std::atomic<std::uint64_t> rejected{0};
-    std::atomic<std::uint64_t> dispatched{0};
-    std::atomic<std::uint64_t> cancelled_at_gate{0};
+    /// Fleet-gate counters live in a registry OWNED BY THE TENANT, not
+    /// the fleet's: a retired tenant takes its counters with it, so a
+    /// later add_tenant under the same name starts from zero instead of
+    /// resurrecting stale values through the registry's get-or-create.
+    obs::MetricsRegistry gate_metrics;
+    obs::Counter& accepted;
+    obs::Counter& rejected;
+    obs::Counter& dispatched;
+    obs::Counter& cancelled_at_gate;
     std::atomic<bool> retiring{false};
 
-    Tenant(std::string tenant_name, const TenantOptions& tenant_options)
-        : name(std::move(tenant_name)),
-          options(tenant_options),
-          pending(tenant_options.max_queued),
-          in_flight(tenant_options.max_in_flight) {}
+    Tenant(std::string tenant_name, const TenantOptions& tenant_options);
+    /// `tenant="<name>"` with backslash and quote escaped, so arbitrary
+    /// tenant names render as valid Prometheus label values.
+    static std::string label_for(const std::string& name);
   };
 
   std::shared_ptr<Tenant> find_tenant(const std::string& name) const;
@@ -259,7 +272,10 @@ class SegHdcFleet {
   FleetOptions options_;
   util::Stopwatch uptime_;
   util::AdmissionGate total_in_flight_;
-  LatencyRecorder latency_;
+  /// Fleet-wide registry; `latency_` is its admission-to-done histogram
+  /// (every tenant's completions, gate wait included).
+  obs::MetricsRegistry metrics_;
+  obs::Histogram& latency_;
 
   mutable std::mutex mutex_;  ///< guards tenants_, rotation, stopping_
   std::condition_variable progress_;

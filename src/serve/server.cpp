@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/obs/trace.hpp"
+
 namespace seghdc::serve {
 
 namespace {
@@ -56,7 +58,50 @@ SegHdcServer::SegHdcServer(const core::SegHdcConfig& config,
       // the stage busy, small enough that a slow cluster stage promptly
       // backpressures the encode stage instead of buffering the batch.
       encoded_queue_(std::max<std::size_t>(1, options_.cluster_workers * 2)),
-      latency_(options_.latency_window) {
+      latency_(metrics_.histogram(
+          "seghdc_request_latency_seconds",
+          "Submit-to-completion wall latency of completed requests", "",
+          options_.latency_window)),
+      encode_stage_seconds_(metrics_.histogram(
+          "seghdc_stage_encode_seconds",
+          "Encode-stage compute time per request", "",
+          options_.latency_window)),
+      cluster_stage_seconds_(metrics_.histogram(
+          "seghdc_stage_cluster_seconds",
+          "Cluster+finalize stage compute time per request", "",
+          options_.latency_window)),
+      submitted_(metrics_.counter("seghdc_requests_submitted_total",
+                                  "Requests accepted into the submit queue")),
+      completed_(metrics_.counter("seghdc_requests_completed_total",
+                                  "Results delivered (future or sink set)")),
+      rejected_(metrics_.counter("seghdc_requests_rejected_total",
+                                 "Requests refused by kReject backpressure")),
+      cancelled_(metrics_.counter("seghdc_requests_cancelled_total",
+                                  "Requests failed by shutdown(kCancel)")),
+      failed_(metrics_.counter("seghdc_requests_failed_total",
+                               "Requests whose stage threw")),
+      queue_depth_(metrics_.gauge("seghdc_queue_depth",
+                                  "Requests waiting in the submit queue")),
+      in_flight_(metrics_.gauge(
+          "seghdc_in_flight",
+          "Requests popped by a stage and not yet completed")),
+      stream_frames_(metrics_.counter("seghdc_stream_frames_total",
+                                      "Stream frames completed")),
+      stream_warm_frames_(metrics_.counter(
+          "seghdc_stream_warm_frames_total",
+          "Stream frames seeded from previous-frame centroids")),
+      stream_replayed_frames_(metrics_.counter(
+          "seghdc_stream_replayed_frames_total",
+          "Byte-identical stream frames replayed from cache")),
+      stream_tiles_reused_(metrics_.counter(
+          "seghdc_stream_tiles_reused_total",
+          "Row bands served from the stream band cache")),
+      stream_tiles_encoded_(metrics_.counter(
+          "seghdc_stream_tiles_encoded_total",
+          "Row bands re-encoded on stream frames")),
+      stream_kmeans_iterations_(metrics_.counter(
+          "seghdc_stream_kmeans_iterations_total",
+          "K-Means iterations actually run on stream frames")) {
   encode_threads_.reserve(options_.encode_workers);
   cluster_threads_.reserve(options_.cluster_workers);
   live_encoders_.store(options_.encode_workers, std::memory_order_relaxed);
@@ -119,6 +164,10 @@ std::future<core::StreamFrameResult> SegHdcServer::submit(
   request.stream.emplace();
   request.stream->stream = shared;
   request.stream->seq = shared->next_submit_seq;
+  request.stream->trace_id =
+      next_trace_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const obs::SpanScope span("submit", "serve", "req",
+                            request.stream->trace_id);
   std::future<core::StreamFrameResult> future =
       request.stream->promise.get_future();
   if (options_.backpressure == BackpressurePolicy::kReject) {
@@ -126,7 +175,7 @@ std::future<core::StreamFrameResult> SegHdcServer::submit(
       case util::QueuePush::kOk:
         break;
       case util::QueuePush::kFull:
-        rejected_.fetch_add(1, std::memory_order_relaxed);
+        rejected_.add();
         throw RejectedError();
       case util::QueuePush::kClosed:
         throw ShutdownError();
@@ -135,7 +184,8 @@ std::future<core::StreamFrameResult> SegHdcServer::submit(
     throw ShutdownError();
   }
   ++shared->next_submit_seq;
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  submitted_.add();
+  queue_depth_.set(static_cast<std::int64_t>(submit_queue_.size()));
   return future;
 }
 
@@ -145,13 +195,16 @@ std::future<core::SegmentationResult> SegHdcServer::enqueue(
   if (completion.use_promise && !completion.future_taken) {
     future = completion.promise.get_future();
   }
+  completion.trace_id =
+      next_trace_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const obs::SpanScope span("submit", "serve", "req", completion.trace_id);
   Request request{std::move(image), std::move(completion)};
   if (options_.backpressure == BackpressurePolicy::kReject) {
     switch (submit_queue_.try_push(request)) {
       case util::QueuePush::kOk:
         break;
       case util::QueuePush::kFull:
-        rejected_.fetch_add(1, std::memory_order_relaxed);
+        rejected_.add();
         throw RejectedError();
       case util::QueuePush::kClosed:
         throw ShutdownError();
@@ -159,7 +212,8 @@ std::future<core::SegmentationResult> SegHdcServer::enqueue(
   } else if (!submit_queue_.push(request)) {
     throw ShutdownError();
   }
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  submitted_.add();
+  queue_depth_.set(static_cast<std::int64_t>(submit_queue_.size()));
   return future;
 }
 
@@ -170,7 +224,7 @@ void SegHdcServer::deliver(Completion&& completion,
   // on_done hook keeps books too (its latency recorder, quota slots) —
   // same rule, so it fires before the promise as well.
   latency_.record(completion.accepted.seconds());
-  completed_.fetch_add(1, std::memory_order_relaxed);
+  completed_.add();
   if (completion.on_done) {
     completion.on_done();
   }
@@ -191,8 +245,8 @@ void SegHdcServer::deliver(Completion&& completion,
 }
 
 void SegHdcServer::fail(Completion&& completion, std::exception_ptr error,
-                        std::atomic<std::uint64_t>& counter) {
-  counter.fetch_add(1, std::memory_order_relaxed);
+                        obs::Counter& counter) {
+  counter.add();
   // Callback sinks are success-only by contract; a failed or cancelled
   // sink request is dropped. The fleet's on_done hook fires on every
   // outcome, though — quota slots must come back even for failures —
@@ -213,27 +267,37 @@ void SegHdcServer::encode_loop() {
     if (!request) {
       break;  // closed and drained
     }
-    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    queue_depth_.set(static_cast<std::int64_t>(submit_queue_.size()));
+    in_flight_.add();
     if (request->stream.has_value()) {
       // Stream frames are stage-fused here: the next frame's encode
       // depends on this frame's clustering (band caches AND centroids),
       // so splitting the stages buys no overlap within a stream. Other
       // streams and batch requests overlap with it on other workers.
       process_stream_frame(std::move(*request));
-      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      in_flight_.sub();
       continue;
     }
+    // Queue wait, reconstructed from the admission stopwatch: the span
+    // ends at the pop, so it covers submit -> this worker (including
+    // any fleet-gate wait upstream of this server).
+    obs::emit_complete("queue_wait", "serve",
+                       request->completion.accepted.seconds(), "req",
+                       request->completion.trace_id);
     EncodedJob job;
     job.completion = std::move(request->completion);
     bool encoded_ok = true;
     const util::Stopwatch encode_watch;
     try {
+      const obs::SpanScope span("encode", "serve", "req",
+                                job.completion.trace_id);
       job.encoded = session_.encode(request->image, scratch);
       job.encode_seconds = encode_watch.seconds();
+      encode_stage_seconds_.record(job.encode_seconds);
     } catch (...) {
       encoded_ok = false;
       fail(std::move(job.completion), std::current_exception(), failed_);
-      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      in_flight_.sub();
     }
     if (!encoded_ok) {
       continue;
@@ -245,7 +309,7 @@ void SegHdcServer::encode_loop() {
       // CancelledError to match the cancelled_ counter it pairs with.
       fail(std::move(job.completion),
            std::make_exception_ptr(CancelledError()), cancelled_);
-      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      in_flight_.sub();
     }
   }
   // Last encoder out closes the stage hand-off so the cluster workers
@@ -266,29 +330,36 @@ void SegHdcServer::process_stream_frame(Request&& request) {
   std::unique_lock<std::mutex> lock(shared->run_mutex);
   shared->run_cv.wait(lock,
                       [&] { return shared->next_run_seq == job.seq; });
+  // The turn wait doubles as queue wait for stream frames: both end the
+  // moment the frame may actually run.
+  obs::emit_complete("queue_wait", "serve", job.accepted.seconds(), "req",
+                     job.trace_id);
   try {
-    core::StreamFrameResult frame =
-        session_.segment_stream(request.image, shared->stream);
+    core::StreamFrameResult frame;
+    {
+      const obs::SpanScope span("stream_frame", "serve", "req",
+                                job.trace_id);
+      frame = session_.segment_stream(request.image, shared->stream);
+    }
     ++shared->next_run_seq;
     lock.unlock();
     shared->run_cv.notify_all();
     // Counters before the promise, like deliver(): a caller woken by
     // future.get() sees its own frame in the stats.
     latency_.record(job.accepted.seconds());
-    completed_.fetch_add(1, std::memory_order_relaxed);
-    stream_frames_.fetch_add(1, std::memory_order_relaxed);
+    encode_stage_seconds_.record(frame.result.timings.encode_seconds);
+    cluster_stage_seconds_.record(frame.result.timings.cluster_seconds);
+    completed_.add();
+    stream_frames_.add();
     if (frame.stats.warm) {
-      stream_warm_frames_.fetch_add(1, std::memory_order_relaxed);
+      stream_warm_frames_.add();
     }
     if (frame.stats.replayed) {
-      stream_replayed_frames_.fetch_add(1, std::memory_order_relaxed);
+      stream_replayed_frames_.add();
     }
-    stream_tiles_reused_.fetch_add(frame.stats.tiles_reused,
-                                   std::memory_order_relaxed);
-    stream_tiles_encoded_.fetch_add(frame.stats.tiles_encoded,
-                                    std::memory_order_relaxed);
-    stream_kmeans_iterations_.fetch_add(frame.stats.kmeans_iterations,
-                                        std::memory_order_relaxed);
+    stream_tiles_reused_.add(frame.stats.tiles_reused);
+    stream_tiles_encoded_.add(frame.stats.tiles_encoded);
+    stream_kmeans_iterations_.add(frame.stats.kmeans_iterations);
     job.promise.set_value(std::move(frame));
   } catch (...) {
     // The turn advances on failure too — a dead frame must not wedge
@@ -296,7 +367,7 @@ void SegHdcServer::process_stream_frame(Request&& request) {
     ++shared->next_run_seq;
     lock.unlock();
     shared->run_cv.notify_all();
-    failed_.fetch_add(1, std::memory_order_relaxed);
+    failed_.add();
     job.promise.set_exception(std::current_exception());
   }
 }
@@ -314,7 +385,7 @@ void SegHdcServer::cancel_stream_frame(StreamJob&& job) {
     ++shared->next_run_seq;
   }
   shared->run_cv.notify_all();
-  cancelled_.fetch_add(1, std::memory_order_relaxed);
+  cancelled_.add();
   job.promise.set_exception(std::make_exception_ptr(CancelledError()));
 }
 
@@ -325,8 +396,14 @@ void SegHdcServer::cluster_loop() {
       break;  // closed and drained
     }
     try {
-      core::SegmentationResult result =
-          session_.cluster_and_finalize(std::move(job->encoded));
+      const util::Stopwatch cluster_watch;
+      core::SegmentationResult result;
+      {
+        const obs::SpanScope span("cluster_finalize", "serve", "req",
+                                  job->completion.trace_id);
+        result = session_.cluster_and_finalize(std::move(job->encoded));
+      }
+      cluster_stage_seconds_.record(cluster_watch.seconds());
       // Stage-true timings: the encode stage measured itself, finalize
       // set total_seconds to its whole stage (K-Means + label map +
       // margins); their sum is pipeline compute, not queue wait (the
@@ -337,7 +414,7 @@ void SegHdcServer::cluster_loop() {
     } catch (...) {
       fail(std::move(job->completion), std::current_exception(), failed_);
     }
-    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    in_flight_.sub();
   }
 }
 
@@ -369,31 +446,29 @@ void SegHdcServer::shutdown(ShutdownMode mode) {
 }
 
 ServerStats SegHdcServer::stats() const {
+  // A view assembled from the metrics registry: every field below is
+  // also visible (with history) through metrics().render().
   ServerStats stats;
-  stats.submitted = submitted_.load(std::memory_order_relaxed);
-  stats.completed = completed_.load(std::memory_order_relaxed);
-  stats.rejected = rejected_.load(std::memory_order_relaxed);
-  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
-  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.submitted = submitted_.value();
+  stats.completed = completed_.value();
+  stats.rejected = rejected_.value();
+  stats.cancelled = cancelled_.value();
+  stats.failed = failed_.value();
   stats.queued = submit_queue_.size();
-  stats.in_flight = in_flight_.load(std::memory_order_relaxed);
+  stats.in_flight = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0, in_flight_.value()));
   stats.uptime_seconds = uptime_.seconds();
   stats.throughput_images_per_sec =
       stats.uptime_seconds > 0.0
           ? static_cast<double>(stats.completed) / stats.uptime_seconds
           : 0.0;
-  stats.latency = latency_.snapshot();
-  stats.stream.frames = stream_frames_.load(std::memory_order_relaxed);
-  stats.stream.warm_frames =
-      stream_warm_frames_.load(std::memory_order_relaxed);
-  stats.stream.replayed_frames =
-      stream_replayed_frames_.load(std::memory_order_relaxed);
-  stats.stream.tiles_reused =
-      stream_tiles_reused_.load(std::memory_order_relaxed);
-  stats.stream.tiles_encoded =
-      stream_tiles_encoded_.load(std::memory_order_relaxed);
-  stats.stream.kmeans_iterations =
-      stream_kmeans_iterations_.load(std::memory_order_relaxed);
+  stats.latency = latency_.percentiles();
+  stats.stream.frames = stream_frames_.value();
+  stats.stream.warm_frames = stream_warm_frames_.value();
+  stats.stream.replayed_frames = stream_replayed_frames_.value();
+  stats.stream.tiles_reused = stream_tiles_reused_.value();
+  stats.stream.tiles_encoded = stream_tiles_encoded_.value();
+  stats.stream.kmeans_iterations = stream_kmeans_iterations_.value();
   return stats;
 }
 

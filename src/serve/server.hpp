@@ -50,6 +50,7 @@
 
 #include "src/core/session.hpp"
 #include "src/imaging/image.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/serve/stats.hpp"
 #include "src/util/bounded_queue.hpp"
 #include "src/util/parallel.hpp"
@@ -216,9 +217,18 @@ class SegHdcServer {
   /// mode wins, later calls just wait for the stop to finish.
   void shutdown(ShutdownMode mode = ShutdownMode::kDrain);
 
-  /// Counter + latency snapshot (see ServerStats). Safe to call from
-  /// any thread at any time, including after shutdown.
+  /// Counter + latency snapshot (see ServerStats) — a view assembled
+  /// from the metrics registry. Safe to call from any thread at any
+  /// time, including after shutdown.
   ServerStats stats() const;
+
+  /// The server's metric registry (request counters, queue-depth and
+  /// in-flight gauges, latency + per-stage histograms). render() gives
+  /// the Prometheus text exposition; handles obtained from it stay
+  /// valid for the server's lifetime. Mutable access is deliberate:
+  /// callers may register their own metrics next to the server's.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
 
   /// The underlying session — read-only access for diagnostics
   /// (encoder_states_built, tile_rows_override).
@@ -238,6 +248,7 @@ class SegHdcServer {
     /// already retrieved at admission; enqueue must not get_future again.
     bool future_taken = false;
     util::Stopwatch accepted;  ///< starts the submit-to-done latency clock
+    std::uint64_t trace_id = 0;  ///< per-request id threaded through spans
   };
   /// A stream frame in flight: which stream, its turn number, and its
   /// own promise (stream results carry StreamFrameStats, so they do not
@@ -247,6 +258,7 @@ class SegHdcServer {
     std::uint64_t seq = 0;
     std::promise<core::StreamFrameResult> promise;
     util::Stopwatch accepted;
+    std::uint64_t trace_id = 0;
   };
   struct Request {
     img::ImageU8 image;
@@ -274,7 +286,7 @@ class SegHdcServer {
   void cancel_stream_frame(StreamJob&& job);
   void deliver(Completion&& completion, core::SegmentationResult&& result);
   void fail(Completion&& completion, std::exception_ptr error,
-            std::atomic<std::uint64_t>& counter);
+            obs::Counter& counter);
 
   core::SegHdcSession session_;
   ServerOptions options_;
@@ -288,21 +300,33 @@ class SegHdcServer {
   std::vector<std::thread> cluster_threads_;
   std::atomic<std::size_t> live_encoders_{0};
 
-  LatencyRecorder latency_;
+  /// The single source of truth for every server counter: ServerStats
+  /// is assembled from these handles, and metrics().render() exposes
+  /// the same values as Prometheus text. The handles are registry-owned
+  /// atomics, so the hot-path cost equals the raw atomic members they
+  /// replaced. Declared after options_ (the latency window) and
+  /// initialized in the constructor's init list.
+  obs::MetricsRegistry metrics_;
+  obs::Histogram& latency_;
+  obs::Histogram& encode_stage_seconds_;
+  obs::Histogram& cluster_stage_seconds_;
+  obs::Counter& submitted_;
+  obs::Counter& completed_;
+  obs::Counter& rejected_;
+  obs::Counter& cancelled_;
+  obs::Counter& failed_;
+  obs::Gauge& queue_depth_;
+  obs::Gauge& in_flight_;
   // Stream-path breakdown (see StreamServingStats); stream frames also
-  // move the request counters below.
-  std::atomic<std::uint64_t> stream_frames_{0};
-  std::atomic<std::uint64_t> stream_warm_frames_{0};
-  std::atomic<std::uint64_t> stream_replayed_frames_{0};
-  std::atomic<std::uint64_t> stream_tiles_reused_{0};
-  std::atomic<std::uint64_t> stream_tiles_encoded_{0};
-  std::atomic<std::uint64_t> stream_kmeans_iterations_{0};
-  std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> completed_{0};
-  std::atomic<std::uint64_t> rejected_{0};
-  std::atomic<std::uint64_t> cancelled_{0};
-  std::atomic<std::uint64_t> failed_{0};
-  std::atomic<std::size_t> in_flight_{0};
+  // move the request counters above.
+  obs::Counter& stream_frames_;
+  obs::Counter& stream_warm_frames_;
+  obs::Counter& stream_replayed_frames_;
+  obs::Counter& stream_tiles_reused_;
+  obs::Counter& stream_tiles_encoded_;
+  obs::Counter& stream_kmeans_iterations_;
+  /// Per-request trace ids (span correlation only, no semantics).
+  std::atomic<std::uint64_t> next_trace_id_{0};
 
   std::mutex sink_mutex_;      ///< serialises callback-sink invocations
   std::mutex shutdown_mutex_;  ///< one thread performs the join

@@ -1,70 +1,22 @@
-// Serving observability: per-request latency recording and the
-// ServerStats snapshot SegHdcServer exposes. Kept separate from the
-// server so the percentile math is testable against known sequences
-// without spinning up a pipeline.
+// Serving stats snapshots: the ServerStats view SegHdcServer exposes
+// over its obs::MetricsRegistry. The percentile machinery
+// (LatencyPercentiles, LatencyRecorder, percentile_nearest_rank) lives
+// in src/obs/metrics.hpp now — sliding-window percentile math is
+// generic observability, shared with obs::Histogram — and is re-exported
+// here under the historical serve:: names.
 #ifndef SEGHDC_SERVE_STATS_HPP
 #define SEGHDC_SERVE_STATS_HPP
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
-#include <span>
-#include <vector>
+
+#include "src/obs/metrics.hpp"
 
 namespace seghdc::serve {
 
-/// Latency percentiles over a set of samples, in seconds. All zero when
-/// no sample was recorded.
-///
-/// Two sample counts on purpose: `count` is every sample ever recorded
-/// (what `mean_seconds` covers), `window_count` is how many of them are
-/// still in the sliding window (what min/max/p50/p95/p99 cover). They
-/// are equal until the recorder's window wraps; after that, reading the
-/// percentiles as if they covered `count` samples overstates their
-/// support — display code must cite `window_count` next to percentiles.
-struct LatencyPercentiles {
-  std::uint64_t count = 0;         ///< lifetime samples (mean covers these)
-  std::uint64_t window_count = 0;  ///< samples behind min/max/percentiles
-  double min_seconds = 0.0;
-  double max_seconds = 0.0;
-  double mean_seconds = 0.0;
-  double p50_seconds = 0.0;
-  double p95_seconds = 0.0;
-  double p99_seconds = 0.0;
-};
-
-/// Nearest-rank percentile: the ceil(q/100 * n)-th smallest sample
-/// (1-indexed), the classical definition — p100 is the maximum, p50 of
-/// {1..100} is 50. `sorted` must be ascending and non-empty; `q` in
-/// (0, 100].
-double percentile_nearest_rank(std::span<const double> sorted, double q);
-
-/// Thread-safe latency accumulator. Percentiles and min/max are computed
-/// over a sliding window of the most recent `window_capacity` samples
-/// (bounded memory under sustained traffic); count and mean cover every
-/// sample ever recorded. All methods are safe to call concurrently.
-class LatencyRecorder {
- public:
-  /// `window_capacity` must be >= 1; the default keeps the last 64k
-  /// request latencies, plenty for p99 stability.
-  explicit LatencyRecorder(std::size_t window_capacity = 65536);
-
-  /// Records one request latency (seconds, >= 0).
-  void record(double seconds);
-
-  /// Snapshot of the current percentiles (sorts a copy of the window;
-  /// O(window log window), intended for dashboards and tests, not per
-  /// request).
-  LatencyPercentiles snapshot() const;
-
- private:
-  const std::size_t window_capacity_;
-  mutable std::mutex mutex_;
-  std::vector<double> window_;  ///< ring buffer, size <= window_capacity_
-  std::size_t next_slot_ = 0;   ///< ring write cursor
-  std::uint64_t total_count_ = 0;
-  double total_seconds_ = 0.0;
-};
+using LatencyPercentiles = obs::LatencyPercentiles;
+using LatencyRecorder = obs::LatencyRecorder;
+using obs::percentile_nearest_rank;
 
 /// Aggregate counters for the temporal stream path (see
 /// SegHdcServer::open_stream): how much work the warm-start machinery
@@ -81,7 +33,8 @@ struct StreamServingStats {
   std::uint64_t kmeans_iterations = 0;  ///< iterations actually run
 };
 
-/// Snapshot of a SegHdcServer's counters and latency distribution.
+/// Snapshot of a SegHdcServer's counters and latency distribution — a
+/// view assembled from the server's obs::MetricsRegistry handles.
 /// Counters increase monotonically over the server's lifetime; once the
 /// pipeline is idle, `submitted == completed + failed + cancelled` (a
 /// rejected request was never accepted, so `rejected` counts separately).

@@ -40,8 +40,20 @@ void log(LogLevel level, const std::string& message) {
       g_level.load(std::memory_order_relaxed)) {
     return;
   }
+  // Compose off-lock, then emit the line as ONE stream write under the
+  // mutex: concurrent loggers can interleave whole lines but never the
+  // characters within one (stream operator chains are not atomic even
+  // under a lock held by only one of the writers).
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
   const std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+  std::cerr.write(line.data(), static_cast<std::streamsize>(line.size()));
+  std::cerr.flush();
 }
 
 }  // namespace seghdc::util

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Chrome-trace lint: validate a trace exported by obs::TraceSession.
+
+Usage: trace_lint.py trace.json [more.json ...]
+
+Checks, per file:
+  - top level is an object with a non-empty "traceEvents" list (an empty
+    trace means the spans never fired — a silently broken capture),
+  - every event is a complete ("ph": "X") span with string "name"/"cat",
+    numeric "ts"/"dur" (non-negative, finite), integer "pid"/"tid", and
+    an optional "args" object,
+  - per tid, scope-recorded spans nest properly: sorted by start time,
+    each span either starts after every open ancestor has ended or lies
+    entirely within the innermost open one — partial overlap between
+    siblings on one thread means the exporter (or a clock) is broken.
+    Retroactive spans (RETROACTIVE_SPANS, recorded via
+    obs::emit_complete) are exempt: their start time lives on the
+    SUBMITTING thread, so several requests waiting concurrently and
+    drained by one worker legitimately overlap on that worker's tid,
+  - "otherData.dropped_events", when present, parses as a non-negative
+    integer.
+
+Exit 0 when every file passes, 1 otherwise (one line per violation:
+file: message). Stdlib only; no arguments beyond the file paths.
+"""
+
+import json
+import math
+import sys
+
+# Spans recorded retroactively (obs::emit_complete): the duration was
+# measured by a stopwatch that started on another thread, so these do
+# not obey scope nesting on the tid that happened to record them.
+RETROACTIVE_SPANS = {"queue_wait"}
+
+
+def check_event(event, index):
+    """Returns a list of violation messages for one raw event."""
+    errors = []
+    if not isinstance(event, dict):
+        return [f"event {index}: not an object"]
+    if event.get("ph") != "X":
+        errors.append(f"event {index}: ph is {event.get('ph')!r}, not 'X'")
+    for key in ("name", "cat"):
+        if not isinstance(event.get(key), str) or not event.get(key):
+            errors.append(f"event {index}: {key!r} missing or not a "
+                          "non-empty string")
+    for key in ("ts", "dur"):
+        value = event.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            errors.append(f"event {index}: {key!r} missing or not numeric")
+        elif not math.isfinite(value) or value < 0:
+            errors.append(f"event {index}: {key!r} is {value}, expected a "
+                          "finite non-negative number")
+    for key in ("pid", "tid"):
+        value = event.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            errors.append(f"event {index}: {key!r} missing or not an "
+                          "integer")
+    if "args" in event and not isinstance(event["args"], dict):
+        errors.append(f"event {index}: 'args' present but not an object")
+    return errors
+
+
+def check_nesting(events):
+    """Spans on one thread must nest like scopes: no partial overlap."""
+    errors = []
+    by_tid = {}
+    for index, event in enumerate(events):
+        if event.get("name") in RETROACTIVE_SPANS:
+            continue
+        if isinstance(event.get("tid"), int) and not isinstance(
+                event.get("tid"), bool):
+            by_tid.setdefault(event["tid"], []).append((index, event))
+    for tid, spans in sorted(by_tid.items()):
+        spans.sort(key=lambda pair: (pair[1]["ts"], -pair[1]["dur"]))
+        open_ends = []  # stack of (end_ts, index) of enclosing spans
+        for index, event in spans:
+            start = event["ts"]
+            end = start + event["dur"]
+            while open_ends and open_ends[-1][0] <= start:
+                open_ends.pop()
+            if open_ends and end > open_ends[-1][0]:
+                errors.append(
+                    f"tid {tid}: event {index} "
+                    f"({event['name']!r} [{start}, {end})) partially "
+                    f"overlaps event {open_ends[-1][1]} ending at "
+                    f"{open_ends[-1][0]} — spans must nest")
+                continue
+            open_ends.append((end, index))
+    return errors
+
+
+def lint_trace(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return [str(error)]
+    if not isinstance(trace, dict):
+        return ["top level is not an object"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["'traceEvents' missing or not a list"]
+    if not events:
+        return ["'traceEvents' is empty — no spans were recorded"]
+
+    errors = []
+    for index, event in enumerate(events):
+        errors.extend(check_event(event, index))
+    if not errors:  # nesting math needs well-formed ts/dur/tid first
+        errors.extend(check_nesting(events))
+
+    dropped = trace.get("otherData", {})
+    if not isinstance(dropped, dict):
+        errors.append("'otherData' present but not an object")
+    elif "dropped_events" in dropped:
+        value = dropped["dropped_events"]
+        if not (isinstance(value, str) and value.isdigit()):
+            errors.append(f"otherData.dropped_events is {value!r}, "
+                          "expected a decimal string")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: trace_lint.py trace.json [more.json ...]",
+              file=sys.stderr)
+        return 1
+    failed = False
+    for path in argv[1:]:
+        errors = lint_trace(path)
+        for error in errors:
+            print(f"{path}: {error}")
+            failed = True
+        if not errors:
+            with open(path, encoding="utf-8") as handle:
+                count = len(json.load(handle)["traceEvents"])
+            print(f"{path}: OK ({count} events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
