@@ -8,6 +8,8 @@ OpCounts& OpCounts::operator+=(const OpCounts& other) {
   dot_adds += other.dot_adds;
   centroid_update_adds += other.centroid_update_adds;
   distance_evals += other.distance_evals;
+  candidates_pruned += other.candidates_pruned;
+  words_scanned += other.words_scanned;
   return *this;
 }
 

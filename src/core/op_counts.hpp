@@ -17,6 +17,17 @@ struct OpCounts {
   std::uint64_t dot_adds = 0;            ///< centroid dot-product adds
   std::uint64_t centroid_update_adds = 0;///< centroid accumulation adds
   std::uint64_t distance_evals = 0;      ///< point-centroid distances
+  /// (point, centroid) pairs the assignment step skipped without a full
+  /// distance: norm-bound skips plus early-exited bounded-kernel scans.
+  /// Every assignment pair is either a distance_eval or pruned, so
+  /// distance_evals + candidates_pruned == points * clusters *
+  /// iterations for a clustering run. Zero under exhaustive assignment.
+  std::uint64_t candidates_pruned = 0;
+  /// 64-bit words actually streamed by the assignment distance kernels
+  /// (full scans and aborted partial scans alike; each cosine plane
+  /// pass counts its own words). The honest bandwidth figure pruning is
+  /// judged by, where dot_adds stays in logical element units.
+  std::uint64_t words_scanned = 0;
 
   std::uint64_t total_element_ops() const {
     return bind_xor_bits + popcount_bits + dot_adds + centroid_update_adds;

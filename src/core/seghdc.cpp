@@ -12,8 +12,8 @@ void SegHdcConfig::validate() const {
                 "SegHdcConfig.alpha must be in (0, 1]");
   util::expects(beta >= 1, "SegHdcConfig.beta must be >= 1");
   util::expects(gamma >= 1, "SegHdcConfig.gamma must be >= 1");
-  util::expects(clusters >= 2 && clusters <= 16,
-                "SegHdcConfig.clusters must be in [2, 16]");
+  util::expects(clusters >= 2 && clusters <= 256,
+                "SegHdcConfig.clusters must be in [2, 256]");
   util::expects(iterations >= 1 && iterations <= 10'000,
                 "SegHdcConfig.iterations must be in [1, 10000]");
   util::expects(color_quantization_shift <= 7,

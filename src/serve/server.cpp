@@ -101,7 +101,13 @@ SegHdcServer::SegHdcServer(const core::SegHdcConfig& config,
           "Row bands re-encoded on stream frames")),
       stream_kmeans_iterations_(metrics_.counter(
           "seghdc_stream_kmeans_iterations_total",
-          "K-Means iterations actually run on stream frames")) {
+          "K-Means iterations actually run on stream frames")),
+      assign_distance_evals_(metrics_.counter(
+          "seghdc_assign_distance_evals_total",
+          "Distances actually evaluated (assignment + margin passes)")),
+      assign_candidates_pruned_(metrics_.counter(
+          "seghdc_assign_candidates_pruned_total",
+          "K-Means assignment candidates skipped by exact pruning")) {
   encode_threads_.reserve(options_.encode_workers);
   cluster_threads_.reserve(options_.cluster_workers);
   live_encoders_.store(options_.encode_workers, std::memory_order_relaxed);
@@ -225,6 +231,8 @@ void SegHdcServer::deliver(Completion&& completion,
   // same rule, so it fires before the promise as well.
   latency_.record(completion.accepted.seconds());
   completed_.add();
+  assign_distance_evals_.add(result.ops.distance_evals);
+  assign_candidates_pruned_.add(result.ops.candidates_pruned);
   if (completion.on_done) {
     completion.on_done();
   }
@@ -360,6 +368,8 @@ void SegHdcServer::process_stream_frame(Request&& request) {
     stream_tiles_reused_.add(frame.stats.tiles_reused);
     stream_tiles_encoded_.add(frame.stats.tiles_encoded);
     stream_kmeans_iterations_.add(frame.stats.kmeans_iterations);
+    assign_distance_evals_.add(frame.result.ops.distance_evals);
+    assign_candidates_pruned_.add(frame.result.ops.candidates_pruned);
     job.promise.set_value(std::move(frame));
   } catch (...) {
     // The turn advances on failure too — a dead frame must not wedge

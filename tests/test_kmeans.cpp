@@ -267,7 +267,13 @@ TEST(HvKMeans, ExplicitPoolMatchesSharedPool) {
 
 TEST(HvKMeans, OpsAccounting) {
   const auto data = make_two_clusters(8, 256, 7);
-  const HvKMeans kmeans(HvKMeansConfig{.clusters = 2, .iterations = 4});
+  // Pins the exhaustive-mode formulas, so force that mode explicitly —
+  // an SEGHDC_ASSIGN_MODE=pruned environment (the CI matrix sets it)
+  // must not flip this run onto the measured accounting, which
+  // test_kmeans_pruned pins separately.
+  const HvKMeans kmeans(HvKMeansConfig{.clusters = 2,
+                                       .iterations = 4,
+                                       .assign_mode = AssignMode::kExhaustive});
   const auto result = kmeans.run(data.points, {},
                                  std::vector<std::size_t>{0, 1});
   const std::uint64_t n = data.points.size();
