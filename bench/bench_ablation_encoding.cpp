@@ -45,26 +45,22 @@ double mean_iou(const core::SegHdcConfig& config,
                 const data::DatasetGenerator& dataset, std::size_t images,
                 double* seconds_out = nullptr,
                 std::size_t* unique_out = nullptr) {
-  std::vector<double> ious;
-  double seconds = 0.0;
-  std::size_t unique = 0;
-  for (std::size_t i = 0; i < images; ++i) {
-    const auto sample = dataset.generate(i);
-    const core::SegHdc seghdc(config);
-    const auto result = seghdc.segment(sample.image);
-    const auto matched = metrics::best_foreground_iou(
-        result.labels, config.clusters, sample.mask);
-    ious.push_back(matched.iou);
-    seconds += result.timings.total_seconds;
-    unique += result.unique_points;
-  }
+  // Through the shared eval pipeline; one_shot keeps this ablation's
+  // cost profile identical to the old private loop.
+  eval::EvalOptions options;
+  options.path = eval::EvalPath::kOneShot;
+  const auto suite = eval::evaluate_seghdc(dataset, images, config, options);
   if (seconds_out != nullptr) {
-    *seconds_out = seconds / static_cast<double>(images);
+    *seconds_out = suite.mean_seconds();
   }
   if (unique_out != nullptr) {
+    std::size_t unique = 0;
+    for (const auto& record : suite.records) {
+      unique += record.unique_points;
+    }
     *unique_out = unique / images;
   }
-  return metrics::mean(ious);
+  return suite.mean_iou();
 }
 
 }  // namespace

@@ -1,6 +1,13 @@
 // Shared plumbing for the table/figure benches: dataset construction
-// (paper-scale or host-scale), the four Table-I methods as uniform
-// runners, and small report helpers.
+// (paper-scale or host-scale), the Table-I methods as uniform runners,
+// and small report helpers.
+//
+// Since the eval-pipeline rework every SegHDC number a bench prints
+// flows through eval::evaluate_seghdc — the same one_shot/batch/server
+// machinery the library ships — so paper-fidelity numbers and
+// production-path numbers come from the same code. Benches expose the
+// path via --path (default: server, the production shape) and the wave
+// size via --batch.
 //
 // Host-scale vs paper-scale: every bench accepts --paper to run the full
 // configuration from the paper (200-image BBBC005 at 520x696, d=10000,
@@ -12,6 +19,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "src/baseline/kim_segmenter.hpp"
 #include "src/core/seghdc.hpp"
@@ -19,8 +27,10 @@
 #include "src/datasets/dataset.hpp"
 #include "src/datasets/dsb2018.hpp"
 #include "src/datasets/monuseg.hpp"
+#include "src/eval/suite.hpp"
 #include "src/imaging/filters.hpp"
 #include "src/metrics/segmentation_metrics.hpp"
+#include "src/util/cli.hpp"
 #include "src/util/stopwatch.hpp"
 
 namespace seghdc::bench {
@@ -108,6 +118,33 @@ inline baseline::KimConfig kim_config_for(const Scale& scale) {
   return config;
 }
 
+/// The shared --path/--batch knobs: every bench that runs SegHDC
+/// resolves its eval execution path here. Default is the serving path —
+/// bench numbers are production-path numbers unless asked otherwise.
+inline eval::EvalOptions eval_options_from_cli(const util::Cli& cli) {
+  eval::EvalOptions options;
+  options.path = eval::parse_eval_path(cli.get("path", "server"));
+  options.batch_size = static_cast<std::size_t>(cli.get_int("batch", 64));
+  return options;
+}
+
+/// Adapter exposing one concrete Sample as a single-image dataset, so
+/// the per-image figure benches ride the exact suite pipeline the
+/// dataset sweeps use (same session/server machinery, same scoring).
+class SingleSampleDataset final : public data::DatasetGenerator {
+ public:
+  SingleSampleDataset(const data::DatasetGenerator& parent,
+                      data::Sample sample)
+      : profile_(parent.profile()), sample_(std::move(sample)) {}
+
+  const data::DatasetProfile& profile() const override { return profile_; }
+  data::Sample generate(std::size_t) const override { return sample_; }
+
+ private:
+  data::DatasetProfile profile_;
+  data::Sample sample_;
+};
+
 /// Uniform per-image result for the method runners.
 struct MethodRun {
   double iou = 0.0;
@@ -115,49 +152,51 @@ struct MethodRun {
   img::ImageU8 mask;       ///< best-matched foreground mask
   img::LabelMap labels;    ///< raw labels
   std::size_t label_count = 0;
+  std::vector<std::uint64_t> cluster_pixel_counts;
+  std::size_t iterations_run = 0;
 };
 
+/// Runs SegHDC on one sample through the shared eval pipeline (a
+/// single-image evaluate_seghdc sweep on the configured path).
 inline MethodRun run_seghdc(const core::SegHdcConfig& config,
-                            const data::Sample& sample) {
-  const core::SegHdc seghdc(config);
-  const auto result = seghdc.segment(sample.image);
-  const auto matched = metrics::best_foreground_iou(
-      result.labels, config.clusters, sample.mask);
+                            const data::DatasetGenerator& dataset,
+                            const data::Sample& sample,
+                            eval::EvalOptions options = {}) {
+  const SingleSampleDataset one(dataset, sample);
   MethodRun run;
-  run.iou = matched.iou;
-  run.seconds = result.timings.total_seconds;
-  run.mask = matched.mask;
-  run.labels = result.labels;
-  run.label_count = config.clusters;
+  options.sink = [&](std::size_t, const data::Sample& s,
+                     const core::SegmentationResult& result) {
+    const auto matched = metrics::best_foreground_iou(
+        result.labels, config.clusters, s.mask);
+    run.iou = matched.iou;
+    run.seconds = result.timings.total_seconds;
+    run.mask = matched.mask;
+    run.labels = result.labels;
+    run.label_count = config.clusters;
+    run.cluster_pixel_counts = result.cluster_pixel_counts;
+    run.iterations_run = result.iterations_run;
+  };
+  eval::evaluate_seghdc(one, 1, config, options);
   return run;
 }
 
-/// Baseline runner: optionally trains at reduced resolution (DESIGN.md
-/// §4) and scores the upsampled labels at full resolution.
+/// Baseline runner over the shared eval method factory: optionally
+/// trains at reduced resolution (DESIGN.md §4) and scores the upsampled
+/// labels at full resolution.
 inline MethodRun run_kim(const baseline::KimConfig& config,
                          const data::Sample& sample,
                          std::size_t train_downscale) {
+  const auto method = eval::kim_method(config, train_downscale);
   const util::Stopwatch watch;
-  img::ImageU8 train_image = sample.image;
-  if (train_downscale > 1) {
-    train_image = img::resize_bilinear(
-        sample.image, sample.image.width() / train_downscale,
-        sample.image.height() / train_downscale);
-  }
-  const baseline::KimSegmenter segmenter(config);
-  auto result = segmenter.segment(train_image);
-  img::LabelMap labels = result.labels;
-  if (train_downscale > 1) {
-    labels = img::resize_nearest(labels, sample.image.width(),
-                                 sample.image.height());
-  }
+  const auto labels = method(sample);
+  const double seconds = watch.seconds();
   const auto matched = metrics::best_foreground_iou_any(labels, sample.mask);
   MethodRun run;
   run.iou = matched.iou;
-  run.seconds = watch.seconds();
+  run.seconds = seconds;
   run.mask = matched.mask;
   run.labels = labels;
-  run.label_count = result.label_count;
+  run.label_count = config.feature_channels;
   return run;
 }
 

@@ -3,7 +3,11 @@
 // with per-image IoU printed for each (paper: BBBC005 0.6995 vs 0.9559,
 // DSB2018 0.7612 vs 0.8259, MoNuSeg 0.3496 vs 0.5299).
 //
-//   ./bench_fig6 [--paper] [--skip-baseline] [--out out/fig6]
+//   ./bench_fig6 [--paper] [--skip-baseline]
+//                [--path server|batch|one_shot] [--out out/fig6]
+//
+// SegHDC masks come out of the shared eval pipeline (bench::run_seghdc
+// -> eval::evaluate_seghdc), default path: server.
 #include <cstdio>
 #include <exception>
 
@@ -21,6 +25,7 @@ int main(int argc, char** argv) try {
                                  : bench::Scale::host();
   const bool skip_baseline = cli.get_flag("skip-baseline");
   const auto out_dir = cli.get("out", "out/fig6");
+  const auto options = bench::eval_options_from_cli(cli);
   util::ensure_directory(out_dir);
 
   util::CsvWriter csv(out_dir + "/fig6.csv",
@@ -40,8 +45,8 @@ int main(int argc, char** argv) try {
                    (sample.image.channels() == 3 ? ".ppm" : ".pgm"));
     img::write_pgm(sample.mask, prefix + "_truth.pgm");
 
-    const auto seghdc_run =
-        bench::run_seghdc(bench::seghdc_config_for(*dataset, scale), sample);
+    const auto seghdc_run = bench::run_seghdc(
+        bench::seghdc_config_for(*dataset, scale), *dataset, sample, options);
     img::write_pgm(seghdc_run.mask, prefix + "_seghdc.pgm");
     img::write_ppm(img::colorize_labels(seghdc_run.labels),
                    prefix + "_seghdc_clusters.ppm");

@@ -6,7 +6,10 @@
 // (10 iters); IoU jumps after iteration 1 and saturates around
 // iteration 4.
 //
-//   ./bench_fig7a [--dim 10000] [--max-iters 10] [--out out]
+//   ./bench_fig7a [--dim 10000] [--max-iters 10]
+//                 [--path server|batch|one_shot] [--out out]
+//
+// Runs through the shared eval pipeline (default path: server).
 #include <cstdio>
 #include <exception>
 
@@ -22,6 +25,7 @@ int main(int argc, char** argv) try {
   const auto max_iters =
       static_cast<std::size_t>(cli.get_int("max-iters", 10));
   const auto out_dir = cli.get("out", "out");
+  const auto options = bench::eval_options_from_cli(cli);
   util::ensure_directory(out_dir);
 
   const auto pi = device::DeviceSpec::raspberry_pi_4b();
@@ -41,7 +45,7 @@ int main(int argc, char** argv) try {
     auto config = bench::seghdc_config_for(*dataset, scale);
     config.dim = dim;
     config.iterations = iters;
-    const auto run = bench::run_seghdc(config, sample);
+    const auto run = bench::run_seghdc(config, *dataset, sample, options);
     const double pi_seconds = device::project_seghdc_latency(
         pi, device::SegHdcWorkload{
                 .pixels = sample.image.pixel_count(),

@@ -6,7 +6,10 @@
 // overhead dominates, the vectorised dimension axis is cheap); IoU is
 // usable across the whole sweep with d = 800 a sweet spot.
 //
-//   ./bench_fig7b [--min-dim 200] [--max-dim 1000] [--step 200] [--out out]
+//   ./bench_fig7b [--min-dim 200] [--max-dim 1000] [--step 200]
+//                 [--path server|batch|one_shot] [--out out]
+//
+// Runs through the shared eval pipeline (default path: server).
 #include <cstdio>
 #include <exception>
 
@@ -23,6 +26,7 @@ int main(int argc, char** argv) try {
       static_cast<std::size_t>(cli.get_int("max-dim", 1000));
   const auto step = static_cast<std::size_t>(cli.get_int("step", 200));
   const auto out_dir = cli.get("out", "out");
+  const auto options = bench::eval_options_from_cli(cli);
   util::ensure_directory(out_dir);
 
   const auto pi = device::DeviceSpec::raspberry_pi_4b();
@@ -41,7 +45,7 @@ int main(int argc, char** argv) try {
     auto config = bench::seghdc_config_for(*dataset, scale);
     config.dim = dim;
     config.iterations = 10;
-    const auto run = bench::run_seghdc(config, sample);
+    const auto run = bench::run_seghdc(config, *dataset, sample, options);
     const double pi_seconds = device::project_seghdc_latency(
         pi, device::SegHdcWorkload{
                 .pixels = sample.image.pixel_count(),

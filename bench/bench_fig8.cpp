@@ -3,7 +3,10 @@
 // observation: after 1 iteration almost all pixels share one label; from
 // 2 iterations on the mask is close to the ground truth.
 //
-//   ./bench_fig8 [--dim 10000] [--out out/fig8]
+//   ./bench_fig8 [--dim 10000] [--path server|batch|one_shot]
+//                [--out out/fig8]
+//
+// Runs through the shared eval pipeline (default path: server).
 #include <cstdio>
 #include <exception>
 
@@ -17,6 +20,7 @@ int main(int argc, char** argv) try {
   const util::Cli cli(argc, argv);
   const auto dim = static_cast<std::size_t>(cli.get_int("dim", 10000));
   const auto out_dir = cli.get("out", "out/fig8");
+  const auto options = bench::eval_options_from_cli(cli);
   util::ensure_directory(out_dir);
 
   const bench::Scale scale = bench::Scale::host();
@@ -38,23 +42,20 @@ int main(int argc, char** argv) try {
     config.dim = dim;
     config.iterations = iters;
 
-    const core::SegHdc seghdc(config);
-    const auto result = seghdc.segment(sample.image);
-    const auto matched = metrics::best_foreground_iou(
-        result.labels, config.clusters, sample.mask);
+    const auto run = bench::run_seghdc(config, *dataset, sample, options);
 
     std::uint64_t largest = 0;
-    for (const auto count : result.cluster_pixel_counts) {
+    for (const auto count : run.cluster_pixel_counts) {
       largest = std::max(largest, count);
     }
     const double share = static_cast<double>(largest) /
                          static_cast<double>(sample.image.pixel_count());
 
-    img::write_pgm(matched.mask, out_dir + "/iteration_" +
-                                     std::to_string(iters) + ".pgm");
-    std::printf("%10zu %10.4f %25.1f%%\n", iters, matched.iou,
+    img::write_pgm(run.mask, out_dir + "/iteration_" +
+                                 std::to_string(iters) + ".pgm");
+    std::printf("%10zu %10.4f %25.1f%%\n", iters, run.iou,
                 share * 100.0);
-    csv.row({std::to_string(iters), util::CsvWriter::field(matched.iou),
+    csv.row({std::to_string(iters), util::CsvWriter::field(run.iou),
              util::CsvWriter::field(share)});
   }
   std::printf("\npaper shape: iteration 1 assigns almost all pixels one "

@@ -5,7 +5,10 @@
 // should degrade IoU gracefully well past error rates that would
 // destroy a conventional representation.
 //
-//   ./bench_robustness [--dim 2000] [--images 4] [--out out]
+//   ./bench_robustness [--dim 2000] [--images 4]
+//                      [--path server|batch|one_shot] [--out out]
+//
+// Runs through the shared eval pipeline (default path: server).
 #include <cstdio>
 #include <exception>
 
@@ -19,6 +22,7 @@ int main(int argc, char** argv) try {
   const auto dim = static_cast<std::size_t>(cli.get_int("dim", 2000));
   const auto images = static_cast<std::size_t>(cli.get_int("images", 4));
   const auto out_dir = cli.get("out", "out");
+  const auto options = bench::eval_options_from_cli(cli);
   util::ensure_directory(out_dir);
 
   const bench::Scale scale = bench::Scale::host();
@@ -33,15 +37,12 @@ int main(int argc, char** argv) try {
 
   double clean_iou = 0.0;
   for (const double rate : {0.0, 0.001, 0.01, 0.05, 0.10, 0.20, 0.30}) {
-    std::vector<double> ious;
-    for (std::size_t i = 0; i < images; ++i) {
-      const auto sample = dataset->generate(i);
-      auto config = bench::seghdc_config_for(*dataset, scale);
-      config.dim = dim;
-      config.bit_error_rate = rate;
-      ious.push_back(bench::run_seghdc(config, sample).iou);
-    }
-    const double iou = metrics::mean(ious);
+    auto config = bench::seghdc_config_for(*dataset, scale);
+    config.dim = dim;
+    config.bit_error_rate = rate;
+    const auto suite =
+        eval::evaluate_seghdc(*dataset, images, config, options);
+    const double iou = suite.mean_iou();
     if (rate == 0.0) {
       clean_iou = iou;
     }

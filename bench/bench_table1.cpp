@@ -2,6 +2,13 @@
 // CNN baseline (BL, Kim et al. 2020), the two encoding ablations
 // (RPos = random position HVs, RColor = random color HVs) and SegHDC.
 //
+// Every SegHDC number flows through the shared eval pipeline
+// (eval::evaluate_seghdc) on the configured execution path — by default
+// the serving path, so the accuracy table is itself a serving workload
+// and EVAL_table1.json carries the serving latency percentiles next to
+// the mIoU columns. The baseline rides the generic evaluate_suite loop
+// (it has no serving form).
+//
 // Paper reference values:
 //   dataset   BL      RPos    RColor  SegHDC  improvement
 //   BBBC005   0.7490  0.0361  0.1016  0.9414  25.7%
@@ -9,12 +16,15 @@
 //   MoNuSeg   0.5088  0.1959  0.3832  0.5509  8.27%
 //
 //   ./bench_table1 [--images 24] [--paper] [--skip-baseline]
-//                  [--datasets BBBC005,DSB2018,MoNuSeg] [--out out]
+//                  [--datasets BBBC005,DSB2018,MoNuSeg]
+//                  [--path server|batch|one_shot] [--batch 64]
+//                  [--out out] [--json EVAL_table1.json]
 #include <cstdio>
 #include <exception>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_report.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/csv.hpp"
 
@@ -42,6 +52,8 @@ int main(int argc, char** argv) try {
       cli.get_int("images", static_cast<std::int64_t>(scale.images)));
   const bool skip_baseline = cli.get_flag("skip-baseline");
   const auto out_dir = cli.get("out", "out");
+  const auto json_path = cli.get("json", out_dir + "/EVAL_table1.json");
+  const auto options = bench::eval_options_from_cli(cli);
   util::ensure_directory(out_dir);
 
   const auto selected = cli.get("datasets", "BBBC005,DSB2018,MoNuSeg");
@@ -50,12 +62,15 @@ int main(int argc, char** argv) try {
                       {"dataset", "BL", "RPos", "RColor", "SegHDC",
                        "improvement_percent"});
 
-  std::printf("TABLE I: IoU score on 3 datasets (%zu images each%s)\n",
-              scale.images, scale.paper ? ", paper scale" : "");
+  std::printf("TABLE I: IoU score on 3 datasets (%zu images each%s, "
+              "%s path)\n",
+              scale.images, scale.paper ? ", paper scale" : "",
+              eval::eval_path_name(options.path));
   std::printf("%-10s %8s %8s %8s %8s %14s\n", "Dataset", "BL", "RPos",
               "RColor", "SegHDC", "Improvement");
 
   std::vector<Row> rows;
+  std::vector<eval::SuiteResult> suites;
   for (const auto id : {bench::DatasetId::kBbbc005,
                         bench::DatasetId::kDsb2018,
                         bench::DatasetId::kMonuseg}) {
@@ -66,27 +81,32 @@ int main(int argc, char** argv) try {
     const auto seghdc_config = bench::seghdc_config_for(*dataset, scale);
     const auto kim_config = bench::kim_config_for(scale);
 
-    std::vector<double> iou_bl, iou_rpos, iou_rcolor, iou_seghdc;
-    for (std::size_t i = 0; i < scale.images; ++i) {
-      const auto sample = dataset->generate(i);
-      iou_seghdc.push_back(bench::run_seghdc(seghdc_config, sample).iou);
-      iou_rpos.push_back(
-          bench::run_seghdc(seghdc_config.rpos_variant(), sample).iou);
-      iou_rcolor.push_back(
-          bench::run_seghdc(seghdc_config.rcolor_variant(), sample).iou);
-      if (!skip_baseline) {
-        iou_bl.push_back(
-            bench::run_kim(kim_config, sample, scale.kim_train_downscale)
-                .iou);
-      }
-    }
+    // The three HDC variants through the shared (serving-capable) eval
+    // pipeline; the CNN baseline through the generic functor loop.
+    auto seghdc_suite =
+        eval::evaluate_seghdc(*dataset, scale.images, seghdc_config, options);
+    auto rpos_suite = eval::evaluate_seghdc(
+        *dataset, scale.images, seghdc_config.rpos_variant(), options);
+    rpos_suite.method = "rpos";
+    auto rcolor_suite = eval::evaluate_seghdc(
+        *dataset, scale.images, seghdc_config.rcolor_variant(), options);
+    rcolor_suite.method = "rcolor";
 
     Row row;
     row.dataset = bench::dataset_name(id);
-    row.bl = metrics::mean(iou_bl);
-    row.rpos = metrics::mean(iou_rpos);
-    row.rcolor = metrics::mean(iou_rcolor);
-    row.seghdc = metrics::mean(iou_seghdc);
+    row.rpos = rpos_suite.mean_iou();
+    row.rcolor = rcolor_suite.mean_iou();
+    row.seghdc = seghdc_suite.mean_iou();
+    if (!skip_baseline) {
+      auto bl_suite = eval::evaluate_suite(
+          *dataset, scale.images, "kim",
+          eval::kim_method(kim_config, scale.kim_train_downscale));
+      row.bl = bl_suite.mean_iou();
+      suites.push_back(std::move(bl_suite));
+    }
+    suites.push_back(std::move(seghdc_suite));
+    suites.push_back(std::move(rpos_suite));
+    suites.push_back(std::move(rcolor_suite));
     rows.push_back(row);
 
     std::printf("%-10s %8.4f %8.4f %8.4f %8.4f %12.1f%%\n", row.dataset,
@@ -98,6 +118,11 @@ int main(int argc, char** argv) try {
              util::CsvWriter::field(row.seghdc),
              util::CsvWriter::field(row.improvement_percent())});
   }
+
+  bench::write_eval_json(
+      json_path, "bench_table1", suites,
+      {{"images_per_dataset", std::to_string(scale.images)},
+       {"paper_scale", scale.paper ? "true" : "false"}});
 
   std::printf("\npaper reference: BBBC005 0.9414 vs 0.7490 | DSB2018 "
               "0.8038 vs 0.6281 | MoNuSeg 0.5509 vs 0.5088\n");

@@ -14,7 +14,11 @@
 // d=800, 3 iterations, alpha=1; BBBC image d=2000, 3 iterations,
 // alpha=0.8.
 //
-//   ./bench_table2 [--paper] [--skip-baseline] [--out out]
+//   ./bench_table2 [--paper] [--skip-baseline]
+//                  [--path server|batch|one_shot] [--out out]
+//
+// SegHDC latency/IoU numbers flow through the shared eval pipeline
+// (bench::run_seghdc -> eval::evaluate_seghdc), default path: server.
 #include <cstdio>
 #include <exception>
 
@@ -42,6 +46,7 @@ int main(int argc, char** argv) try {
   const bool paper = cli.get_flag("paper");
   const bool skip_baseline = cli.get_flag("skip-baseline");
   const auto out_dir = cli.get("out", "out");
+  const auto options = bench::eval_options_from_cli(cli);
   util::ensure_directory(out_dir);
 
   const auto pi = device::DeviceSpec::raspberry_pi_4b();
@@ -124,7 +129,7 @@ int main(int argc, char** argv) try {
     config.alpha = image_case.alpha;
     config.iterations = 3;
     config.color_quantization_shift = paper ? 0 : 2;
-    const auto run = bench::run_seghdc(config, sample);
+    const auto run = bench::run_seghdc(config, *dataset, sample, options);
 
     const device::SegHdcWorkload workload{
         .pixels = pixels,

@@ -1,7 +1,9 @@
-// Command-line segmentation of an arbitrary PGM/PPM image — the tool a
-// downstream user actually runs on their own microscopy frames:
+// Command-line segmentation of an arbitrary PNG/PGM/PPM image — the
+// tool a downstream user actually runs on their own microscopy frames
+// (the input format is sniffed from content, the outputs dispatch on
+// extension):
 //
-//   ./segment_file input.ppm output.pgm [--clusters 2] [--dim 2000]
+//   ./segment_file input.png output.png [--clusters 2] [--dim 2000]
 //                  [--beta 26] [--alpha 0.2] [--iterations 10]
 //                  [--min-area 0] [--clusters-map clusters.ppm]
 //
@@ -14,7 +16,7 @@
 
 #include "src/core/session.hpp"
 #include "src/imaging/color.hpp"
-#include "src/imaging/pnm.hpp"
+#include "src/imaging/png.hpp"
 #include "src/imaging/postprocess.hpp"
 #include "src/util/cli.hpp"
 
@@ -65,7 +67,7 @@ int main(int argc, char** argv) try {
   const util::Cli cli(argc, argv);
   if (cli.positional().size() != 2) {
     std::fprintf(stderr,
-                 "usage: %s input.{pgm,ppm} output.pgm [--clusters 2] "
+                 "usage: %s input.{png,pgm,ppm} output.{png,pgm} [--clusters 2] "
                  "[--dim 2000] [--beta 26] [--alpha 0.2] [--gamma 1] "
                  "[--iterations 10] [--seed 42] [--quantize 2] "
                  "[--min-area N] [--dark-foreground] "
@@ -74,7 +76,7 @@ int main(int argc, char** argv) try {
     return 2;
   }
 
-  const auto image = img::read_pnm(cli.positional()[0]);
+  const auto image = img::read_image(cli.positional()[0]);
   std::printf("loaded %s: %zux%zu, %zu channel(s)\n",
               cli.positional()[0].c_str(), image.width(), image.height(),
               image.channels());
@@ -107,12 +109,12 @@ int main(int argc, char** argv) try {
   if (min_area > 0) {
     mask = img::clean_mask(mask, min_area);
   }
-  img::write_pgm(mask, cli.positional()[1]);
+  img::write_image(mask, cli.positional()[1]);
   std::printf("wrote mask: %s\n", cli.positional()[1].c_str());
 
   const auto clusters_path = cli.get("clusters-map", "");
   if (!clusters_path.empty()) {
-    img::write_ppm(img::colorize_labels(result.labels), clusters_path);
+    img::write_image(img::colorize_labels(result.labels), clusters_path);
     std::printf("wrote cluster map: %s\n", clusters_path.c_str());
   }
   return 0;

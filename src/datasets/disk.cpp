@@ -1,0 +1,204 @@
+#include "src/datasets/disk.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/imaging/connected_components.hpp"
+#include "src/imaging/png.hpp"
+#include "src/imaging/pnm.hpp"
+
+namespace seghdc::data {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kProfileFile = "profile.txt";
+
+/// Splits "<id>_image.png" / "<id>_mask.pgm" into (id, role). Returns
+/// role "" for files that follow neither pattern (profile.txt, stray
+/// files) — those are ignored by the scan, not errors: dataset dirs in
+/// the wild carry READMEs and checksums.
+std::pair<std::string, std::string> classify(const std::string& filename) {
+  const auto dot = filename.find_last_of('.');
+  const std::string stem =
+      dot == std::string::npos ? filename : filename.substr(0, dot);
+  for (const char* role : {"image", "mask"}) {
+    const std::string suffix = std::string{"_"} + role;
+    if (stem.size() > suffix.size() &&
+        stem.compare(stem.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      return {stem.substr(0, stem.size() - suffix.size()), role};
+    }
+  }
+  return {"", ""};
+}
+
+DatasetProfile parse_profile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("DiskDataset: cannot open " + path);
+  }
+  DatasetProfile profile;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream parts(line);
+    std::string key;
+    parts >> key;
+    bool ok = true;
+    if (key == "name") {
+      parts >> profile.name;
+    } else if (key == "width") {
+      parts >> profile.width;
+    } else if (key == "height") {
+      parts >> profile.height;
+    } else if (key == "channels") {
+      parts >> profile.channels;
+    } else if (key == "clusters") {
+      parts >> profile.suggested_clusters;
+    } else if (key == "beta") {
+      parts >> profile.suggested_beta;
+    } else {
+      ok = false;
+    }
+    if (!ok || parts.fail()) {
+      throw std::runtime_error("DiskDataset: bad profile line '" + line +
+                               "' in " + path);
+    }
+  }
+  return profile;
+}
+
+}  // namespace
+
+DiskDataset::DiskDataset(const std::string& directory)
+    : directory_(directory) {
+  if (!fs::is_directory(directory)) {
+    throw std::runtime_error("DiskDataset: " + directory +
+                             " is not a directory");
+  }
+
+  // map keeps ids sorted, which fixes sample order across filesystems
+  // whose directory iteration order differs.
+  std::map<std::string, std::pair<std::string, std::string>> pairs;
+  for (const auto& entry : fs::directory_iterator(directory)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    const auto [id, role] = classify(entry.path().filename().string());
+    if (role == "image") {
+      pairs[id].first = entry.path().string();
+    } else if (role == "mask") {
+      pairs[id].second = entry.path().string();
+    }
+  }
+  if (pairs.empty()) {
+    throw std::runtime_error("DiskDataset: no <id>_image/<id>_mask pairs in " +
+                             directory);
+  }
+  for (const auto& [id, paths] : pairs) {
+    if (paths.first.empty()) {
+      throw std::runtime_error("DiskDataset: mask without image for id '" +
+                               id + "' in " + directory);
+    }
+    if (paths.second.empty()) {
+      throw std::runtime_error("DiskDataset: image without mask for id '" +
+                               id + "' in " + directory);
+    }
+    ids_.push_back(id);
+    image_paths_.push_back(paths.first);
+    mask_paths_.push_back(paths.second);
+  }
+
+  const std::string profile_path =
+      (fs::path(directory) / kProfileFile).string();
+  if (fs::exists(profile_path)) {
+    profile_ = parse_profile(profile_path);
+  } else {
+    // Derive shape from the first sample; clusters/beta keep the
+    // library defaults from DatasetProfile.
+    const auto first = img::read_image(image_paths_.front());
+    profile_.name = fs::path(directory).filename().string();
+    profile_.width = first.width();
+    profile_.height = first.height();
+    profile_.channels = first.channels();
+  }
+}
+
+Sample DiskDataset::generate(std::size_t index) const {
+  if (index >= ids_.size()) {
+    throw std::out_of_range("DiskDataset: sample index " +
+                            std::to_string(index) + " >= size() " +
+                            std::to_string(ids_.size()));
+  }
+  Sample sample;
+  sample.id = ids_[index];
+  sample.image = img::read_image(image_paths_[index]);
+  sample.mask = img::read_image(mask_paths_[index]);
+  if (sample.mask.channels() != 1) {
+    throw std::runtime_error("DiskDataset: mask " + mask_paths_[index] +
+                             " has " + std::to_string(sample.mask.channels()) +
+                             " channels (expected 1)");
+  }
+  if (sample.mask.width() != sample.image.width() ||
+      sample.mask.height() != sample.image.height()) {
+    throw std::runtime_error("DiskDataset: mask " + mask_paths_[index] +
+                             " shape does not match image " +
+                             image_paths_[index]);
+  }
+  sample.instance_count =
+      img::connected_components(sample.mask).components.size();
+  return sample;
+}
+
+std::size_t export_dataset(const DatasetGenerator& generator,
+                           std::size_t count, const std::string& directory,
+                           const std::string& format) {
+  std::string image_ext;
+  std::string mask_ext;
+  if (format == "png") {
+    image_ext = mask_ext = "png";
+  } else if (format == "pnm") {
+    image_ext = generator.profile().channels == 3 ? "ppm" : "pgm";
+    mask_ext = "pgm";
+  } else {
+    throw std::invalid_argument("export_dataset: unknown format '" + format +
+                                "' (use \"png\" or \"pnm\")");
+  }
+  fs::create_directories(directory);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const Sample sample = generator.generate(i);
+    const fs::path base = fs::path(directory) / sample.id;
+    img::write_image(sample.image, base.string() + "_image." + image_ext);
+    img::write_image(sample.mask, base.string() + "_mask." + mask_ext);
+  }
+
+  const auto& profile = generator.profile();
+  const std::string profile_path =
+      (fs::path(directory) / kProfileFile).string();
+  std::ofstream out(profile_path);
+  if (!out) {
+    throw std::runtime_error("export_dataset: cannot open " + profile_path);
+  }
+  out << "name " << profile.name << "\n"
+      << "width " << profile.width << "\n"
+      << "height " << profile.height << "\n"
+      << "channels " << profile.channels << "\n"
+      << "clusters " << profile.suggested_clusters << "\n"
+      << "beta " << profile.suggested_beta << "\n";
+  if (!out.flush()) {
+    throw std::runtime_error("export_dataset: short write to " +
+                             profile_path);
+  }
+  return count;
+}
+
+}  // namespace seghdc::data

@@ -1,0 +1,70 @@
+// On-disk dataset loader: the bridge between the synthetic generators
+// and real-world corpora. A disk dataset is a directory of
+// `<id>_image.<ext>` / `<id>_mask.<ext>` pairs (PNG or PNM, mixed
+// freely) plus an optional `profile.txt` carrying the DatasetProfile.
+// `export_dataset` materialises any DatasetGenerator into that layout,
+// so the hermetic CI path is: generate -> export -> DiskDataset ->
+// eval, touching the exact loader code a real BBBC005/DSB2018/MoNuSeg
+// download would use.
+#ifndef SEGHDC_DATASETS_DISK_HPP
+#define SEGHDC_DATASETS_DISK_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/datasets/dataset.hpp"
+
+namespace seghdc::data {
+
+/// Dataset backed by image/mask files on disk. Construction scans the
+/// directory eagerly (sorted by id, so sample order is stable across
+/// filesystems); pixel data is read lazily per generate() call.
+///
+/// Layout rules, enforced with hard errors (no silent skips):
+///   - every `<id>_image.<ext>` must have a `<id>_mask.<ext2>` partner
+///     and vice versa (extensions may differ: PNG image, PNM mask is fine)
+///   - a directory with no pairs at all is an error
+///   - masks must be single-channel and the same WxH as their image
+/// `profile.txt`, when present, is `key value` lines (name, width,
+/// height, channels, clusters, beta); without it the profile is derived
+/// from the first sample with the library-default clusters/beta.
+class DiskDataset final : public DatasetGenerator {
+ public:
+  explicit DiskDataset(const std::string& directory);
+
+  const DatasetProfile& profile() const override { return profile_; }
+
+  /// Number of image/mask pairs found on disk. Unlike the synthetic
+  /// generators (unbounded index), generate(i) requires i < size().
+  std::size_t size() const { return ids_.size(); }
+
+  /// Loads pair `index` (in sorted-id order). The instance count is
+  /// recovered by connected-component labeling of the mask. Throws
+  /// std::out_of_range past size(), std::runtime_error on unreadable
+  /// or mismatched files.
+  Sample generate(std::size_t index) const override;
+
+  const std::string& directory() const { return directory_; }
+  const std::vector<std::string>& ids() const { return ids_; }
+
+ private:
+  std::string directory_;
+  DatasetProfile profile_;
+  std::vector<std::string> ids_;
+  std::vector<std::string> image_paths_;  ///< parallel to ids_
+  std::vector<std::string> mask_paths_;   ///< parallel to ids_
+};
+
+/// Materialises samples [0, count) of `generator` into `directory`
+/// (created if missing) using the DiskDataset layout, plus a
+/// `profile.txt` so the round trip preserves clusters/beta. `format`
+/// selects the pixel container: "png" or "pnm". Returns the number of
+/// samples written. Existing files with the same names are overwritten.
+std::size_t export_dataset(const DatasetGenerator& generator,
+                           std::size_t count, const std::string& directory,
+                           const std::string& format = "png");
+
+}  // namespace seghdc::data
+
+#endif  // SEGHDC_DATASETS_DISK_HPP

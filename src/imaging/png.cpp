@@ -1,0 +1,777 @@
+#include "src/imaging/png.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "src/imaging/pnm.hpp"
+
+namespace seghdc::img {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Checksums. CRC-32 (ISO 3309, reflected 0xEDB88320) guards every chunk;
+// Adler-32 guards the zlib payload. Both are required by the format, and
+// both are VERIFIED on read — a bit-rotted dataset file fails loudly,
+// mirroring the PNM loader's hardening.
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t n = 0; n < 256; ++n) {
+      std::uint32_t c = n;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[n] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size,
+                    std::uint32_t crc = 0) {
+  const auto& table = crc_table();
+  crc ^= 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t adler32(const std::uint8_t* data, std::size_t size) {
+  std::uint32_t a = 1;
+  std::uint32_t b = 0;
+  std::size_t i = 0;
+  while (i < size) {
+    // 5552 is the classic largest block before either sum can overflow.
+    const std::size_t chunk = std::min<std::size_t>(size - i, 5552);
+    for (std::size_t j = 0; j < chunk; ++j) {
+      a += data[i + j];
+      b += a;
+    }
+    a %= 65521u;
+    b %= 65521u;
+    i += chunk;
+  }
+  return (b << 16) | a;
+}
+
+// ---------------------------------------------------------------------
+// DEFLATE decode (RFC 1951) — the canonical-Huffman walk is the "puff"
+// formulation: per-length symbol counts plus a sorted symbol table, one
+// bit consumed per step. Slow-path simple, which is fine for dataset
+// I/O; the segmentation kernels are the hot path, not the loader.
+
+[[noreturn]] void corrupt(const std::string& detail) {
+  throw std::runtime_error("read_png: corrupt deflate stream (" + detail +
+                           ")");
+}
+
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint32_t bits(std::size_t count) {
+    while (filled_ < count) {
+      if (pos_ >= size_) {
+        corrupt("unexpected end");
+      }
+      buffer_ |= static_cast<std::uint64_t>(data_[pos_++]) << filled_;
+      filled_ += 8;
+    }
+    const auto value = static_cast<std::uint32_t>(
+        buffer_ & ((std::uint64_t{1} << count) - 1));
+    buffer_ >>= count;
+    filled_ -= count;
+    return value;
+  }
+
+  /// Drops buffered bits to the next byte boundary (stored blocks).
+  void align() {
+    const std::size_t drop = filled_ % 8;
+    buffer_ >>= drop;
+    filled_ -= drop;
+  }
+
+  /// Reads `count` whole bytes (must be byte-aligned by construction:
+  /// the buffer only ever holds whole bytes after align()).
+  void bytes(std::uint8_t* out, std::size_t count) {
+    while (count > 0 && filled_ > 0) {
+      *out++ = static_cast<std::uint8_t>(buffer_ & 0xFF);
+      buffer_ >>= 8;
+      filled_ -= 8;
+      --count;
+    }
+    if (count > size_ - pos_) {
+      corrupt("unexpected end");
+    }
+    std::memcpy(out, data_ + pos_, count);
+    pos_ += count;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::uint64_t buffer_ = 0;
+  std::size_t filled_ = 0;
+};
+
+/// Canonical Huffman decoder over up-to-15-bit codes.
+struct Huffman {
+  std::array<std::uint16_t, 16> counts{};  ///< codes per bit length
+  std::vector<std::uint16_t> symbols;      ///< symbols, canonical order
+
+  void build(const std::uint8_t* lengths, std::size_t n) {
+    counts.fill(0);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++counts[lengths[i]];
+    }
+    if (counts[0] == n) {
+      corrupt("empty Huffman code");
+    }
+    // Over-subscription check (incomplete codes are tolerated like zlib
+    // does for the single-distance-code corner, but too many codes of a
+    // length can never decode unambiguously).
+    int left = 1;
+    for (std::size_t len = 1; len < 16; ++len) {
+      left <<= 1;
+      left -= counts[len];
+      if (left < 0) {
+        corrupt("over-subscribed Huffman code");
+      }
+    }
+    std::array<std::uint16_t, 16> offsets{};
+    for (std::size_t len = 1; len < 15; ++len) {
+      offsets[len + 1] =
+          static_cast<std::uint16_t>(offsets[len] + counts[len]);
+    }
+    symbols.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (lengths[i] != 0) {
+        symbols[offsets[lengths[i]]++] = static_cast<std::uint16_t>(i);
+      }
+    }
+  }
+
+  std::uint16_t decode(BitReader& in) const {
+    std::uint32_t code = 0;
+    std::uint32_t first = 0;
+    std::uint32_t index = 0;
+    for (std::size_t len = 1; len < 16; ++len) {
+      code |= in.bits(1);
+      const std::uint32_t count = counts[len];
+      if (code - first < count) {
+        return symbols[index + (code - first)];
+      }
+      index += count;
+      first = (first + count) << 1;
+      code <<= 1;
+    }
+    corrupt("invalid Huffman code");
+  }
+};
+
+constexpr std::array<std::uint16_t, 29> kLengthBase = {
+    3,  4,  5,  6,  7,  8,  9,  10, 11,  13,  15,  17,  19,  23, 27,
+    31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr std::array<std::uint8_t, 29> kLengthExtra = {
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2,
+    2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+constexpr std::array<std::uint16_t, 30> kDistBase = {
+    1,    2,    3,    4,    5,    7,     9,     13,    17,   25,
+    33,   49,   65,   97,   129,  193,   257,   385,   513,  769,
+    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+constexpr std::array<std::uint8_t, 30> kDistExtra = {
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4,  4,  5,  5,  6,
+    6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+void inflate_block(BitReader& in, const Huffman& litlen, const Huffman& dist,
+                   std::vector<std::uint8_t>& out, std::size_t max_out) {
+  for (;;) {
+    const std::uint16_t symbol = litlen.decode(in);
+    if (symbol < 256) {
+      if (out.size() >= max_out) {
+        corrupt("output larger than declared image");
+      }
+      out.push_back(static_cast<std::uint8_t>(symbol));
+      continue;
+    }
+    if (symbol == 256) {
+      return;  // end of block
+    }
+    if (symbol > 285) {
+      corrupt("bad length symbol");
+    }
+    const std::size_t length =
+        kLengthBase[symbol - 257] + in.bits(kLengthExtra[symbol - 257]);
+    const std::uint16_t dsym = dist.decode(in);
+    if (dsym > 29) {
+      corrupt("bad distance symbol");
+    }
+    const std::size_t distance = kDistBase[dsym] + in.bits(kDistExtra[dsym]);
+    if (distance > out.size()) {
+      corrupt("distance past window start");
+    }
+    if (out.size() + length > max_out) {
+      corrupt("output larger than declared image");
+    }
+    // Byte-by-byte on purpose: overlapping matches (distance < length,
+    // the run idiom) must re-read freshly written bytes.
+    std::size_t from = out.size() - distance;
+    for (std::size_t i = 0; i < length; ++i) {
+      out.push_back(out[from + i]);
+    }
+  }
+}
+
+/// Full RFC 1950/1951 decode of `size` zlib bytes; the caller knows the
+/// exact decompressed size (PNG filtered-scanline layout) and both a
+/// shortfall and an excess are hard errors.
+std::vector<std::uint8_t> zlib_inflate(const std::uint8_t* data,
+                                       std::size_t size,
+                                       std::size_t expected_size) {
+  if (size < 6) {
+    corrupt("zlib stream too short");
+  }
+  const std::uint8_t cmf = data[0];
+  const std::uint8_t flg = data[1];
+  if ((cmf & 0x0F) != 8) {
+    corrupt("not deflate");
+  }
+  if (((static_cast<unsigned>(cmf) << 8) + flg) % 31 != 0) {
+    corrupt("bad zlib header check");
+  }
+  if ((flg & 0x20) != 0) {
+    corrupt("preset dictionary");
+  }
+
+  BitReader in(data + 2, size - 2 - 4);
+  std::vector<std::uint8_t> out;
+  out.reserve(expected_size);
+
+  bool final_block = false;
+  while (!final_block) {
+    final_block = in.bits(1) != 0;
+    const std::uint32_t type = in.bits(2);
+    if (type == 0) {  // stored
+      in.align();
+      std::uint8_t header[4];
+      in.bytes(header, 4);
+      const std::size_t len = header[0] | (header[1] << 8);
+      const std::size_t nlen = header[2] | (header[3] << 8);
+      if ((len ^ 0xFFFF) != nlen) {
+        corrupt("stored block length check");
+      }
+      if (out.size() + len > expected_size) {
+        corrupt("output larger than declared image");
+      }
+      const std::size_t start = out.size();
+      out.resize(start + len);
+      in.bytes(out.data() + start, len);
+    } else if (type == 1 || type == 2) {
+      Huffman litlen;
+      Huffman dist;
+      if (type == 1) {  // fixed tables (RFC 1951 §3.2.6)
+        std::array<std::uint8_t, 288> ll{};
+        for (std::size_t i = 0; i < 288; ++i) {
+          ll[i] = i < 144 ? 8 : i < 256 ? 9 : i < 280 ? 7 : 8;
+        }
+        std::array<std::uint8_t, 30> dd{};
+        dd.fill(5);
+        litlen.build(ll.data(), ll.size());
+        dist.build(dd.data(), dd.size());
+      } else {  // dynamic tables
+        const std::size_t hlit = in.bits(5) + 257;
+        const std::size_t hdist = in.bits(5) + 1;
+        const std::size_t hclen = in.bits(4) + 4;
+        if (hlit > 286 || hdist > 30) {
+          corrupt("bad dynamic table counts");
+        }
+        static constexpr std::array<std::uint8_t, 19> kClOrder = {
+            16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1,
+            15};
+        std::array<std::uint8_t, 19> cl_lengths{};
+        for (std::size_t i = 0; i < hclen; ++i) {
+          cl_lengths[kClOrder[i]] = static_cast<std::uint8_t>(in.bits(3));
+        }
+        Huffman cl;
+        cl.build(cl_lengths.data(), cl_lengths.size());
+
+        std::vector<std::uint8_t> lengths(hlit + hdist, 0);
+        std::size_t i = 0;
+        while (i < lengths.size()) {
+          const std::uint16_t symbol = cl.decode(in);
+          if (symbol < 16) {
+            lengths[i++] = static_cast<std::uint8_t>(symbol);
+          } else if (symbol == 16) {
+            if (i == 0) {
+              corrupt("repeat with no previous length");
+            }
+            const std::uint8_t prev = lengths[i - 1];
+            std::size_t repeat = 3 + in.bits(2);
+            while (repeat-- > 0 && i < lengths.size()) {
+              lengths[i++] = prev;
+            }
+          } else {
+            std::size_t repeat =
+                symbol == 17 ? 3 + in.bits(3) : 11 + in.bits(7);
+            while (repeat-- > 0 && i < lengths.size()) {
+              lengths[i++] = 0;
+            }
+          }
+        }
+        litlen.build(lengths.data(), hlit);
+        dist.build(lengths.data() + hlit, hdist);
+      }
+      inflate_block(in, litlen, dist, out, expected_size);
+    } else {
+      corrupt("reserved block type");
+    }
+  }
+
+  if (out.size() != expected_size) {
+    throw std::runtime_error("read_png: truncated pixel data");
+  }
+  const std::uint32_t stored_adler =
+      (static_cast<std::uint32_t>(data[size - 4]) << 24) |
+      (static_cast<std::uint32_t>(data[size - 3]) << 16) |
+      (static_cast<std::uint32_t>(data[size - 2]) << 8) |
+      static_cast<std::uint32_t>(data[size - 1]);
+  if (adler32(out.data(), out.size()) != stored_adler) {
+    throw std::runtime_error("read_png: zlib checksum mismatch");
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// DEFLATE encode: one fixed-Huffman block with greedy distance-1 run
+// matching. Masks, label maps, and flat synthetic backgrounds are long
+// byte runs, which this captures at (8 + ~5+5)/258 bits per byte; noisy
+// photographic rows fall back to plain literals (≈ 1.01x the raw size,
+// still a standard stream every decoder accepts).
+
+class BitWriter {
+ public:
+  void bits(std::uint32_t value, std::size_t count) {
+    buffer_ |= static_cast<std::uint64_t>(value) << filled_;
+    filled_ += count;
+    while (filled_ >= 8) {
+      out_.push_back(static_cast<std::uint8_t>(buffer_ & 0xFF));
+      buffer_ >>= 8;
+      filled_ -= 8;
+    }
+  }
+
+  /// Huffman codes are transmitted MSB-first inside the LSB-first bit
+  /// stream, so they go out bit-reversed.
+  void code(std::uint32_t value, std::size_t count) {
+    std::uint32_t reversed = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      reversed = (reversed << 1) | ((value >> i) & 1u);
+    }
+    bits(reversed, count);
+  }
+
+  std::vector<std::uint8_t> finish() {
+    if (filled_ > 0) {
+      out_.push_back(static_cast<std::uint8_t>(buffer_ & 0xFF));
+      buffer_ = 0;
+      filled_ = 0;
+    }
+    return std::move(out_);
+  }
+
+ private:
+  std::vector<std::uint8_t> out_;
+  std::uint64_t buffer_ = 0;
+  std::size_t filled_ = 0;
+};
+
+void put_fixed_literal(BitWriter& out, std::uint8_t byte) {
+  if (byte < 144) {
+    out.code(0x30u + byte, 8);
+  } else {
+    out.code(0x190u + (byte - 144u), 9);
+  }
+}
+
+void put_fixed_length(BitWriter& out, std::size_t length) {
+  // Find the length symbol whose [base, base + 2^extra) covers `length`.
+  std::size_t s = 0;
+  while (s + 1 < kLengthBase.size() && kLengthBase[s + 1] <= length) {
+    ++s;
+  }
+  const std::size_t symbol = 257 + s;
+  if (symbol < 280) {
+    out.code(static_cast<std::uint32_t>(symbol - 256), 7);
+  } else {
+    out.code(static_cast<std::uint32_t>(0xC0 + (symbol - 280)), 8);
+  }
+  out.bits(static_cast<std::uint32_t>(length - kLengthBase[s]),
+           kLengthExtra[s]);
+}
+
+std::vector<std::uint8_t> zlib_deflate_fixed(
+    const std::vector<std::uint8_t>& data) {
+  BitWriter out;
+  out.bits(0x78, 8);  // CMF: deflate, 32k window
+  out.bits(0x01, 8);  // FLG: check bits, no dict, fastest
+  out.bits(1, 1);     // BFINAL
+  out.bits(1, 2);     // BTYPE = fixed Huffman
+
+  std::size_t i = 0;
+  while (i < data.size()) {
+    if (i > 0) {
+      std::size_t run = 0;
+      const std::uint8_t prev = data[i - 1];
+      while (run < 258 && i + run < data.size() && data[i + run] == prev) {
+        ++run;
+      }
+      if (run >= 3) {
+        put_fixed_length(out, run);
+        out.code(0, 5);  // distance symbol 0 = distance 1
+        i += run;
+        continue;
+      }
+    }
+    put_fixed_literal(out, data[i]);
+    ++i;
+  }
+  out.code(0, 7);  // end of block (symbol 256)
+
+  auto bytes = out.finish();
+  const std::uint32_t adler = adler32(data.data(), data.size());
+  bytes.push_back(static_cast<std::uint8_t>(adler >> 24));
+  bytes.push_back(static_cast<std::uint8_t>(adler >> 16));
+  bytes.push_back(static_cast<std::uint8_t>(adler >> 8));
+  bytes.push_back(static_cast<std::uint8_t>(adler));
+  return bytes;
+}
+
+// ---------------------------------------------------------------------
+// PNG container.
+
+constexpr std::array<std::uint8_t, 8> kPngSignature = {137, 80, 78, 71,
+                                                       13,  10, 26, 10};
+
+void put_be32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  out.push_back(static_cast<std::uint8_t>(value >> 24));
+  out.push_back(static_cast<std::uint8_t>(value >> 16));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+void append_chunk(std::vector<std::uint8_t>& out, const char* type,
+                  const std::vector<std::uint8_t>& data) {
+  put_be32(out, static_cast<std::uint32_t>(data.size()));
+  const std::size_t type_at = out.size();
+  out.insert(out.end(), type, type + 4);
+  out.insert(out.end(), data.begin(), data.end());
+  const std::uint32_t crc = crc32(out.data() + type_at, 4 + data.size());
+  put_be32(out, crc);
+}
+
+std::uint32_t read_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+std::uint8_t paeth(std::uint8_t a, std::uint8_t b, std::uint8_t c) {
+  const int p = int{a} + int{b} - int{c};
+  const int pa = std::abs(p - int{a});
+  const int pb = std::abs(p - int{b});
+  const int pc = std::abs(p - int{c});
+  if (pa <= pb && pa <= pc) {
+    return a;
+  }
+  return pb <= pc ? b : c;
+}
+
+}  // namespace
+
+void write_png(const ImageU8& image, const std::string& path) {
+  if (image.channels() != 1 && image.channels() != 3) {
+    throw std::invalid_argument("write_png supports 1 or 3 channels");
+  }
+  const std::size_t stride = image.width() * image.channels();
+
+  // Filter 0 (None) on every scanline: the run-matching deflate below
+  // already collapses the flat regions these images are made of.
+  std::vector<std::uint8_t> filtered;
+  filtered.reserve(image.height() * (stride + 1));
+  for (std::size_t y = 0; y < image.height(); ++y) {
+    filtered.push_back(0);
+    const std::uint8_t* row = image.data() + y * stride;
+    filtered.insert(filtered.end(), row, row + stride);
+  }
+
+  std::vector<std::uint8_t> file(kPngSignature.begin(), kPngSignature.end());
+  std::vector<std::uint8_t> ihdr;
+  put_be32(ihdr, static_cast<std::uint32_t>(image.width()));
+  put_be32(ihdr, static_cast<std::uint32_t>(image.height()));
+  ihdr.push_back(8);                                   // bit depth
+  ihdr.push_back(image.channels() == 1 ? 0 : 2);       // color type
+  ihdr.push_back(0);                                   // compression
+  ihdr.push_back(0);                                   // filter method
+  ihdr.push_back(0);                                   // no interlace
+  append_chunk(file, "IHDR", ihdr);
+  append_chunk(file, "IDAT", zlib_deflate_fixed(filtered));
+  append_chunk(file, "IEND", {});
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("write_png: cannot open " + path);
+  }
+  out.write(reinterpret_cast<const char*>(file.data()),
+            static_cast<std::streamsize>(file.size()));
+  if (!out) {
+    throw std::runtime_error("write_png: short write to " + path);
+  }
+}
+
+ImageU8 read_png(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("read_png: cannot open " + path);
+  }
+  std::vector<std::uint8_t> file(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+  if (file.size() < kPngSignature.size() ||
+      !std::equal(kPngSignature.begin(), kPngSignature.end(), file.begin())) {
+    throw std::runtime_error("read_png: not a PNG file (bad signature)");
+  }
+
+  // --- Chunk walk: IHDR first, IDAT concatenated, IEND terminates.
+  // Every CRC is verified; unknown ancillary chunks are skipped, unknown
+  // critical chunks are hard errors (we could not render the image the
+  // author intended).
+  std::size_t pos = kPngSignature.size();
+  bool saw_ihdr = false;
+  bool saw_iend = false;
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::size_t src_channels = 0;
+  std::vector<std::uint8_t> idat;
+
+  while (!saw_iend) {
+    if (file.size() - pos < 12) {
+      throw std::runtime_error("read_png: truncated chunk");
+    }
+    const std::size_t length = read_be32(file.data() + pos);
+    if (length > file.size() - pos - 12) {
+      throw std::runtime_error("read_png: truncated chunk");
+    }
+    const char* type = reinterpret_cast<const char*>(file.data() + pos + 4);
+    const std::uint8_t* data = file.data() + pos + 8;
+    const std::uint32_t stored_crc = read_be32(data + length);
+    if (crc32(file.data() + pos + 4, 4 + length) != stored_crc) {
+      throw std::runtime_error("read_png: chunk CRC mismatch in '" +
+                               std::string(type, 4) + "'");
+    }
+
+    if (std::memcmp(type, "IHDR", 4) == 0) {
+      if (saw_ihdr || length != 13) {
+        throw std::runtime_error("read_png: corrupt IHDR");
+      }
+      saw_ihdr = true;
+      width = read_be32(data);
+      height = read_be32(data + 4);
+      const std::uint8_t bit_depth = data[8];
+      const std::uint8_t color_type = data[9];
+      const std::uint8_t interlace = data[12];
+      if (width == 0 || height == 0) {
+        throw std::runtime_error("read_png: zero image dimensions");
+      }
+      if (bit_depth != 8) {
+        throw std::runtime_error("read_png: unsupported bit depth " +
+                                 std::to_string(bit_depth) +
+                                 " (8-bit only)");
+      }
+      switch (color_type) {
+        case 0: src_channels = 1; break;  // gray
+        case 2: src_channels = 3; break;  // RGB
+        case 4: src_channels = 2; break;  // gray + alpha
+        case 6: src_channels = 4; break;  // RGBA
+        case 3:
+          throw std::runtime_error(
+              "read_png: unsupported color type 3 (palette)");
+        default:
+          throw std::runtime_error("read_png: unsupported color type " +
+                                   std::to_string(color_type));
+      }
+      if (data[10] != 0 || data[11] != 0) {
+        throw std::runtime_error("read_png: corrupt IHDR");
+      }
+      if (interlace != 0) {
+        throw std::runtime_error(
+            "read_png: interlaced (Adam7) PNG is not supported");
+      }
+      // Same allocation guard as read_pnm: a wrapped product must never
+      // size a buffer, and absurd-but-unwrapped headers fail honestly.
+      constexpr std::size_t kMaxBytes = std::size_t{1} << 31;  // 2 GiB
+      constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+      if (height > kMax / width ||
+          width * height > kMax / (src_channels + 1)) {
+        throw std::runtime_error("read_png: image dimensions " +
+                                 std::to_string(width) + "x" +
+                                 std::to_string(height) +
+                                 " overflow size_t");
+      }
+      if (width * height * src_channels > kMaxBytes) {
+        throw std::runtime_error(
+            "read_png: image " + std::to_string(width) + "x" +
+            std::to_string(height) + "x" + std::to_string(src_channels) +
+            " exceeds the 2 GiB loader limit");
+      }
+    } else if (std::memcmp(type, "IDAT", 4) == 0) {
+      if (!saw_ihdr) {
+        throw std::runtime_error("read_png: IDAT before IHDR");
+      }
+      idat.insert(idat.end(), data, data + length);
+    } else if (std::memcmp(type, "IEND", 4) == 0) {
+      saw_iend = true;
+    } else if ((type[0] & 0x20) == 0) {  // critical chunk we cannot honor
+      throw std::runtime_error("read_png: unsupported critical chunk '" +
+                               std::string(type, 4) + "'");
+    }
+    pos += 12 + length;
+  }
+  if (!saw_ihdr) {
+    throw std::runtime_error("read_png: corrupt IHDR");
+  }
+  if (idat.empty()) {
+    throw std::runtime_error("read_png: missing IDAT");
+  }
+
+  // --- Decompress to filtered scanlines, then unfilter in place.
+  const std::size_t stride = width * src_channels;
+  const auto filtered =
+      zlib_inflate(idat.data(), idat.size(), height * (stride + 1));
+
+  std::vector<std::uint8_t> raw(height * stride);
+  const std::size_t bpp = src_channels;
+  for (std::size_t y = 0; y < height; ++y) {
+    const std::uint8_t filter = filtered[y * (stride + 1)];
+    const std::uint8_t* src = filtered.data() + y * (stride + 1) + 1;
+    std::uint8_t* dst = raw.data() + y * stride;
+    const std::uint8_t* up = y > 0 ? dst - stride : nullptr;
+    switch (filter) {
+      case 0:  // None
+        std::memcpy(dst, src, stride);
+        break;
+      case 1:  // Sub
+        for (std::size_t i = 0; i < stride; ++i) {
+          dst[i] = static_cast<std::uint8_t>(
+              src[i] + (i >= bpp ? dst[i - bpp] : 0));
+        }
+        break;
+      case 2:  // Up
+        for (std::size_t i = 0; i < stride; ++i) {
+          dst[i] =
+              static_cast<std::uint8_t>(src[i] + (up != nullptr ? up[i] : 0));
+        }
+        break;
+      case 3:  // Average
+        for (std::size_t i = 0; i < stride; ++i) {
+          const unsigned left = i >= bpp ? dst[i - bpp] : 0;
+          const unsigned above = up != nullptr ? up[i] : 0;
+          dst[i] = static_cast<std::uint8_t>(src[i] + ((left + above) >> 1));
+        }
+        break;
+      case 4:  // Paeth
+        for (std::size_t i = 0; i < stride; ++i) {
+          const std::uint8_t left = i >= bpp ? dst[i - bpp] : 0;
+          const std::uint8_t above = up != nullptr ? up[i] : 0;
+          const std::uint8_t corner =
+              (up != nullptr && i >= bpp) ? up[i - bpp] : 0;
+          dst[i] =
+              static_cast<std::uint8_t>(src[i] + paeth(left, above, corner));
+        }
+        break;
+      default:
+        throw std::runtime_error("read_png: bad filter type " +
+                                 std::to_string(filter));
+    }
+  }
+
+  // --- Alpha is dropped on load: the pipeline consumes 1- or 3-channel
+  // images, and microscopy alpha is either absent or fully opaque.
+  const std::size_t out_channels = src_channels >= 3 ? 3 : 1;
+  ImageU8 image(width, height, out_channels);
+  if (out_channels == src_channels) {
+    std::memcpy(image.data(), raw.data(), raw.size());
+  } else {
+    const std::uint8_t* src = raw.data();
+    std::uint8_t* dst = image.data();
+    for (std::size_t p = 0; p < width * height; ++p) {
+      for (std::size_t c = 0; c < out_channels; ++c) {
+        dst[c] = src[c];
+      }
+      src += src_channels;
+      dst += out_channels;
+    }
+  }
+  return image;
+}
+
+bool is_png_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::array<char, 8> head{};
+  in.read(head.data(), head.size());
+  return in.gcount() == 8 &&
+         std::equal(kPngSignature.begin(), kPngSignature.end(),
+                    reinterpret_cast<const std::uint8_t*>(head.data()));
+}
+
+ImageU8 read_image(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("read_image: cannot open " + path);
+  }
+  std::array<char, 2> head{};
+  in.read(head.data(), head.size());
+  in.close();
+  if (is_png_file(path)) {
+    return read_png(path);
+  }
+  if (head[0] == 'P' && head[1] >= '2' && head[1] <= '6') {
+    return read_pnm(path);
+  }
+  throw std::runtime_error(
+      "read_image: " + path +
+      " is neither PNG nor PNM (unrecognised magic bytes)");
+}
+
+void write_image(const ImageU8& image, const std::string& path) {
+  const auto dot = path.find_last_of('.');
+  const std::string ext =
+      dot == std::string::npos ? "" : path.substr(dot + 1);
+  if (ext == "png") {
+    write_png(image, path);
+  } else if (ext == "pgm" || ext == "ppm" || ext == "pnm") {
+    write_pnm(image, path);
+  } else {
+    throw std::invalid_argument(
+        "write_image: unsupported extension '" + ext +
+        "' in " + path + " (use .png, .pgm, .ppm or .pnm)");
+  }
+}
+
+}  // namespace seghdc::img

@@ -1,0 +1,55 @@
+// PNG image I/O with zero external dependencies (stb-style: the whole
+// codec, including the DEFLATE sides, lives in png.cpp). This is what
+// lets the dataset loaders, the eval pipeline, and the examples operate
+// on real-world files instead of PNM only.
+//
+// Scope (deliberately the useful-for-microscopy subset):
+//   - read: 8-bit depth, color types gray (0), RGB (2), gray+alpha (4)
+//     and RGBA (6); alpha is dropped on load (the pipeline consumes 1-
+//     or 3-channel images). All three DEFLATE block types (stored,
+//     fixed-Huffman, dynamic-Huffman) and all five scanline filters are
+//     decoded, so files from ImageMagick/libpng/Pillow load unchanged.
+//     Palette (3), 16-bit depth and Adam7 interlace are rejected with
+//     honest hard errors, mirroring the PNM loader's no-silent-fallback
+//     convention — as are truncated files, CRC/Adler mismatches, and
+//     headers past the shared 2 GiB allocation guard.
+//   - write: 8-bit gray (1 channel) or RGB (3 channels), filter 0
+//     scanlines compressed with a fixed-Huffman DEFLATE encoder using
+//     run matching (masks and synthetic frames shrink well; the output
+//     is a fully standard PNG every external tool opens).
+#ifndef SEGHDC_IMAGING_PNG_HPP
+#define SEGHDC_IMAGING_PNG_HPP
+
+#include <string>
+
+#include "src/imaging/image.hpp"
+
+namespace seghdc::img {
+
+/// Writes a 1-channel (gray) or 3-channel (RGB) 8-bit image as PNG.
+/// Throws std::invalid_argument for other channel counts,
+/// std::runtime_error on I/O failure.
+void write_png(const ImageU8& image, const std::string& path);
+
+/// Reads a PNG file (see scope above). Returns a 1-channel image for
+/// gray / gray+alpha sources and a 3-channel image for RGB / RGBA.
+/// Throws std::runtime_error on malformed, unsupported, or truncated
+/// input — never returns a partially decoded image.
+ImageU8 read_png(const std::string& path);
+
+/// True when the file starts with the 8-byte PNG signature (reads the
+/// file's first bytes; false for unreadable or short files).
+bool is_png_file(const std::string& path);
+
+/// Reads an image by content sniffing: PNG signature -> read_png,
+/// PNM magic (P2/P3/P5/P6) -> read_pnm, anything else is a hard
+/// std::runtime_error naming the path.
+ImageU8 read_image(const std::string& path);
+
+/// Writes by extension: ".png" -> write_png, ".pgm"/".ppm"/".pnm" ->
+/// write_pnm; any other extension is a hard std::invalid_argument.
+void write_image(const ImageU8& image, const std::string& path);
+
+}  // namespace seghdc::img
+
+#endif  // SEGHDC_IMAGING_PNG_HPP

@@ -1,13 +1,21 @@
 // Tests for the three synthetic dataset generators: determinism,
 // profile consistency, ground-truth/image agreement, and the statistical
-// properties each suite is supposed to exercise.
+// properties each suite is supposed to exercise — plus the on-disk
+// loader round trip (generate -> export_dataset -> DiskDataset) that
+// makes loader -> eval -> mIoU runnable hermetically in CI.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
 #include "src/datasets/bbbc005.hpp"
+#include "src/datasets/disk.hpp"
 #include "src/datasets/dsb2018.hpp"
 #include "src/datasets/monuseg.hpp"
+#include "src/eval/suite.hpp"
 #include "src/imaging/color.hpp"
 #include "src/imaging/connected_components.hpp"
+#include "src/imaging/pnm.hpp"
 
 namespace {
 
@@ -246,6 +254,181 @@ TEST(Datasets, IdsEncodeIndex) {
   EXPECT_EQ(Bbbc005Generator(small_bbbc()).generate(7).id, "bbbc005_7");
   EXPECT_EQ(Dsb2018Generator(small_dsb()).generate(7).id, "dsb2018_7");
   EXPECT_EQ(MonusegGenerator(small_monuseg()).generate(7).id, "monuseg_7");
+}
+
+// ---------------------------------------------------------------------
+// On-disk mini-datasets: export_dataset -> DiskDataset round trip.
+// ---------------------------------------------------------------------
+
+class DiskCleanup : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const auto& dir : dirs_) {
+      std::filesystem::remove_all(dir);
+    }
+  }
+  std::string track(const std::string& name) {
+    const auto dir =
+        (std::filesystem::temp_directory_path() / name).string();
+    std::filesystem::remove_all(dir);
+    dirs_.push_back(dir);
+    return dir;
+  }
+  std::vector<std::string> dirs_;
+};
+
+template <typename Generator>
+void expect_disk_round_trip(const Generator& generator,
+                            const std::string& dir,
+                            const std::string& format,
+                            std::size_t count) {
+  ASSERT_EQ(export_dataset(generator, count, dir, format), count);
+  const DiskDataset disk(dir);
+  ASSERT_EQ(disk.size(), count);
+
+  // profile.txt carries the full profile through the round trip.
+  EXPECT_EQ(disk.profile().name, generator.profile().name);
+  EXPECT_EQ(disk.profile().width, generator.profile().width);
+  EXPECT_EQ(disk.profile().height, generator.profile().height);
+  EXPECT_EQ(disk.profile().channels, generator.profile().channels);
+  EXPECT_EQ(disk.profile().suggested_clusters,
+            generator.profile().suggested_clusters);
+  EXPECT_EQ(disk.profile().suggested_beta,
+            generator.profile().suggested_beta);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto expected = generator.generate(i);
+    const auto loaded = disk.generate(i);
+    EXPECT_EQ(loaded.id, expected.id) << format << " sample " << i;
+    EXPECT_EQ(loaded.image, expected.image) << format << " sample " << i;
+    EXPECT_EQ(loaded.mask, expected.mask) << format << " sample " << i;
+    // The loader recovers instances by component labeling; generators
+    // may place touching objects, so compare against the same labeling.
+    EXPECT_EQ(loaded.instance_count,
+              img::connected_components(expected.mask).components.size())
+        << format << " sample " << i;
+  }
+}
+
+TEST_F(DiskCleanup, PngRoundTripAllGenerators) {
+  expect_disk_round_trip(Bbbc005Generator(small_bbbc()),
+                         track("seghdc_disk_bbbc"), "png", 3);
+  expect_disk_round_trip(Dsb2018Generator(small_dsb()),
+                         track("seghdc_disk_dsb"), "png", 4);
+  expect_disk_round_trip(MonusegGenerator(small_monuseg()),
+                         track("seghdc_disk_monuseg"), "png", 3);
+}
+
+TEST_F(DiskCleanup, PnmRoundTrip) {
+  expect_disk_round_trip(Dsb2018Generator(small_dsb()),
+                         track("seghdc_disk_dsb_pnm"), "pnm", 3);
+}
+
+TEST_F(DiskCleanup, LoaderFeedsEvalHermetically) {
+  // The CI shape end to end: synthesise a mini corpus, write it out as
+  // PNG, reload through the real loader, and sweep it with the eval
+  // pipeline — files -> DiskDataset -> evaluate_seghdc -> mIoU.
+  const Dsb2018Generator generator(small_dsb());
+  const auto dir = track("seghdc_disk_eval");
+  export_dataset(generator, 3, dir, "png");
+  const DiskDataset disk(dir);
+
+  core::SegHdcConfig config;
+  config.dim = 256;
+  config.iterations = 2;
+  config.beta = disk.profile().suggested_beta;
+  config.clusters = disk.profile().suggested_clusters;
+  eval::EvalOptions options;
+  options.path = eval::EvalPath::kServer;
+  const auto suite = eval::evaluate_seghdc(disk, disk.size(), config,
+                                           options);
+  ASSERT_EQ(suite.records.size(), 3u);
+  EXPECT_EQ(suite.dataset, "DSB2018");
+  EXPECT_NE(suite.labels_hash, 0u);
+  EXPECT_GT(suite.mean_iou(), 0.0);
+  EXPECT_LE(suite.mean_iou(), 1.0);
+  for (const auto& record : suite.records) {
+    EXPECT_GT(record.instances, 0u);
+  }
+}
+
+TEST_F(DiskCleanup, RejectsOrphanFilesAndEmptyDirectories) {
+  const auto empty = track("seghdc_disk_empty");
+  std::filesystem::create_directories(empty);
+  try {
+    DiskDataset dataset(empty);
+    FAIL() << "expected an empty directory to be rejected";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what())
+                  .find("no <id>_image/<id>_mask pairs"),
+              std::string::npos)
+        << "actual message: " << error.what();
+  }
+
+  const auto orphan_mask = track("seghdc_disk_orphan_mask");
+  export_dataset(Dsb2018Generator(small_dsb()), 1, orphan_mask, "png");
+  std::filesystem::remove(orphan_mask + "/dsb2018_0_image.png");
+  try {
+    DiskDataset dataset(orphan_mask);
+    FAIL() << "expected an orphan mask to be rejected";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("mask without image"),
+              std::string::npos)
+        << "actual message: " << error.what();
+  }
+
+  const auto orphan_image = track("seghdc_disk_orphan_image");
+  export_dataset(Dsb2018Generator(small_dsb()), 1, orphan_image, "png");
+  std::filesystem::remove(orphan_image + "/dsb2018_0_mask.png");
+  try {
+    DiskDataset dataset(orphan_image);
+    FAIL() << "expected an orphan image to be rejected";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("image without mask"),
+              std::string::npos)
+        << "actual message: " << error.what();
+  }
+
+  EXPECT_THROW(DiskDataset(track("seghdc_disk_missing")),
+               std::runtime_error);
+}
+
+TEST_F(DiskCleanup, RejectsBadProfileLineAndOutOfRangeIndex) {
+  const auto dir = track("seghdc_disk_badprofile");
+  export_dataset(Dsb2018Generator(small_dsb()), 1, dir, "png");
+  {
+    const DiskDataset disk(dir);
+    EXPECT_THROW(disk.generate(1), std::out_of_range);
+  }
+  {
+    std::ofstream out(dir + "/profile.txt");
+    out << "width\n";  // key with no value
+  }
+  try {
+    DiskDataset dataset(dir);
+    FAIL() << "expected a bad profile line to be rejected";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("bad profile line"),
+              std::string::npos)
+        << "actual message: " << error.what();
+  }
+}
+
+TEST_F(DiskCleanup, MixedContainerFormatsLoadTogether) {
+  // PNG image next to a PNM mask (and vice versa) is a supported
+  // layout: the loader sniffs content, not extensions.
+  const Dsb2018Generator generator(small_dsb());
+  const auto dir = track("seghdc_disk_mixed");
+  export_dataset(generator, 2, dir, "png");
+  const auto sample = generator.generate(0);
+  std::filesystem::remove(dir + "/dsb2018_0_mask.png");
+  img::write_pnm(sample.mask, dir + "/dsb2018_0_mask.pgm");
+
+  const DiskDataset disk(dir);
+  ASSERT_EQ(disk.size(), 2u);
+  const auto loaded = disk.generate(0);
+  EXPECT_EQ(loaded.image, sample.image);
+  EXPECT_EQ(loaded.mask, sample.mask);
 }
 
 }  // namespace
